@@ -1,0 +1,53 @@
+/// Ablation: data-rate scaling. The paper's AIB driver is DDR-capable but
+/// the study runs SDR at 0.7 Gbps (Section V-B); this sweep runs the same
+/// worst-case channels at DDR (1.4 Gbps) and beyond, showing where each
+/// technology's eye collapses -- the headroom question the paper leaves
+/// open. Benchmarks the eye engine across rates.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "core/links.hpp"
+#include "signal/eye.hpp"
+
+namespace {
+
+using gia::bench::flow_of;
+using gia::core::Table;
+namespace th = gia::tech;
+
+void print_ablation() {
+  Table t("Ablation -- L2M eye opening vs data rate (worst routed net per design)");
+  t.row({"design", "0.7 Gbps (SDR)", "1.4 Gbps (DDR)", "2.8 Gbps", "5.6 Gbps"});
+  for (auto k : th::table_order()) {
+    const auto& r = flow_of(k);
+    std::vector<std::string> cells{th::to_string(k)};
+    for (double rate : {0.7e9, 1.4e9, 2.8e9, 5.6e9}) {
+      auto spec = r.l2m.spec;
+      spec.bit_rate_hz = rate;
+      spec.tx.edge_time_s = std::min(spec.tx.edge_time_s, 0.25 / rate);
+      const auto eye = gia::signal::simulate_eye(spec, 64);
+      cells.push_back(Table::pct(100 * eye.width_ratio(), 0) + " / " +
+                      Table::num(eye.height_v, 2) + "V");
+    }
+    t.row(std::move(cells));
+  }
+  t.print(std::cout);
+  std::cout << "  vertical links (Glass 3D, Silicon 3D) hold a clean eye well past DDR;\n"
+               "  the long lateral nets close first, Silicon 2.5D earliest.\n";
+}
+
+void BM_eye_vs_rate(benchmark::State& state) {
+  auto spec = gia::core::make_link_spec(flow_of(th::TechnologyKind::Glass25D).interposer,
+                                        gia::interposer::TopNetKind::LogicToMemory);
+  spec.bit_rate_hz = 1e9 * static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gia::signal::simulate_eye(spec, 48));
+  }
+}
+BENCHMARK(BM_eye_vs_rate)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_ablation)

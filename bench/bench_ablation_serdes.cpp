@@ -1,0 +1,61 @@
+/// Ablation: why the paper serializes inter-tile buses 8:1 (Section IV-A).
+/// Sweeps the SerDes ratio and shows the logic chiplet going bump-limited --
+/// without serialization the 404 inter-tile wires blow up the footprint on
+/// every bump pitch, which is exactly the constraint the paper describes.
+/// Benchmarks SerDes insertion.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "chiplet/bump_plan.hpp"
+#include "partition/hierarchical.hpp"
+
+namespace {
+
+using gia::core::Table;
+namespace th = gia::tech;
+namespace nl = gia::netlist;
+
+void print_ablation() {
+  Table t("Ablation -- SerDes ratio vs logic chiplet footprint (Glass 35um / APX 50um pitch)");
+  t.row({"ratio", "inter-tile wires", "logic signal I/O", "latency (cyc)", "glass width (mm)",
+         "glass bump-limited", "APX width (mm)"});
+  for (int ratio : {1, 2, 4, 8, 16}) {
+    auto net = nl::build_openpiton();
+    nl::SerDesConfig cfg;
+    cfg.ratio = ratio;
+    const auto rpt = nl::apply_serdes(net, cfg);
+    const auto part = gia::partition::hierarchical_partition(net);
+    const auto logic = nl::extract_chiplet(net, part.side, nl::ChipletSide::Logic, 0);
+    const auto mem = nl::extract_chiplet(net, part.side, nl::ChipletSide::Memory, 0);
+
+    const auto glass = gia::chiplet::plan_chiplet_pair(
+        logic.io_signals, mem.io_signals, logic.cell_area_um2, mem.cell_area_um2,
+        th::make_technology(th::TechnologyKind::Glass25D));
+    const auto apx = gia::chiplet::plan_chiplet_pair(
+        logic.io_signals, mem.io_signals, logic.cell_area_um2, mem.cell_area_um2,
+        th::make_technology(th::TechnologyKind::APX));
+    t.row({std::to_string(ratio) + ":1", std::to_string(rpt.wires_after),
+           std::to_string(logic.io_signals), std::to_string(ratio == 1 ? 0 : cfg.latency_cycles),
+           Table::num(glass.logic.width_um * 1e-3), glass.logic.bump_limited ? "yes" : "no",
+           Table::num(apx.logic.width_um * 1e-3)});
+  }
+  t.print(std::cout);
+  std::cout << "  the paper's 8:1 point is where the glass chiplet stops being bump-limited\n"
+               "  growth-bound and the footprint settles at the cell-area floor.\n";
+}
+
+void BM_apply_serdes(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto net = nl::build_openpiton();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(nl::apply_serdes(net));
+  }
+}
+BENCHMARK(BM_apply_serdes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_ablation)

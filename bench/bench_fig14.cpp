@@ -1,0 +1,65 @@
+/// Fig 14 reproduction: eye diagrams of the worst-case victim nets --
+/// logic-to-memory and logic-to-logic, all six designs, 0.7 Gbps PRBS with
+/// two aggressors. Benchmarks the eye engine.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "core/links.hpp"
+#include "signal/eye.hpp"
+#include "signal/prbs.hpp"
+
+namespace {
+
+using gia::bench::flow_of;
+using gia::core::Table;
+namespace th = gia::tech;
+
+void print_fig14() {
+  Table t("Fig 14 -- Eye diagrams of worst-case victim nets (reproduced | paper W/H)");
+  t.row({"design", "net", "eye width (ns)", "eye height (V)", "opening", "paper (ns | V)"});
+  const std::map<th::TechnologyKind, std::pair<const char*, const char*>> paper = {
+      {th::TechnologyKind::Glass3D, {"1.415 | 0.89", "~1.38 | 0.89"}},
+      {th::TechnologyKind::Silicon25D, {"narrowest", "1.03 | 0.401"}},
+      {th::TechnologyKind::Silicon3D, {"~1.41 | 0.89", "widest"}},
+      {th::TechnologyKind::Glass25D, {"mid", "mid"}},
+      {th::TechnologyKind::Shinko, {"mid", "mid"}},
+      {th::TechnologyKind::APX, {"wider than Si2.5D", "mid"}}};
+  for (auto k : th::table_order()) {
+    const auto& r = flow_of(k, /*eyes*/ true);
+    auto add = [&](const char* net, const gia::core::LinkStudy& link, const char* pp) {
+      t.row({net[2] == 'M' ? th::to_string(k) : "", net,
+             Table::num(link.eye->width_s * 1e9, 3), Table::num(link.eye->height_v, 3),
+             Table::pct(100 * link.eye->width_ratio(), 1), pp});
+    };
+    add("L2M", r.l2m, paper.at(k).first);
+    add("L2L", r.l2l, paper.at(k).second);
+  }
+  t.print(std::cout);
+  std::cout << "  shape criteria: Glass 3D widest L2M eye; Silicon 2.5D narrowest L2M;\n"
+               "  Silicon 3D widest L2L (see EXPERIMENTS.md for the compressed spread\n"
+               "  discussion at 0.7 Gbps).\n";
+}
+
+void BM_simulate_eye(benchmark::State& state) {
+  const auto spec = gia::core::make_link_spec(
+      flow_of(th::TechnologyKind::Silicon25D).interposer,
+      gia::interposer::TopNetKind::LogicToMemory);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gia::signal::simulate_eye(spec, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_simulate_eye)->Arg(32)->Arg(96)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_prbs_generation(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gia::signal::prbs7(127));
+    benchmark::DoNotOptimize(gia::signal::prbs15(1024));
+  }
+}
+BENCHMARK(BM_prbs_generation);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_fig14)

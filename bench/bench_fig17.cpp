@@ -1,0 +1,57 @@
+/// Fig 16/17 reproduction: per-chiplet thermal hotspots for every design.
+/// Benchmarks the finite-volume thermal solver.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "thermal/analysis.hpp"
+#include "thermal/solver.hpp"
+
+namespace {
+
+using gia::bench::flow_of;
+using gia::core::Table;
+namespace th = gia::tech;
+
+void print_fig17() {
+  Table t("Fig 16/17 -- Chiplet thermal hotspots [C], ambient 22 C");
+  t.row({"design", "logic hotspot", "memory hotspot", "interposer hotspot", "paper note"});
+  const std::map<th::TechnologyKind, const char*> paper = {
+      {th::TechnologyKind::Glass25D, "logic 27-29, mem 22-23"},
+      {th::TechnologyKind::Glass3D, "logic 27, mem 34 (embedded, hottest)"},
+      {th::TechnologyKind::Silicon25D, "logic 27-29, mem 22-23 (coolest substrate)"},
+      {th::TechnologyKind::Silicon3D, "hottest stack (4 thinned dies)"},
+      {th::TechnologyKind::Shinko, "logic 27-29, concentrated map"},
+      {th::TechnologyKind::APX, "logic 27-29"}};
+  for (auto k : th::table_order()) {
+    const auto& r = flow_of(k, false, /*thermal*/ true);
+    t.row({th::to_string(k), Table::num(r.thermal->hotspot("tile0/logic"), 1),
+           Table::num(r.thermal->hotspot("tile0/mem"), 1),
+           Table::num(r.thermal->interposer_hotspot_c, 1), paper.at(k)});
+  }
+  t.print(std::cout);
+}
+
+void BM_thermal_solve(benchmark::State& state) {
+  using namespace gia;
+  const auto d = interposer::build_interposer_design(tech::TechnologyKind::Glass3D);
+  const auto mesh = thermal::build_thermal_mesh(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(thermal::solve_steady_state(mesh));
+  }
+}
+BENCHMARK(BM_thermal_solve)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_mesh_build(benchmark::State& state) {
+  using namespace gia;
+  const auto d = interposer::build_interposer_design(tech::TechnologyKind::Glass3D);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(thermal::build_thermal_mesh(d));
+  }
+}
+BENCHMARK(BM_mesh_build)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_fig17)

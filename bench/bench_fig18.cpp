@@ -1,0 +1,53 @@
+/// Fig 18 reproduction: interposer-level thermal distribution -- hotspot
+/// spread/concentration across substrate materials. Benchmarks mesh
+/// refinement behaviour of the solver.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "thermal/analysis.hpp"
+#include "thermal/solver.hpp"
+
+namespace {
+
+using gia::bench::flow_of;
+using gia::core::Table;
+namespace th = gia::tech;
+
+void print_fig18() {
+  Table t("Fig 18 -- Interposer thermal distribution (spread: 1 = isothermal substrate)");
+  t.row({"design", "interposer hotspot (C)", "spread index", "paper note"});
+  const std::map<th::TechnologyKind, const char*> paper = {
+      {th::TechnologyKind::Glass25D, "hotspots concentrated in chiplet area"},
+      {th::TechnologyKind::Glass3D, "heat trapped around embedded die"},
+      {th::TechnologyKind::Silicon25D, "broad spread, merged hotspots"},
+      {th::TechnologyKind::Shinko, "more concentrated than APX (thin film)"},
+      {th::TechnologyKind::APX, "moderate spread"}};
+  for (auto k : {th::TechnologyKind::Glass25D, th::TechnologyKind::Glass3D,
+                 th::TechnologyKind::Silicon25D, th::TechnologyKind::Shinko,
+                 th::TechnologyKind::APX}) {
+    const auto& r = flow_of(k, false, /*thermal*/ true);
+    t.row({th::to_string(k), Table::num(r.thermal->interposer_hotspot_c, 1),
+           Table::num(r.thermal->hotspot_spread, 3), paper.at(k)});
+  }
+  t.print(std::cout);
+  std::cout << "  shape: silicon's conductive substrate spreads heat (index near 1);\n"
+               "  glass and organics concentrate it under the chiplets.\n";
+}
+
+void BM_thermal_refinement(benchmark::State& state) {
+  using namespace gia;
+  const auto d = interposer::build_interposer_design(tech::TechnologyKind::Silicon25D);
+  thermal::MeshOptions opts;
+  opts.nx = opts.ny = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto mesh = thermal::build_thermal_mesh(d, opts);
+    benchmark::DoNotOptimize(thermal::solve_steady_state(mesh));
+  }
+}
+BENCHMARK(BM_thermal_refinement)->Arg(24)->Arg(48)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_fig18)

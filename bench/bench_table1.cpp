@@ -1,0 +1,62 @@
+/// Table I reproduction: interposer specifications used in this study
+/// (transcribed technology library), plus timings of technology
+/// construction.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+namespace {
+
+using gia::core::Table;
+namespace th = gia::tech;
+
+void print_table1() {
+  Table t("Table I -- Interposer specifications used in this paper");
+  t.row({"", "Glass 2.5D", "Glass 3D", "Silicon", "Shinko", "APX"});
+  const auto kinds = {th::TechnologyKind::Glass25D, th::TechnologyKind::Glass3D,
+                      th::TechnologyKind::Silicon25D, th::TechnologyKind::Shinko,
+                      th::TechnologyKind::APX};
+  auto row = [&](const char* label, auto&& fn) {
+    std::vector<std::string> cells{label};
+    for (auto k : kinds) cells.push_back(fn(th::make_technology(k)));
+    t.row(std::move(cells));
+  };
+  row("# metal layers", [](const th::Technology& x) { return std::to_string(x.rules.metal_layers); });
+  row("metal thickness (um)", [](const th::Technology& x) { return Table::num(x.rules.metal_thickness_um, 0); });
+  row("dielectric thickness (um)", [](const th::Technology& x) { return Table::num(x.rules.dielectric_thickness_um, 0); });
+  row("dielectric constant", [](const th::Technology& x) { return Table::num(x.rules.dielectric_constant, 1); });
+  row("min wire W/S (um)", [](const th::Technology& x) {
+    return Table::num(x.rules.min_wire_width_um, 1) + "/" + Table::num(x.rules.min_wire_space_um, 1);
+  });
+  row("via size (um)", [](const th::Technology& x) { return Table::num(x.rules.via_size_um, 1); });
+  row("bump size (um)", [](const th::Technology& x) { return Table::num(x.rules.bump_size_um, 0); });
+  row("die-to-die spacing (um)", [](const th::Technology& x) { return Table::num(x.rules.die_to_die_spacing_um, 0); });
+  row("micro-bump pitch (um)", [](const th::Technology& x) { return Table::num(x.rules.microbump_pitch_um, 0); });
+  row("routing style", [](const th::Technology& x) {
+    return std::string(x.routing == th::RoutingStyle::Diagonal ? "diagonal" : "Manhattan");
+  });
+  t.print(std::cout);
+}
+
+void BM_make_technology(benchmark::State& state) {
+  for (auto _ : state) {
+    for (auto k : th::table_order()) {
+      benchmark::DoNotOptimize(th::make_technology(k));
+    }
+  }
+}
+BENCHMARK(BM_make_technology);
+
+void BM_stackup_queries(benchmark::State& state) {
+  const auto t = th::make_technology(th::TechnologyKind::Glass25D);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.stackup.metal_indices());
+    benchmark::DoNotOptimize(t.stackup.total_thickness_um());
+  }
+}
+BENCHMARK(BM_stackup_queries);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_table1)

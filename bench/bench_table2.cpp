@@ -1,0 +1,63 @@
+/// Table II reproduction: chiplet bump usage and footprint per technology,
+/// with the paper's values for comparison. Benchmarks the bump planner.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "chiplet/bump_plan.hpp"
+
+namespace {
+
+using gia::core::Table;
+namespace th = gia::tech;
+namespace ch = gia::chiplet;
+
+const gia::interposer::ChipletInputs kInputs;  // paper's published statistics
+
+ch::ChipletPair pair_of(th::TechnologyKind k) {
+  return ch::plan_chiplet_pair(kInputs.logic_signal_ios, kInputs.memory_signal_ios,
+                               kInputs.logic_cell_area_um2, kInputs.memory_cell_area_um2,
+                               th::make_technology(k));
+}
+
+void print_table2() {
+  Table t("Table II -- Chiplet bump usage and area (reproduced | paper)");
+  t.row({"design", "chiplet", "signal", "P/G", "total", "width (mm)", "area (mm2)",
+         "paper width", "paper area"});
+  struct PaperRow { const char* w_l; const char* a_l; const char* w_m; const char* a_m; };
+  const std::map<th::TechnologyKind, PaperRow> paper = {
+      {th::TechnologyKind::Glass25D, {"0.82", "0.67", "0.78", "0.61"}},
+      {th::TechnologyKind::Glass3D, {"0.82", "0.67", "0.82", "0.67"}},
+      {th::TechnologyKind::Silicon25D, {"0.94", "0.88", "0.82", "0.67"}},
+      {th::TechnologyKind::Silicon3D, {"0.94", "0.88", "0.94", "0.88"}},
+      {th::TechnologyKind::Shinko, {"0.94", "0.88", "0.82", "0.67"}},
+      {th::TechnologyKind::APX, {"1.15", "1.32", "1.00", "1.00"}}};
+  for (auto k : th::table_order()) {
+    const auto pair = pair_of(k);
+    const auto& p = paper.at(k);
+    t.row({th::to_string(k), "logic", std::to_string(pair.logic.signal_bumps),
+           std::to_string(pair.logic.pg_bumps), std::to_string(pair.logic.total_bumps()),
+           Table::num(pair.logic.width_um * 1e-3), Table::num(pair.logic.area_mm2()),
+           p.w_l, p.a_l});
+    t.row({"", "memory", std::to_string(pair.memory.signal_bumps),
+           std::to_string(pair.memory.pg_bumps), std::to_string(pair.memory.total_bumps()),
+           Table::num(pair.memory.width_um * 1e-3), Table::num(pair.memory.area_mm2()),
+           p.w_m, p.a_m});
+  }
+  t.print(std::cout);
+}
+
+void BM_plan_chiplet_pair(benchmark::State& state) {
+  const auto tech = th::make_technology(th::TechnologyKind::Glass25D);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ch::plan_chiplet_pair(kInputs.logic_signal_ios, kInputs.memory_signal_ios,
+                              kInputs.logic_cell_area_um2, kInputs.memory_cell_area_um2, tech));
+  }
+}
+BENCHMARK(BM_plan_chiplet_pair);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_table2)

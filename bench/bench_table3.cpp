@@ -1,0 +1,70 @@
+/// Table III reproduction: chiplet power/performance per technology
+/// (Fmax, footprint, cells, utilization, wirelength, power split, AIB
+/// overhead). Benchmarks the chiplet PnR flow.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "partition/hierarchical.hpp"
+
+namespace {
+
+using gia::bench::flow_of;
+using gia::core::Table;
+namespace th = gia::tech;
+
+void print_table3() {
+  Table t("Table III -- Chiplet power & performance (logic | memory per design)");
+  t.row({"design", "chiplet", "Fmax (MHz)", "FP (mm)", "cells", "util", "WL (m)",
+         "P total (mW)", "internal", "switching", "leakage", "pin cap (pF)", "wire cap (pF)",
+         "AIB area (um2)", "AIB power (mW)"});
+  for (auto k : th::table_order()) {
+    const auto& r = flow_of(k);
+    auto add = [&](const char* which, const gia::chiplet::ChipletPnrResult& c) {
+      t.row({which[0] == 'l' ? th::to_string(k) : "", which,
+             Table::num(c.fmax_hz / 1e6, 0),
+             Table::num(c.footprint_um * 1e-3) + "x" + Table::num(c.footprint_um * 1e-3),
+             std::to_string(c.cell_count), Table::pct(100 * c.utilization),
+             Table::num(c.wirelength_m), Table::num(c.power.total_w * 1e3, 1),
+             Table::num(c.power.internal_w * 1e3, 1), Table::num(c.power.switching_w * 1e3, 1),
+             Table::num(c.power.leakage_w * 1e3, 1), Table::num(c.power.pin_cap_f * 1e12, 1),
+             Table::num(c.power.wire_cap_f * 1e12, 1), Table::num(c.aib_area_um2, 0),
+             Table::num(c.aib_power_w * 1e3, 2)});
+    };
+    add("logic", r.logic);
+    add("memory", r.memory);
+  }
+  t.print(std::cout);
+  std::cout << "  paper reference (Glass 2.5D logic): Fmax 686 MHz, FP 0.82x0.82, 167,495\n"
+               "  cells, util 64.2%, WL 5.03 m, 142.35 mW (67.83/67.67/6.85), pin 395.1 pF,\n"
+               "  wire 696.2 pF, AIB 22,507 um2 / 0.54 mW.\n";
+}
+
+void BM_chiplet_pnr_logic(benchmark::State& state) {
+  using namespace gia;
+  auto net = netlist::build_openpiton();
+  netlist::apply_serdes(net);
+  const auto part = partition::hierarchical_partition(net);
+  const auto logic = netlist::extract_chiplet(net, part.side, netlist::ChipletSide::Logic, 0);
+  const auto mem = netlist::extract_chiplet(net, part.side, netlist::ChipletSide::Memory, 0);
+  const auto tech = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto pair = chiplet::plan_chiplet_pair(logic.io_signals, mem.io_signals,
+                                               logic.cell_area_um2, mem.cell_area_um2, tech);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chiplet::run_chiplet_pnr(net, logic, tech, pair.logic));
+  }
+}
+BENCHMARK(BM_chiplet_pnr_logic)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_openpiton_generation(benchmark::State& state) {
+  for (auto _ : state) {
+    auto net = gia::netlist::build_openpiton();
+    benchmark::DoNotOptimize(gia::netlist::apply_serdes(net));
+  }
+}
+BENCHMARK(BM_openpiton_generation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_table3)

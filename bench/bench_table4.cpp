@@ -1,0 +1,112 @@
+/// Table IV reproduction: interposer design results -- metal layers,
+/// wirelength statistics, via usage, footprint, full-chip power, PDN
+/// impedance, settling time and IR drop, with the 2D monolithic reference.
+/// Benchmarks the interposer router.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "interposer/design.hpp"
+
+namespace {
+
+using gia::bench::flow_of;
+using gia::core::Table;
+namespace th = gia::tech;
+
+void print_table4() {
+  Table t("Table IV -- Interposer design results (reproduced; see EXPERIMENTS.md for paper)");
+  t.row({"metric", "2D mono", "Glass 2.5D", "Glass 3D", "Silicon 2.5D", "Silicon 3D",
+         "Shinko", "APX"});
+  const auto mono = gia::core::run_monolithic_reference();
+  auto row = [&](const char* label, std::string mono_v, auto&& fn) {
+    std::vector<std::string> cells{label, std::move(mono_v)};
+    for (auto k : th::table_order()) cells.push_back(fn(flow_of(k)));
+    t.row(std::move(cells));
+  };
+  row("metal layers (sig + P/G)", "-", [](const auto& r) {
+    if (!r.technology.has_interposer()) return std::string("-");
+    return std::to_string(r.interposer.routes.stats.signal_layers_used) + " + 2";
+  });
+  row("total WL (mm)", "-", [](const auto& r) {
+    if (!r.technology.has_interposer()) return std::string("-");
+    return Table::num(r.interposer.routes.stats.total_wl_um * 1e-3, 1);
+  });
+  row("min WL (mm)", "-", [](const auto& r) {
+    if (!r.technology.has_interposer()) return std::string("-");
+    return Table::num(r.interposer.routes.stats.min_wl_um * 1e-3, 2);
+  });
+  row("avg WL (mm)", "-", [](const auto& r) {
+    if (!r.technology.has_interposer()) return std::string("-");
+    return Table::num(r.interposer.routes.stats.avg_wl_um * 1e-3, 2);
+  });
+  row("max WL (mm)", "-", [](const auto& r) {
+    if (!r.technology.has_interposer()) return std::string("-");
+    return Table::num(r.interposer.routes.stats.max_wl_um * 1e-3, 2);
+  });
+  row("via usage", "-", [](const auto& r) {
+    if (!r.technology.has_interposer()) return std::string("-");
+    const auto& s = r.interposer.routes.stats;
+    if (s.vertical_via_pairs > 0) {
+      return std::to_string(s.total_vias - s.vertical_via_pairs) + " + " +
+             std::to_string(s.vertical_via_pairs);
+    }
+    return std::to_string(s.total_vias);
+  });
+  row("footprint (mm x mm)", Table::num(mono.footprint_mm, 1) + " x " + Table::num(mono.footprint_mm, 1),
+      [](const auto& r) {
+        return Table::num(r.interposer.footprint_w_mm()) + " x " +
+               Table::num(r.interposer.footprint_h_mm());
+      });
+  row("area (mm2)", Table::num(mono.area_mm2()), [](const auto& r) {
+    return Table::num(r.interposer.area_mm2());
+  });
+  row("power (mW)", Table::num(mono.total_power_w * 1e3, 1), [](const auto& r) {
+    return Table::num(r.total_power_w * 1e3, 1);
+  });
+  row("PDN Z @1GHz (ohm)", "-", [](const auto& r) {
+    return Table::num(r.pdn_impedance.high_band(), 3);
+  });
+  row("settling time (us)", "-", [](const auto& r) {
+    return Table::num(r.settling.settling_time_s * 1e6, 2);
+  });
+  row("rail droop (mV)", "-", [](const auto& r) {
+    return Table::num(r.settling.worst_droop_v * 1e3, 1);
+  });
+  row("IR drop (mV)", "-", [](const auto& r) {
+    if (!r.technology.has_interposer()) return std::string("-");
+    return Table::num(r.ir_drop.max_drop_v * 1e3, 1);
+  });
+  t.print(std::cout);
+  std::cout << "  paper: Glass 3D uses 1+2 layers, 29.69 mm total WL (vs 620 mm Silicon\n"
+               "  2.5D), smallest footprint 1.84x1.02 mm; Si 3D 0.94x0.94; APX largest.\n";
+}
+
+void BM_route_interposer(benchmark::State& state) {
+  using namespace gia;
+  const auto tech = tech::make_technology(tech::TechnologyKind::Silicon25D);
+  interposer::ChipletInputs inputs;
+  const auto plans = chiplet::plan_chiplet_pair(inputs.logic_signal_ios, inputs.memory_signal_ios,
+                                                inputs.logic_cell_area_um2,
+                                                inputs.memory_cell_area_um2, tech);
+  const auto fp = interposer::place_dies(tech, plans.logic, plans.memory);
+  const auto nets = interposer::assign_top_nets(tech, fp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interposer::route_interposer(tech, fp, nets));
+  }
+}
+BENCHMARK(BM_route_interposer)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void BM_ir_drop(benchmark::State& state) {
+  using namespace gia;
+  const auto d = interposer::build_interposer_design(tech::TechnologyKind::Glass25D);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdn::solve_ir_drop(d));
+  }
+}
+BENCHMARK(BM_ir_drop)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_table4)

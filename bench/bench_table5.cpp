@@ -1,0 +1,67 @@
+/// Table V reproduction: worst-net interconnect delay and power for
+/// logic-to-memory and logic-to-logic connections across all six designs.
+/// Benchmarks the link simulator (MNA transient on the extracted channel).
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "core/links.hpp"
+
+namespace {
+
+using gia::bench::flow_of;
+using gia::core::Table;
+namespace th = gia::tech;
+
+void print_table5() {
+  Table t("Table V -- Interconnect delay & power, worst nets (reproduced | paper delay/power)");
+  t.row({"design", "net", "WL (um)", "drv delay (ps)", "int delay (ps)", "total (ps)",
+         "drv power (uW)", "int power (uW)", "total (uW)", "paper (ps | uW)"});
+  const std::map<th::TechnologyKind, std::pair<const char*, const char*>> paper = {
+      {th::TechnologyKind::Glass3D, {"40.32 | 31.21", "42.18 | 46.81"}},
+      {th::TechnologyKind::Silicon25D, {"57.56 | 92.74", "50.48 | 90.44"}},
+      {th::TechnologyKind::Silicon3D, {"40.08 | 28.18", "41.32 | 36.83"}},
+      {th::TechnologyKind::Glass25D, {"46.1 | 227.07", "41.34 | 38.6"}},
+      {th::TechnologyKind::Shinko, {"71.67 | 119.37", "64.39 | 98.88"}},
+      {th::TechnologyKind::APX, {"83.45 | 221.3", "59.6 | 143.81"}}};
+  for (auto k : th::table_order()) {
+    const auto& r = flow_of(k);
+    auto add = [&](const char* net, const gia::core::LinkStudy& link, const char* pp) {
+      t.row({net[2] == 'M' ? th::to_string(k) : "", net,
+             Table::num(link.spec.length_um, 0),
+             Table::num(link.result.driver_delay_s * 1e12, 2),
+             Table::num(link.result.interconnect_delay_s * 1e12, 2),
+             Table::num(link.result.total_delay_s * 1e12, 2),
+             Table::num(link.result.driver_power_w * 1e6, 2),
+             Table::num(link.result.interconnect_power_w * 1e6, 2),
+             Table::num(link.result.total_power_w * 1e6, 2), pp});
+    };
+    add("L2M", r.l2m, paper.at(k).first);
+    add("L2L", r.l2l, paper.at(k).second);
+  }
+  t.print(std::cout);
+}
+
+void BM_simulate_link_lateral(benchmark::State& state) {
+  const auto spec = gia::core::make_link_spec(
+      flow_of(th::TechnologyKind::Silicon25D).interposer,
+      gia::interposer::TopNetKind::LogicToMemory);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gia::signal::simulate_link(spec));
+  }
+}
+BENCHMARK(BM_simulate_link_lateral)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+void BM_simulate_link_vertical(benchmark::State& state) {
+  const auto spec = gia::core::make_link_spec(flow_of(th::TechnologyKind::Glass3D).interposer,
+                                              gia::interposer::TopNetKind::LogicToMemory);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gia::signal::simulate_link(spec));
+  }
+}
+BENCHMARK(BM_simulate_link_vertical)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_table5)

@@ -1,0 +1,59 @@
+/// Table VI reproduction: the controlled material experiment -- a fixed
+/// 400 um logic-to-logic line plus a pair of built-up vias on every
+/// interposer, isolating material properties from layout effects.
+/// Benchmarks RLGC extraction and the fixed-line transient.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "core/links.hpp"
+#include "extract/microstrip.hpp"
+
+namespace {
+
+using gia::core::Table;
+namespace th = gia::tech;
+
+void print_table6() {
+  Table t("Table VI -- Fixed 400um line delay & power by interposer material");
+  t.row({"design", "R (ohm/mm)", "C (fF/mm)", "Z0 (ohm)", "int delay (ps)", "int power (uW)",
+         "total delay (ps)"});
+  for (auto k : th::table_order()) {
+    if (k == th::TechnologyKind::Silicon3D) continue;  // no RDL of its own
+    const auto tech = th::make_technology(k);
+    const auto spec = gia::core::make_fixed_line_spec(tech);
+    const auto res = gia::signal::simulate_link(spec);
+    const auto g = gia::extract::min_pitch_geometry(tech);
+    t.row({th::to_string(k), Table::num(spec.line.self.R * 1e-3, 1),
+           Table::num(spec.line.self.C * 1e12, 1), Table::num(gia::extract::char_impedance(g), 0),
+           Table::num(res.interconnect_delay_s * 1e12, 2),
+           Table::num(res.interconnect_power_w * 1e6, 2),
+           Table::num(res.total_delay_s * 1e12, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "  paper ordering: APX lowest delay/power (thick 6um lines), glass third,\n"
+               "  silicon highest (0.4um lines -> highest resistance).\n";
+}
+
+void BM_rlgc_extraction(benchmark::State& state) {
+  const auto tech = th::make_technology(th::TechnologyKind::Glass25D);
+  const auto g = gia::extract::min_pitch_geometry(tech);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gia::extract::coupled_microstrip_rlgc(g, 0.7e9));
+  }
+}
+BENCHMARK(BM_rlgc_extraction);
+
+void BM_fixed_line_link(benchmark::State& state) {
+  const auto spec =
+      gia::core::make_fixed_line_spec(th::make_technology(th::TechnologyKind::APX));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gia::signal::simulate_link(spec));
+  }
+}
+BENCHMARK(BM_fixed_line_link)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_table6)

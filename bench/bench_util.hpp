@@ -1,0 +1,54 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "tech/library.hpp"
+
+/// Shared infrastructure for the per-table/figure benchmark binaries: each
+/// prints its reproduced paper table first (the reproduction artifact), then
+/// runs google-benchmark timings of the engines that generate it.
+
+namespace gia::bench {
+
+/// Cached full-flow results so the table printer and the timing loops don't
+/// recompute identical designs.
+inline const core::TechnologyResult& flow_of(tech::TechnologyKind k, bool eyes = false,
+                                             bool thermal = false) {
+  struct Key {
+    tech::TechnologyKind k;
+    bool eyes, thermal;
+    bool operator<(const Key& o) const {
+      return std::tie(k, eyes, thermal) < std::tie(o.k, o.eyes, o.thermal);
+    }
+  };
+  static std::map<Key, core::TechnologyResult> cache;
+  const Key key{k, eyes, thermal};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::FlowOptions opts;
+    opts.with_eyes = eyes;
+    opts.with_thermal = thermal;
+    it = cache.emplace(key, core::run_full_flow(k, opts)).first;
+  }
+  return it->second;
+}
+
+inline const char* short_name(tech::TechnologyKind k) { return tech::to_string(k); }
+
+}  // namespace gia::bench
+
+/// Print the reproduction table, then hand over to google-benchmark.
+#define GIA_BENCH_MAIN(print_fn)                        \
+  int main(int argc, char** argv) {                     \
+    print_fn();                                         \
+    ::benchmark::Initialize(&argc, argv);               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();              \
+    ::benchmark::Shutdown();                            \
+    return 0;                                           \
+  }

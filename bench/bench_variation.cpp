@@ -1,0 +1,52 @@
+/// Extension: process-corner signoff. The paper reports nominal delays
+/// (Table V); a signoff flow margins against process variation of the RDL
+/// (width/thickness/dielectric tolerances -- the glass process's headline
+/// risk). Monte Carlo over per-unit-length R/C gives the 3-sigma delay each
+/// technology must close timing against. Benchmarks the Monte Carlo engine.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "signal/variation.hpp"
+
+namespace {
+
+using gia::bench::flow_of;
+using gia::core::Table;
+namespace th = gia::tech;
+
+void print_variation() {
+  Table t("Process-corner signoff -- L2M interconnect delay under RDL variation");
+  t.row({"design", "nominal (ps)", "mean (ps)", "sigma (ps)", "3-sigma (ps)", "worst (ps)",
+         "margin vs nominal"});
+  gia::signal::VariationSpec var;
+  var.samples = 24;
+  for (auto k : th::table_order()) {
+    const auto& r = flow_of(k);
+    const auto mc = gia::signal::monte_carlo_delay(r.l2m.spec, var);
+    t.row({th::to_string(k), Table::num(mc.nominal_delay_s * 1e12, 2),
+           Table::num(mc.mean_delay_s * 1e12, 2), Table::num(mc.sigma_delay_s * 1e12, 2),
+           Table::num(mc.delay_3sigma_s() * 1e12, 2), Table::num(mc.worst_delay_s * 1e12, 2),
+           Table::pct(100.0 * (mc.delay_3sigma_s() / std::max(mc.nominal_delay_s, 1e-15) - 1.0),
+                      1)});
+  }
+  t.print(std::cout);
+  std::cout << "  the vertical (3D) paths are nearly variation-immune in absolute terms --\n"
+               "  femtosecond-scale sigma -- while the long lateral nets carry picoseconds\n"
+               "  of 3-sigma margin into timing closure.\n";
+}
+
+void BM_monte_carlo(benchmark::State& state) {
+  const auto spec = flow_of(th::TechnologyKind::Silicon25D).l2m.spec;
+  gia::signal::VariationSpec var;
+  var.samples = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gia::signal::monte_carlo_delay(spec, var));
+  }
+}
+BENCHMARK(BM_monte_carlo)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+GIA_BENCH_MAIN(print_variation)

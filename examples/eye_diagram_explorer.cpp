@@ -1,0 +1,80 @@
+/// eye_diagram_explorer: sweep channel length and data rate for a chosen
+/// interposer technology and watch the eye close -- the signal-integrity
+/// margining exercise behind Fig 14. Renders an ASCII eye for the worst
+/// case and prints a CSV-ready sweep.
+///
+/// Usage: eye_diagram_explorer [si25d|glass25d|shinko|apx]
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/links.hpp"
+#include "signal/eye.hpp"
+#include "tech/library.hpp"
+
+using namespace gia;
+
+namespace {
+
+tech::TechnologyKind parse(int argc, char** argv) {
+  if (argc >= 2) {
+    if (!std::strcmp(argv[1], "glass25d")) return tech::TechnologyKind::Glass25D;
+    if (!std::strcmp(argv[1], "shinko")) return tech::TechnologyKind::Shinko;
+    if (!std::strcmp(argv[1], "apx")) return tech::TechnologyKind::APX;
+  }
+  return tech::TechnologyKind::Silicon25D;
+}
+
+/// ASCII raster of the folded eye: rows = voltage bins, cols = phase bins.
+void render_eye(const signal::EyeResult& eye, double vdd) {
+  const int rows = 16, cols = 56;
+  std::vector<std::string> canvas(rows, std::string(cols, ' '));
+  for (const auto& trace : eye.traces) {
+    for (std::size_t s = 0; s < trace.size(); ++s) {
+      const int c = static_cast<int>(s * cols / trace.size());
+      const double v = std::min(std::max(trace[s], -0.1 * vdd), 1.1 * vdd);
+      int r = rows - 1 - static_cast<int>((v + 0.1 * vdd) / (1.2 * vdd) * (rows - 1));
+      r = std::min(std::max(r, 0), rows - 1);
+      canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '*';
+    }
+  }
+  for (const auto& line : canvas) std::printf("    |%s|\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto kind = parse(argc, argv);
+  const auto tech = tech::make_technology(kind);
+  std::printf("Eye-diagram exploration on %s (victim + 2 aggressors, PRBS-7)\n\n",
+              tech.name.c_str());
+
+  std::printf("length_um,rate_gbps,eye_width_ns,eye_height_v,width_ratio\n");
+  signal::EyeResult worst;
+  signal::LinkSpec worst_spec;
+  double worst_metric = 2.0;
+  for (double len : {500.0, 2000.0, 4000.0, 8000.0}) {
+    for (double gbps : {0.7, 1.4, 2.8}) {
+      auto spec = core::make_fixed_line_spec(tech, len);
+      spec.bit_rate_hz = gbps * 1e9;
+      const auto eye = signal::simulate_eye(spec, 64);
+      std::printf("%.0f,%.1f,%.3f,%.3f,%.2f\n", len, gbps, eye.width_s * 1e9, eye.height_v,
+                  eye.width_ratio());
+      if (eye.width_ratio() < worst_metric) {
+        worst_metric = eye.width_ratio();
+        worst = eye;
+        worst_spec = spec;
+      }
+    }
+  }
+
+  std::printf("\nWorst eye (%.0f um at %.1f Gbps): width %.3f ns, height %.3f V\n",
+              worst_spec.length_um, worst_spec.bit_rate_hz / 1e9, worst.width_s * 1e9,
+              worst.height_v);
+  signal::EyeConfig cfg;
+  cfg.keep_traces = true;
+  const auto drawn = signal::measure_eye(signal::run_prbs(worst_spec, 64), cfg);
+  render_eye(drawn, worst_spec.tx.vdd);
+  return 0;
+}

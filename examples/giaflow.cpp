@@ -1,0 +1,108 @@
+/// giaflow: the unified command-line driver for the toolkit.
+///
+///   giaflow flow <tech>                 run the full co-design flow
+///   giaflow netlist <out.gnl>           generate + dump the OpenPiton netlist
+///   giaflow layout <tech> <out.svg>     route and render the interposer
+///   giaflow eye <tech> <len_um> <gbps>  eye metrics for a channel
+///   giaflow cost                        cost comparison across all designs
+///
+/// Technology names: glass25d glass3d si25d si3d shinko apx
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/flow.hpp"
+#include "core/links.hpp"
+#include "core/svg_export.hpp"
+#include "cost/cost_model.hpp"
+#include "netlist/io.hpp"
+#include "netlist/openpiton.hpp"
+#include "netlist/serdes.hpp"
+#include "signal/eye.hpp"
+#include "tech/library.hpp"
+
+using namespace gia;
+
+namespace {
+
+bool parse_tech(const char* s, tech::TechnologyKind* out) {
+  const struct { const char* n; tech::TechnologyKind k; } tbl[] = {
+      {"glass25d", tech::TechnologyKind::Glass25D}, {"glass3d", tech::TechnologyKind::Glass3D},
+      {"si25d", tech::TechnologyKind::Silicon25D},  {"si3d", tech::TechnologyKind::Silicon3D},
+      {"shinko", tech::TechnologyKind::Shinko},     {"apx", tech::TechnologyKind::APX}};
+  for (const auto& e : tbl) {
+    if (!std::strcmp(s, e.n)) {
+      *out = e.k;
+      return true;
+    }
+  }
+  return false;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  giaflow flow <tech>\n"
+               "  giaflow netlist <out.gnl>\n"
+               "  giaflow layout <tech> <out.svg>\n"
+               "  giaflow eye <tech> <len_um> <gbps>\n"
+               "  giaflow cost\n"
+               "tech: glass25d glass3d si25d si3d shinko apx\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  tech::TechnologyKind kind;
+
+  if (cmd == "flow" && argc == 3 && parse_tech(argv[2], &kind)) {
+    core::FlowOptions opts;
+    opts.with_eyes = true;
+    const auto r = core::run_full_flow(kind, opts);
+    std::printf("%s: power %.1f mW, Fmax %.0f MHz, interposer %.2f mm2, "
+                "L2M %.1f ps / eye %.2f ns, PDN Z(1GHz) %.3f ohm, IR %.1f mV\n",
+                r.technology.name.c_str(), r.total_power_w * 1e3, r.system_fmax_hz / 1e6,
+                r.interposer.area_mm2(), r.l2m.result.total_delay_s * 1e12,
+                r.l2m.eye->width_s * 1e9, r.pdn_impedance.high_band(),
+                r.ir_drop.max_drop_v * 1e3);
+    return 0;
+  }
+  if (cmd == "netlist" && argc == 3) {
+    auto net = netlist::build_openpiton();
+    const auto rpt = netlist::apply_serdes(net);
+    netlist::write_netlist_file(argv[2], net);
+    std::printf("wrote %s: %d instances, %d nets (%d inter-tile wires after SerDes)\n",
+                argv[2], net.instance_count(), net.net_count(), rpt.wires_after);
+    return 0;
+  }
+  if (cmd == "layout" && argc == 4 && parse_tech(argv[2], &kind)) {
+    const auto design = interposer::build_interposer_design(kind);
+    core::write_file(argv[3], core::floorplan_svg(design));
+    std::printf("wrote %s (%.2f x %.2f mm, %zu nets)\n", argv[3], design.footprint_w_mm(),
+                design.footprint_h_mm(), design.routes.nets.size());
+    return 0;
+  }
+  if (cmd == "eye" && argc == 5 && parse_tech(argv[2], &kind)) {
+    auto spec = core::make_fixed_line_spec(tech::make_technology(kind), std::atof(argv[3]));
+    spec.bit_rate_hz = std::atof(argv[4]) * 1e9;
+    const auto eye = signal::simulate_eye(spec, 96);
+    std::printf("%s %.0f um @ %.2f Gbps: eye %.3f ns x %.3f V (%.0f%% of UI)\n",
+                tech::to_string(kind), std::atof(argv[3]), std::atof(argv[4]),
+                eye.width_s * 1e9, eye.height_v, 100 * eye.width_ratio());
+    return 0;
+  }
+  if (cmd == "cost" && argc == 2) {
+    for (auto k : tech::table_order()) {
+      const auto c = cost::system_cost(interposer::build_interposer_design(k));
+      std::printf("%-14s $%.3f (chiplets %.3f, substrate %.3f, adders %.3f, assembly %.3f)\n",
+                  tech::to_string(k), c.total(), c.chiplets, c.substrate, c.process_adders,
+                  c.assembly);
+    }
+    return 0;
+  }
+  return usage();
+}

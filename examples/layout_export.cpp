@@ -1,0 +1,43 @@
+/// layout_export: render every interposer design (die placement + bump
+/// fields + routed RDL nets colored by layer) and the worst design's IR-drop
+/// map to SVG files -- the open-source stand-in for the paper's GDS
+/// screenshots (Figs 9, 10 and 12).
+///
+/// Usage: layout_export [output_dir]   (default: ./layouts)
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/svg_export.hpp"
+#include "pdn/ir_drop.hpp"
+#include "tech/library.hpp"
+
+using namespace gia;
+
+int main(int argc, char** argv) {
+  const std::string dir = argc >= 2 ? argv[1] : "layouts";
+  std::filesystem::create_directories(dir);
+
+  for (auto k : tech::table_order()) {
+    const auto design = interposer::build_interposer_design(k);
+    std::string name = tech::to_string(k);
+    for (auto& c : name) {
+      if (c == ' ' || c == '.') c = '_';
+    }
+    const std::string path = dir + "/" + name + ".svg";
+    core::write_file(path, core::floorplan_svg(design));
+    std::printf("wrote %-28s (%zu routed nets, %.2f x %.2f mm)\n", path.c_str(),
+                design.routes.nets.size(), design.footprint_w_mm(), design.footprint_h_mm());
+
+    if (k == tech::TechnologyKind::Silicon25D) {
+      const auto ir = pdn::solve_ir_drop(design);
+      const std::string ir_path = dir + "/" + name + "_irdrop.svg";
+      core::write_file(ir_path,
+                       core::heatmap_svg(ir.voltage, design.floorplan.outline.width(),
+                                         design.floorplan.outline.height(),
+                                         "Silicon 2.5D rail voltage [V]"));
+      std::printf("wrote %s\n", ir_path.c_str());
+    }
+  }
+  return 0;
+}

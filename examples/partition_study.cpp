@@ -1,0 +1,52 @@
+/// partition_study: compare the paper's hierarchical chipletization (L3
+/// cache + interface logic = memory chiplet) against flattened min-cut
+/// partitioning (Fiduccia-Mattheyses) over a range of balance targets --
+/// the two branches of Fig 4's chipletization step. Shows why the paper's
+/// architecture-aware cut is already near-minimal.
+
+#include <cstdio>
+
+#include "netlist/openpiton.hpp"
+#include "netlist/serdes.hpp"
+#include "partition/fm.hpp"
+#include "partition/hierarchical.hpp"
+
+using namespace gia;
+
+int main() {
+  auto net = netlist::build_openpiton();
+  const auto serdes = netlist::apply_serdes(net);
+  std::printf("Two-tile OpenPiton-class netlist: %d clusters, %d nets, %ld cells\n",
+              net.instance_count(), net.net_count(), net.total_cells());
+  std::printf("SerDes: %d buses serialized, inter-tile wires %d -> %d (+%d cycles)\n\n",
+              serdes.buses_serialized, serdes.wires_before, serdes.wires_after,
+              serdes.latency_cycles);
+
+  const auto hier = partition::hierarchical_partition(net);
+  std::printf("%-28s cut = %5d wires   memory fraction = %.3f\n",
+              "hierarchical (paper)", hier.cut_wires, hier.memory_fraction);
+
+  // FM refinement starting from the hierarchical assignment.
+  {
+    partition::FmConfig cfg;
+    cfg.target_memory_fraction = hier.memory_fraction;
+    const auto fm = partition::fm_partition(net, cfg, hier.side);
+    std::printf("%-28s cut = %5d wires   memory fraction = %.3f\n",
+                "FM refinement of paper cut", fm.cut_wires, fm.memory_fraction);
+  }
+
+  // Flattened FM at several balance targets.
+  for (double target : {0.10, 0.18, 0.30, 0.50}) {
+    partition::FmConfig cfg;
+    cfg.target_memory_fraction = target;
+    cfg.balance_tolerance = 0.05;
+    const auto fm = partition::fm_partition(net, cfg);
+    std::printf("flattened FM @ target %.2f    cut = %5d wires   memory fraction = %.3f\n",
+                target, fm.cut_wires, fm.memory_fraction);
+  }
+
+  std::printf("\nThe hierarchical cut tracks the architecture's natural L3 boundary;\n"
+              "flattened min-cut can shave wires but scatters SRAM across both dies,\n"
+              "which the bump-limited footprints of Table II cannot absorb.\n");
+  return 0;
+}

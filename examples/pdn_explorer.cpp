@@ -1,0 +1,63 @@
+/// pdn_explorer: power-delivery deep dive for every interposer -- impedance
+/// profiles (Fig 15) as CSV, plus an ASCII IR-drop map of the worst design
+/// and the regulator settling transient.
+
+#include <cstdio>
+
+#include "interposer/design.hpp"
+#include "pdn/impedance.hpp"
+#include "pdn/ir_drop.hpp"
+#include "pdn/settling.hpp"
+#include "tech/library.hpp"
+
+using namespace gia;
+
+int main() {
+  std::vector<tech::TechnologyKind> kinds = {
+      tech::TechnologyKind::Glass25D, tech::TechnologyKind::Glass3D,
+      tech::TechnologyKind::Silicon25D, tech::TechnologyKind::Shinko, tech::TechnologyKind::APX};
+
+  // --- Fig 15: impedance profiles, CSV (one column per design).
+  std::vector<pdn::ImpedanceProfile> profiles;
+  std::vector<interposer::InterposerDesign> designs;
+  for (auto k : kinds) {
+    designs.push_back(interposer::build_interposer_design(k));
+    profiles.push_back(pdn::impedance_profile(pdn::build_pdn_model(designs.back())));
+  }
+  std::printf("freq_hz");
+  for (auto k : kinds) std::printf(",%s", tech::to_string(k));
+  std::printf("\n");
+  for (std::size_t i = 0; i < profiles[0].freq_hz.size(); ++i) {
+    std::printf("%.3e", profiles[0].freq_hz[i]);
+    for (const auto& p : profiles) std::printf(",%.5f", p.z_ohm[i]);
+    std::printf("\n");
+  }
+
+  // --- IR drop map of the thin-metal (silicon) plane, the Table IV worst.
+  const auto ir = pdn::solve_ir_drop(designs[2]);
+  std::printf("\nIR-drop map, Silicon 2.5D (max %.1f mV; '#' = deepest droop):\n",
+              ir.max_drop_v * 1e3);
+  double vmin = 1e9, vmax = -1e9;
+  for (double v : ir.voltage.data()) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  const char* shades = " .:-=+*#";
+  for (int y = 0; y < ir.voltage.ny(); y += 2) {
+    std::printf("  ");
+    for (int x = 0; x < ir.voltage.nx(); ++x) {
+      const double f = (vmax - ir.voltage.at(x, y)) / std::max(vmax - vmin, 1e-12);
+      std::printf("%c", shades[static_cast<int>(f * 7.999)]);
+    }
+    std::printf("\n");
+  }
+
+  // --- Settling transients.
+  std::printf("\ndesign,settling_us,droop_mV\n");
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const auto st = pdn::simulate_settling(pdn::build_pdn_model(designs[i]));
+    std::printf("%s,%.2f,%.1f\n", tech::to_string(kinds[i]), st.settling_time_s * 1e6,
+                st.worst_droop_v * 1e3);
+  }
+  return 0;
+}

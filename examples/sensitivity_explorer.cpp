@@ -1,0 +1,72 @@
+/// sensitivity_explorer: one-factor-at-a-time sensitivity studies around the
+/// paper's design points -- the "what would change if the fab could do X"
+/// questions the paper's Table I parameters raise:
+///   * micro-bump pitch -> chiplet and interposer area (Table II's lever);
+///   * RDL wire width  -> per-mm delay/power (Table VI's lever);
+///   * dielectric thickness -> PDN feed inductance (Fig 15's lever).
+
+#include <cstdio>
+
+#include "chiplet/bump_plan.hpp"
+#include "core/links.hpp"
+#include "interposer/design.hpp"
+#include "pdn/impedance.hpp"
+#include "pdn/pdn_model.hpp"
+#include "signal/link_sim.hpp"
+#include "tech/library.hpp"
+
+using namespace gia;
+
+int main() {
+  const interposer::ChipletInputs inputs;
+
+  // --- Bump pitch sweep on the glass design point.
+  std::printf("bump pitch sweep (glass rules otherwise):\n");
+  std::printf("pitch_um,logic_width_mm,bump_limited,interposer_area_mm2\n");
+  for (double pitch : {20.0, 25.0, 30.0, 35.0, 40.0, 50.0}) {
+    auto tech = tech::make_technology(tech::TechnologyKind::Glass25D);
+    tech.rules.microbump_pitch_um = pitch;
+    const auto pair = chiplet::plan_chiplet_pair(inputs.logic_signal_ios,
+                                                 inputs.memory_signal_ios,
+                                                 inputs.logic_cell_area_um2,
+                                                 inputs.memory_cell_area_um2, tech);
+    const auto fp = interposer::place_dies(tech, pair.logic, pair.memory);
+    std::printf("%.0f,%.3f,%s,%.2f\n", pitch, pair.logic.width_um * 1e-3,
+                pair.logic.bump_limited ? "yes" : "no", fp.area_mm2());
+  }
+
+  // --- Wire width sweep at fixed 2 mm length (glass stackup).
+  std::printf("\nwire width sweep (2 mm line, glass stackup):\n");
+  std::printf("width_um,delay_ps,power_uW\n");
+  for (double w_um : {0.5, 1.0, 2.0, 4.0, 6.0}) {
+    auto tech = tech::make_technology(tech::TechnologyKind::Glass25D);
+    tech.rules.min_wire_width_um = w_um;
+    tech.rules.min_wire_space_um = w_um;
+    auto spec = core::make_fixed_line_spec(tech, 2000.0);
+    const auto res = signal::simulate_link(spec);
+    std::printf("%.1f,%.2f,%.2f\n", w_um, res.interconnect_delay_s * 1e12,
+                res.interconnect_power_w * 1e6);
+  }
+
+  // --- Dielectric thickness sweep -> PDN depth -> feed inductance.
+  std::printf("\ndielectric thickness sweep (glass 2.5D PDN):\n");
+  std::printf("diel_um,plane_depth_um,L_feed_pH,Z_1GHz_ohm\n");
+  for (double d_um : {5.0, 10.0, 15.0, 25.0, 40.0}) {
+    auto tech = tech::make_technology(tech::TechnologyKind::Glass25D);
+    // Rebuild with the modified dielectric; re-derive the design.
+    interposer::ChipletInputs in2 = inputs;
+    auto design = interposer::build_interposer_design(tech::TechnologyKind::Glass25D, in2);
+    design.technology.rules.dielectric_thickness_um = d_um;
+    // Rescale the stackup dielectric layers to the new thickness.
+    for (int i = 0; i < static_cast<int>(design.technology.stackup.layers().size()); ++i) {
+      auto& layer = design.technology.stackup.layer(i);
+      if (layer.kind == gia::tech::LayerKind::Dielectric) layer.thickness_um = d_um;
+    }
+    const auto model = pdn::build_pdn_model(design);
+    const auto depth = pdn::power_plane_depth(design.technology);
+    const auto zp = pdn::impedance_profile(model);
+    std::printf("%.0f,%.1f,%.1f,%.3f\n", d_um, depth.depth_um, model.l_feed * 1e12,
+                zp.high_band());
+  }
+  return 0;
+}

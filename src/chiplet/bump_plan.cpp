@@ -1,0 +1,92 @@
+#include "chiplet/bump_plan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gia::chiplet {
+namespace {
+
+/// (Re)generate the centered bump grid for the plan's current counts/width.
+void fill_sites(BumpPlan& plan, double pitch) {
+  plan.bump_sites.clear();
+  const int grid = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(plan.total_bumps()))));
+  const double origin = (plan.width_um - (grid - 1) * pitch) / 2.0;
+  plan.bump_sites.reserve(static_cast<std::size_t>(plan.total_bumps()));
+  int placed = 0;
+  for (int r = 0; r < grid && placed < plan.total_bumps(); ++r) {
+    for (int c = 0; c < grid && placed < plan.total_bumps(); ++c) {
+      plan.bump_sites.push_back({origin + c * pitch, origin + r * pitch});
+      ++placed;
+    }
+  }
+}
+
+}  // namespace
+
+BumpPlan plan_bumps(int signal_ios, double cell_area_um2, bool is_memory,
+                    const tech::Technology& tech, const BumpPlanOptions& opts) {
+  if (signal_ios <= 0 || cell_area_um2 <= 0) throw std::invalid_argument("bad bump plan inputs");
+  BumpPlan plan;
+  plan.signal_bumps = signal_ios;
+  plan.pg_bumps = static_cast<int>(std::lround(opts.pg_per_signal * signal_ios));
+
+  const double pitch = tech.rules.microbump_pitch_um;
+  const int grid = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(plan.total_bumps()))));
+  const double bump_width = (grid + opts.edge_margin_pitches) * pitch;
+
+  const double max_util = is_memory ? opts.max_util_memory : opts.max_util_logic;
+  const double cell_width = std::sqrt(cell_area_um2 / max_util);
+
+  plan.bump_limited = bump_width > cell_width;
+  const double raw = std::max(bump_width, cell_width);
+  // Cell-limited dies must round up (utilization ceiling is a hard limit);
+  // bump-limited dies carry margin already and round to nearest.
+  plan.width_um = plan.bump_limited ? std::round(raw / opts.snap_um) * opts.snap_um
+                                    : std::ceil(raw / opts.snap_um) * opts.snap_um;
+
+  fill_sites(plan, pitch);
+  return plan;
+}
+
+ChipletPair plan_chiplet_pair(int logic_signal_ios, int memory_signal_ios,
+                              double logic_cell_area_um2, double memory_cell_area_um2,
+                              const tech::Technology& tech, const BumpPlanOptions& opts) {
+  ChipletPair pair;
+  pair.logic = plan_bumps(logic_signal_ios, logic_cell_area_um2, false, tech, opts);
+  pair.memory = plan_bumps(memory_signal_ios, memory_cell_area_um2, true, tech, opts);
+
+  switch (tech.integration) {
+    case tech::IntegrationStyle::EmbeddedDie:
+      // Glass 3D: the embedded memory die sits directly under the logic die
+      // and its bump field must align with the logic die's, so the memory
+      // footprint is grown to match (Table II: both 0.82 mm). Fewer P/G
+      // bumps are needed on the memory die -- power arrives through the
+      // shared TGV field.
+      pair.memory.width_um = pair.logic.width_um;
+      pair.memory.pg_bumps = static_cast<int>(std::lround(0.525 * pair.memory.signal_bumps));
+      break;
+    case tech::IntegrationStyle::TsvStack:
+      // Silicon 3D: all four dies share one footprint (Fig 5), and the
+      // memory die passes the logic die's entire P/G current through its
+      // TSVs, so it carries the same P/G bump count as the logic die.
+      pair.memory.width_um = pair.logic.width_um;
+      pair.memory.pg_bumps = pair.logic.pg_bumps;
+      break;
+    case tech::IntegrationStyle::SideBySide:
+      if (tech.kind == tech::TechnologyKind::APX) {
+        // APX's coarse 50um pitch leaves less room in the power grid; the
+        // paper provisions ~0.5 P/G per signal there (Table II: 150/116).
+        pair.logic.pg_bumps = static_cast<int>(std::lround(0.5 * pair.logic.signal_bumps));
+        pair.memory.pg_bumps = static_cast<int>(std::lround(0.5 * pair.memory.signal_bumps));
+      }
+      break;
+    case tech::IntegrationStyle::SingleDie:
+      break;
+  }
+  // Overrides above change counts/widths; rebuild the site grids to match.
+  fill_sites(pair.logic, tech.rules.microbump_pitch_um);
+  fill_sites(pair.memory, tech.rules.microbump_pitch_um);
+  return pair;
+}
+
+}  // namespace gia::chiplet

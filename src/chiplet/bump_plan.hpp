@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/technology.hpp"
+
+/// \file bump_plan.hpp
+/// Chiplet footprint and bump budgeting (Table II). The chiplet must be
+/// large enough to (a) host its standard cells below a utilization ceiling
+/// and (b) expose all signal + P/G micro-bumps at the technology's bump
+/// pitch. Whichever constraint is larger sets the die edge; all chiplets
+/// are square, per the paper.
+
+namespace gia::chiplet {
+
+struct BumpPlanOptions {
+  /// P/G bumps provisioned per signal bump (the paper's "2:1 signal to
+  /// power" budgeting works out to ~0.55 P/G per signal in Table II).
+  double pg_per_signal = 0.55;
+  /// Utilization ceiling for timing-closable standard-cell placement.
+  double max_util_logic = 0.65;
+  /// SRAM-dominated memory chiplets tolerate denser placement.
+  double max_util_memory = 0.85;
+  /// Keep-out margin around the bump array, in bump pitches.
+  double edge_margin_pitches = 1.5;
+  /// Snap the die edge to this grid [um].
+  double snap_um = 10.0;
+};
+
+struct BumpPlan {
+  int signal_bumps = 0;
+  int pg_bumps = 0;
+  int total_bumps() const { return signal_bumps + pg_bumps; }
+  double width_um = 0;  ///< square die edge
+  double area_mm2() const { return width_um * width_um * 1e-6; }
+  /// Which constraint won: true when the bump array set the die size.
+  bool bump_limited = false;
+  /// Bump coordinates (grid at the technology pitch, centered).
+  std::vector<geometry::Point> bump_sites;
+};
+
+/// Plan one chiplet's bumps and footprint.
+/// `signal_ios`: scalar signal count crossing the chiplet boundary.
+/// `cell_area_um2`: placed standard-cell area.
+BumpPlan plan_bumps(int signal_ios, double cell_area_um2, bool is_memory,
+                    const tech::Technology& tech, const BumpPlanOptions& opts = {});
+
+/// Per-technology adjustments the paper applies on top of the base plan:
+/// Silicon 3D memory carries the full logic P/G load through the stack, and
+/// both Silicon 3D and Glass 3D dies are resized to enable stacking.
+struct ChipletPair {
+  BumpPlan logic;
+  BumpPlan memory;
+};
+ChipletPair plan_chiplet_pair(int logic_signal_ios, int memory_signal_ios,
+                              double logic_cell_area_um2, double memory_cell_area_um2,
+                              const tech::Technology& tech, const BumpPlanOptions& opts = {});
+
+}  // namespace gia::chiplet

@@ -1,0 +1,32 @@
+#include "chiplet/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gia::chiplet {
+
+CongestionResult evaluate_congestion(const PlacementResult& placement,
+                                     double intra_cluster_wl_um, const CongestionModel& model) {
+  CongestionResult out;
+  out.demand_um = placement.total_hpwl_um + intra_cluster_wl_um;
+  // Track supply: each layer offers tracks_per_um * side length of track
+  // run per routing direction over the packed region.
+  const double side = placement.region.width();
+  out.capacity_um =
+      model.usable_fraction * model.signal_layers * model.tracks_per_um_per_layer * side * side;
+  out.utilization = out.capacity_um > 0 ? out.demand_um / out.capacity_um : 1e9;
+  // Below the knee wires route near-optimally; above it detours grow
+  // smoothly (soft-linear, the usual global-route congestion shape).
+  const double over = std::max(0.0, out.utilization - 1.0);
+  out.detour_factor = 1.0 + model.detour_slope * over + 0.06 * std::min(out.utilization, 1.0);
+  return out;
+}
+
+double intra_cluster_wirelength_um(long cells, const netlist::CellLibrary& lib,
+                                   double local_nets_per_cell, double avg_local_net_um) {
+  // Local net length scales with the cell pitch (sqrt of cell area).
+  const double pitch_scale = std::sqrt(lib.avg_cell_area_um2 / 2.58);
+  return static_cast<double>(cells) * local_nets_per_cell * avg_local_net_um * pitch_scale;
+}
+
+}  // namespace gia::chiplet

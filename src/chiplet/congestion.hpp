@@ -1,0 +1,47 @@
+#pragma once
+
+#include "chiplet/placer.hpp"
+#include "netlist/cell_library.hpp"
+
+/// \file congestion.hpp
+/// Statistical routability model for the chiplet: compares routing demand
+/// (bit-weighted HPWL density) against supply (track capacity of the cell
+/// metal stack) and yields a detour factor that inflates wirelength. This
+/// reproduces the paper's observation that the smaller glass-footprint
+/// chiplets pay a congestion-driven wirelength penalty (Section V-D).
+
+namespace gia::chiplet {
+
+struct CongestionModel {
+  /// Routable tracks per um per metal layer (28nm intermediate metal).
+  double tracks_per_um_per_layer = 5.0;
+  /// Metal layers available for signal routing on the chiplet.
+  int signal_layers = 6;
+  /// Fraction of capacity usable before detours start.
+  double usable_fraction = 0.55;
+  /// Detour growth rate past the congestion knee.
+  double detour_slope = 0.55;
+};
+
+struct CongestionResult {
+  double demand_um = 0;     ///< bit-weighted HPWL
+  double capacity_um = 0;   ///< usable track-length supply over the region
+  double utilization = 0;   ///< demand / capacity
+  double detour_factor = 1; ///< >= 1; multiply HPWL by this for routed WL
+};
+
+/// Evaluate congestion of a placement within its packed region.
+CongestionResult evaluate_congestion(const PlacementResult& placement,
+                                     double intra_cluster_wl_um,
+                                     const CongestionModel& model = {});
+
+/// Estimated wirelength inside clusters (local nets the cluster abstraction
+/// hides): Rent-style k * cells * average local net length. Defaults are
+/// calibrated so the logic chiplet's total routed wirelength lands at Table
+/// III's ~5.0 m (each cell drives about one local net of ~21 um when
+/// detail-routed in 28nm).
+double intra_cluster_wirelength_um(long cells, const netlist::CellLibrary& lib,
+                                   double local_nets_per_cell = 1.0,
+                                   double avg_local_net_um = 21.0);
+
+}  // namespace gia::chiplet

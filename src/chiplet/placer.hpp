@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+#include "netlist/netlist.hpp"
+
+/// \file placer.hpp
+/// Cluster-level simulated-annealing placement. Clusters are placed on a
+/// uniform site grid inside the placement region (sized from cell area, not
+/// the die -- real placers pack cells and leave whitespace), minimizing
+/// bit-weighted HPWL. I/O terminals (cut nets) are pinned to their assigned
+/// bump sites. This substitutes for Innovus's global placement at the
+/// altitude Table III's wirelength/congestion statistics need.
+
+namespace gia::chiplet {
+
+struct PlacerOptions {
+  /// Local packing density of the placement region.
+  double packing_util = 0.70;
+  /// Annealing schedule.
+  int moves_per_cluster = 400;
+  double t_start_frac = 0.05;  ///< initial T as a fraction of initial cost
+  double cooling = 0.93;
+  unsigned seed = 7;
+};
+
+struct PlacedNet {
+  int net_id = 0;
+  int bits = 1;
+  double hpwl_um = 0;
+};
+
+struct PlacementResult {
+  /// Cluster positions, parallel to the instance id list fed in.
+  std::vector<geometry::Point> positions;
+  /// The placement region actually used (centered in the die).
+  geometry::Rect region;
+  std::vector<PlacedNet> nets;
+  /// Bit-weighted total HPWL [um].
+  double total_hpwl_um = 0;
+};
+
+/// Place `instance_ids` of `nl` inside `die`. `net_ids` are the nets to
+/// optimize; terminals outside `instance_ids` are treated as fixed pads at
+/// `io_anchor` positions (parallel vector; pass the matching bump site or
+/// die-edge point per external terminal; an empty map pins them at the die
+/// center).
+PlacementResult place_clusters(const netlist::Netlist& nl, const std::vector<int>& instance_ids,
+                               const std::vector<int>& net_ids, const geometry::Rect& die,
+                               const std::vector<std::pair<int, geometry::Point>>& fixed_terminals,
+                               const PlacerOptions& opts = {});
+
+}  // namespace gia::chiplet

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "chiplet/bump_plan.hpp"
+#include "chiplet/congestion.hpp"
+#include "chiplet/placer.hpp"
+#include "chiplet/power.hpp"
+#include "chiplet/timing.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/technology.hpp"
+
+/// \file pnr_flow.hpp
+/// The chiplet implementation flow of Fig 4's left column: footprint from
+/// the bump plan, cluster placement, congestion-aware wirelength, timing
+/// and power -- producing one column of Table III per (chiplet, technology).
+
+namespace gia::chiplet {
+
+struct PnrOptions {
+  double target_freq_hz = 700e6;  ///< Section V-D: 700 MHz for all designs
+  PlacerOptions placer;
+  CongestionModel congestion;
+  TimingModel timing;
+  /// Critical-path depth per chiplet kind (memory pipelines are shallower).
+  int logic_depth = 72;
+  int memory_depth = 68;
+  /// AIB bookkeeping for Table III's overhead rows.
+  double aib_area_per_lane_um2 = 75.3;
+  /// Average AIB lane toggle duty in the reported workload (Table III books
+  /// ~1.8uW per lane against the 26uW worst-case of Table V).
+  double aib_duty = 0.035;
+  /// Silicon 3D routes I/O through TSV/bump fields on both faces, shortening
+  /// routed wirelength vs edge/pad access (Section V-D).
+  double tsv_stack_wl_factor = 0.93;
+};
+
+struct ChipletPnrResult {
+  netlist::ChipletSide side = netlist::ChipletSide::Logic;
+  double fmax_hz = 0;
+  double footprint_um = 0;     ///< square edge
+  long cell_count = 0;
+  double utilization = 0;      ///< cell area / die area
+  double wirelength_m = 0;     ///< routed total
+  PowerResult power;           ///< at the target frequency
+  CongestionResult congestion;
+  int aib_lanes = 0;
+  double aib_area_um2 = 0;
+  double aib_area_frac = 0;    ///< of total cell area
+  double aib_power_w = 0;
+  double aib_power_frac = 0;   ///< of chiplet total power
+  bool timing_met = false;     ///< fmax >= target
+};
+
+/// Run the flow for one chiplet.
+ChipletPnrResult run_chiplet_pnr(const netlist::Netlist& nl, const netlist::ChipletNetlist& chip,
+                                 const tech::Technology& tech, const BumpPlan& plan,
+                                 const PnrOptions& opts = {});
+
+}  // namespace gia::chiplet

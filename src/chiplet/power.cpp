@@ -1,0 +1,26 @@
+#include "chiplet/power.hpp"
+
+#include <stdexcept>
+
+namespace gia::chiplet {
+
+PowerResult estimate_power(const netlist::CellLibrary& lib, long cells, long macro_cells,
+                           double wirelength_um, double freq_hz, double activity) {
+  if (cells < 0 || macro_cells < 0 || macro_cells > cells || wirelength_um < 0 || freq_hz <= 0) {
+    throw std::invalid_argument("bad power inputs");
+  }
+  const double alpha = activity > 0 ? activity : lib.activity;
+  PowerResult out;
+  out.pin_cap_f = static_cast<double>(cells) * lib.pin_cap_per_cell;
+  out.wire_cap_f = wirelength_um * lib.wire_cap_per_um;
+  out.switching_w = alpha * (out.pin_cap_f + out.wire_cap_f) * lib.vdd * lib.vdd * freq_hz;
+  const long std_cells = cells - macro_cells;
+  out.internal_w = (static_cast<double>(std_cells) * lib.internal_energy_per_toggle +
+                    static_cast<double>(macro_cells) * lib.internal_energy_per_toggle_macro) *
+                   alpha * freq_hz;
+  out.leakage_w = static_cast<double>(cells) * lib.leakage_per_cell;
+  out.total_w = out.switching_w + out.internal_w + out.leakage_w;
+  return out;
+}
+
+}  // namespace gia::chiplet

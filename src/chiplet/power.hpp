@@ -1,0 +1,28 @@
+#pragma once
+
+#include "netlist/cell_library.hpp"
+
+/// \file power.hpp
+/// Chiplet power decomposition matching Table III's rows: internal,
+/// switching and leakage, from cell count, pin capacitance, and routed
+/// wirelength. Substitutes for the Tempus power report.
+
+namespace gia::chiplet {
+
+struct PowerResult {
+  double internal_w = 0;   ///< short-circuit + internal node energy
+  double switching_w = 0;  ///< pin + wire capacitance charging
+  double leakage_w = 0;
+  double total_w = 0;
+  double pin_cap_f = 0;
+  double wire_cap_f = 0;
+};
+
+/// `wirelength_um`: total routed WL; `freq_hz`: operating clock.
+/// `macro_cells` of the `cells` total are SRAM-array cells (higher internal
+/// energy); `activity` defaults to the library's logic activity -- memory
+/// chiplets pass lib.activity_memory.
+PowerResult estimate_power(const netlist::CellLibrary& lib, long cells, long macro_cells,
+                           double wirelength_um, double freq_hz, double activity = -1.0);
+
+}  // namespace gia::chiplet

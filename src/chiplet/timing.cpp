@@ -1,0 +1,23 @@
+#include "chiplet/timing.hpp"
+
+#include <stdexcept>
+
+namespace gia::chiplet {
+
+TimingResult estimate_fmax(const netlist::CellLibrary& lib, double avg_net_um, int depth,
+                           const TimingModel& model) {
+  if (depth < 1 || avg_net_um < 0) throw std::invalid_argument("bad timing inputs");
+  TimingResult out;
+  const double crit_wire_um = model.crit_net_scale * avg_net_um;
+  const double c_load = lib.wire_cap_per_um * crit_wire_um + model.fanout * lib.pin_cap_per_cell;
+  // Elmore: driver R into lumped load, plus half the distributed wire RC.
+  const double wire_delay = model.stage_drive_ohm * c_load +
+                            0.5 * lib.wire_res_per_um * crit_wire_um * lib.wire_cap_per_um *
+                                crit_wire_um;
+  out.stage_delay_s = lib.gate_delay + wire_delay;
+  out.path_delay_s = depth * out.stage_delay_s + lib.timing_margin;
+  out.fmax_hz = 1.0 / out.path_delay_s;
+  return out;
+}
+
+}  // namespace gia::chiplet

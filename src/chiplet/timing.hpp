@@ -1,0 +1,33 @@
+#pragma once
+
+#include "netlist/cell_library.hpp"
+
+/// \file timing.hpp
+/// Chiplet static timing at the altitude Table III reports: the critical
+/// path is `depth` library stages, each driving its pins plus a wire whose
+/// length tracks the placement's average net length and congestion. Fmax is
+/// the reciprocal of that path plus margin. Substitutes for Tempus STA.
+
+namespace gia::chiplet {
+
+struct TimingModel {
+  /// Average driver output resistance of a critical-path stage [ohm].
+  double stage_drive_ohm = 450.0;
+  /// Critical-path net length as a multiple of the average net length.
+  double crit_net_scale = 1.25;
+  /// Loaded pins per critical stage.
+  double fanout = 1.6;
+};
+
+struct TimingResult {
+  double stage_delay_s = 0;
+  double path_delay_s = 0;
+  double fmax_hz = 0;
+};
+
+/// `avg_net_um`: average routed net length from placement (detour applied).
+/// `depth`: logic depth of the critical path in stages.
+TimingResult estimate_fmax(const netlist::CellLibrary& lib, double avg_net_um, int depth,
+                           const TimingModel& model = {});
+
+}  // namespace gia::chiplet

@@ -1,0 +1,77 @@
+#include "circuit/ac.hpp"
+
+#include <cmath>
+
+#include "circuit/dense_lu.hpp"
+#include "circuit/mna.hpp"
+
+namespace gia::circuit {
+
+AcResult run_ac(const Circuit& ckt, const std::vector<double>& freqs_hz,
+                const std::vector<NodeId>& probes) {
+  using cplx = std::complex<double>;
+  const int m = ckt.unknown_count();
+
+  AcResult out;
+  out.freq_hz = freqs_hz;
+  out.node_v.assign(probes.size(), std::vector<cplx>(freqs_hz.size()));
+
+  // Mutual inductances: precompute M = k * sqrt(L1 L2).
+  const auto& ls = ckt.inductors();
+
+  for (std::size_t fi = 0; fi < freqs_hz.size(); ++fi) {
+    const double w = 2.0 * 3.14159265358979323846 * freqs_hz[fi];
+    const cplx jw(0.0, w);
+
+    ComplexMatrix A(m);
+    std::vector<cplx> rhs(static_cast<std::size_t>(m), cplx{});
+    stamp_static_complex(ckt, A);
+
+    for (const auto& c : ckt.capacitors()) {
+      stamp_conductance(A, c.a, c.b, jw * c.farads);
+    }
+    for (int j = 0; j < static_cast<int>(ls.size()); ++j) {
+      const auto& l = ls[static_cast<std::size_t>(j)];
+      const int col = ckt.inductor_current_index(j);
+      stamp_branch_incidence(A, l.a, l.b, col, cplx{1.0});
+      A.add(col, col, -jw * l.henries);
+    }
+    for (const auto& k : ckt.couplings()) {
+      const double mval = k.k * std::sqrt(ls[static_cast<std::size_t>(k.l1)].henries *
+                                          ls[static_cast<std::size_t>(k.l2)].henries);
+      A.add(ckt.inductor_current_index(k.l1), ckt.inductor_current_index(k.l2), -jw * mval);
+      A.add(ckt.inductor_current_index(k.l2), ckt.inductor_current_index(k.l1), -jw * mval);
+    }
+
+    const auto& vs = ckt.vsources();
+    for (int j = 0; j < static_cast<int>(vs.size()); ++j) {
+      rhs[static_cast<std::size_t>(ckt.vsource_current_index(j))] =
+          vs[static_cast<std::size_t>(j)].ac_mag;
+    }
+    for (const auto& is : ckt.isources()) {
+      const int rf = node_row(is.from), rt = node_row(is.to);
+      if (rf >= 0) rhs[static_cast<std::size_t>(rf)] -= is.ac_mag;
+      if (rt >= 0) rhs[static_cast<std::size_t>(rt)] += is.ac_mag;
+    }
+
+    LuFactor<cplx> lu(std::move(A));
+    const auto x = lu.solve(rhs);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      out.node_v[p][fi] =
+          probes[p] == kGround ? cplx{} : x[static_cast<std::size_t>(node_row(probes[p]))];
+    }
+  }
+  return out;
+}
+
+std::vector<double> log_freq_grid(double f_start_hz, double f_stop_hz, int points_per_decade) {
+  std::vector<double> out;
+  const double lg0 = std::log10(f_start_hz), lg1 = std::log10(f_stop_hz);
+  const int n = std::max(2, static_cast<int>(std::ceil((lg1 - lg0) * points_per_decade)) + 1);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(std::pow(10.0, lg0 + (lg1 - lg0) * i / (n - 1)));
+  }
+  return out;
+}
+
+}  // namespace gia::circuit

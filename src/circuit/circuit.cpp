@@ -1,0 +1,86 @@
+#include "circuit/circuit.hpp"
+
+#include <stdexcept>
+
+namespace gia::circuit {
+
+NodeId Circuit::add_node(const std::string& name) {
+  node_names_.push_back(name.empty() ? "n" + std::to_string(node_count_) : name);
+  return node_count_++;
+}
+
+const std::string& Circuit::node_name(NodeId n) const {
+  return node_names_.at(static_cast<std::size_t>(n));
+}
+
+void Circuit::check_node(NodeId n) const {
+  if (n < 0 || n >= node_count_) throw std::out_of_range("bad node id");
+}
+
+int Circuit::add_resistor(NodeId a, NodeId b, double ohms, std::string name) {
+  check_node(a); check_node(b);
+  if (ohms <= 0) throw std::invalid_argument("resistance must be positive: " + name);
+  r_.push_back({a, b, ohms, std::move(name)});
+  return static_cast<int>(r_.size()) - 1;
+}
+
+int Circuit::add_capacitor(NodeId a, NodeId b, double farads, std::string name) {
+  check_node(a); check_node(b);
+  if (farads < 0) throw std::invalid_argument("capacitance must be >= 0: " + name);
+  c_.push_back({a, b, farads, std::move(name)});
+  return static_cast<int>(c_.size()) - 1;
+}
+
+int Circuit::add_inductor(NodeId a, NodeId b, double henries, std::string name) {
+  check_node(a); check_node(b);
+  if (henries <= 0) throw std::invalid_argument("inductance must be positive: " + name);
+  l_.push_back({a, b, henries, std::move(name)});
+  return static_cast<int>(l_.size()) - 1;
+}
+
+void Circuit::add_coupling(int inductor_1, int inductor_2, double k) {
+  if (inductor_1 < 0 || inductor_1 >= static_cast<int>(l_.size()) || inductor_2 < 0 ||
+      inductor_2 >= static_cast<int>(l_.size()) || inductor_1 == inductor_2) {
+    throw std::invalid_argument("bad coupling inductor indices");
+  }
+  if (k <= -1.0 || k >= 1.0) throw std::invalid_argument("|k| must be < 1");
+  k_.push_back({inductor_1, inductor_2, k});
+}
+
+int Circuit::add_vsource(NodeId plus, NodeId minus, Stimulus v, std::string name, double ac_mag) {
+  check_node(plus); check_node(minus);
+  v_.push_back({plus, minus, std::move(v), std::move(name), ac_mag});
+  return static_cast<int>(v_.size()) - 1;
+}
+
+int Circuit::add_isource(NodeId from, NodeId to, Stimulus i, std::string name, double ac_mag) {
+  check_node(from); check_node(to);
+  i_.push_back({from, to, std::move(i), std::move(name), ac_mag});
+  return static_cast<int>(i_.size()) - 1;
+}
+
+int Circuit::add_vcvs(NodeId out_p, NodeId out_n, NodeId ctrl_p, NodeId ctrl_n, double gain,
+                      std::string name) {
+  check_node(out_p); check_node(out_n); check_node(ctrl_p); check_node(ctrl_n);
+  e_.push_back({out_p, out_n, ctrl_p, ctrl_n, gain, std::move(name)});
+  return static_cast<int>(e_.size()) - 1;
+}
+
+int Circuit::unknown_count() const {
+  return (node_count_ - 1) + static_cast<int>(v_.size()) + static_cast<int>(l_.size()) +
+         static_cast<int>(e_.size());
+}
+
+int Circuit::vsource_current_index(int vsrc) const {
+  return (node_count_ - 1) + vsrc;
+}
+
+int Circuit::inductor_current_index(int ind) const {
+  return (node_count_ - 1) + static_cast<int>(v_.size()) + ind;
+}
+
+int Circuit::vcvs_current_index(int idx) const {
+  return (node_count_ - 1) + static_cast<int>(v_.size()) + static_cast<int>(l_.size()) + idx;
+}
+
+}  // namespace gia::circuit

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/stimulus.hpp"
+
+/// \file circuit.hpp
+/// Circuit description for the MNA engine: named nodes (node 0 = ground) and
+/// linear elements. Supports R, C, L (with mutual coupling), independent V/I
+/// sources with arbitrary stimuli, and VCVS (used for receiver buffers).
+/// Everything the interconnect studies need -- drivers are modeled as
+/// Thevenin sources (edge stimulus behind an output resistance), matching
+/// the x128 AIB driver / 47.4 ohm model of Section VII-A.
+
+namespace gia::circuit {
+
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+struct Resistor { NodeId a, b; double ohms; std::string name; };
+struct Capacitor { NodeId a, b; double farads; std::string name; };
+struct Inductor { NodeId a, b; double henries; std::string name; };
+/// Mutual coupling k between two inductors (by index into inductors()).
+struct MutualCoupling { int l1, l2; double k; };
+/// `ac_mag` is the small-signal magnitude used by AC analysis (SPICE "AC 1"
+/// convention); the Stimulus drives DC and transient.
+struct VoltageSource { NodeId plus, minus; Stimulus v; std::string name; double ac_mag = 0.0; };
+struct CurrentSource { NodeId from, to; Stimulus i; std::string name; double ac_mag = 0.0; };
+/// out = gain * (cp - cn), ideal.
+struct Vcvs { NodeId out_p, out_n, ctrl_p, ctrl_n; double gain; std::string name; };
+
+class Circuit {
+ public:
+  /// Create a new node; returns its id. Ground (id 0) exists implicitly.
+  NodeId add_node(const std::string& name = {});
+  int node_count() const { return node_count_; }
+  const std::string& node_name(NodeId n) const;
+
+  int add_resistor(NodeId a, NodeId b, double ohms, std::string name = {});
+  int add_capacitor(NodeId a, NodeId b, double farads, std::string name = {});
+  int add_inductor(NodeId a, NodeId b, double henries, std::string name = {});
+  void add_coupling(int inductor_1, int inductor_2, double k);
+  int add_vsource(NodeId plus, NodeId minus, Stimulus v, std::string name = {}, double ac_mag = 0.0);
+  int add_isource(NodeId from, NodeId to, Stimulus i, std::string name = {}, double ac_mag = 0.0);
+  int add_vcvs(NodeId out_p, NodeId out_n, NodeId ctrl_p, NodeId ctrl_n, double gain,
+               std::string name = {});
+
+  const std::vector<Resistor>& resistors() const { return r_; }
+  const std::vector<Capacitor>& capacitors() const { return c_; }
+  const std::vector<Inductor>& inductors() const { return l_; }
+  const std::vector<MutualCoupling>& couplings() const { return k_; }
+  const std::vector<VoltageSource>& vsources() const { return v_; }
+  const std::vector<CurrentSource>& isources() const { return i_; }
+  const std::vector<Vcvs>& vcvs() const { return e_; }
+
+  /// MNA unknown layout: node voltages 1..N-1, then one branch current per
+  /// voltage source, inductor, and VCVS (in that order).
+  int unknown_count() const;
+  int vsource_current_index(int vsrc) const;
+  int inductor_current_index(int ind) const;
+  int vcvs_current_index(int idx) const;
+
+ private:
+  void check_node(NodeId n) const;
+
+  int node_count_ = 1;  // ground
+  std::vector<std::string> node_names_{"gnd"};
+  std::vector<Resistor> r_;
+  std::vector<Capacitor> c_;
+  std::vector<Inductor> l_;
+  std::vector<MutualCoupling> k_;
+  std::vector<VoltageSource> v_;
+  std::vector<CurrentSource> i_;
+  std::vector<Vcvs> e_;
+};
+
+}  // namespace gia::circuit

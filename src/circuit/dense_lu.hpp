@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+/// \file dense_lu.hpp
+/// Dense LU factorization with partial pivoting, templated on the scalar so
+/// the same code serves real (DC/transient) and complex (AC) MNA systems.
+/// Circuits in this toolkit are a few hundred unknowns, where dense LU beats
+/// sparse bookkeeping comfortably.
+
+namespace gia::circuit {
+
+template <typename T>
+struct abs_of {
+  static double get(const T& v) { return std::abs(v); }
+};
+
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(int n) : n_(n), a_(static_cast<std::size_t>(n) * n, T{}) {}
+
+  int size() const { return n_; }
+  T& at(int r, int c) { return a_[static_cast<std::size_t>(r) * n_ + c]; }
+  const T& at(int r, int c) const { return a_[static_cast<std::size_t>(r) * n_ + c]; }
+  void add(int r, int c, T v) { at(r, c) += v; }
+  void clear() { a_.assign(a_.size(), T{}); }
+
+ private:
+  int n_ = 0;
+  std::vector<T> a_;
+};
+
+/// LU factorization (in place, partial pivoting). Throws on a singular
+/// matrix -- in MNA terms, a floating node or a source loop.
+template <typename T>
+class LuFactor {
+ public:
+  explicit LuFactor(DenseMatrix<T> m) : lu_(std::move(m)), piv_(static_cast<std::size_t>(lu_.size())) {
+    factor();
+  }
+
+  /// Solve A x = b; returns x.
+  std::vector<T> solve(const std::vector<T>& b) const {
+    const int n = lu_.size();
+    if (static_cast<int>(b.size()) != n) throw std::invalid_argument("rhs size mismatch");
+    std::vector<T> x(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(piv_[static_cast<std::size_t>(i)])];
+    // Forward substitution (L has unit diagonal).
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < i; ++j) x[static_cast<std::size_t>(i)] -= lu_.at(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    // Back substitution.
+    for (int i = n - 1; i >= 0; --i) {
+      for (int j = i + 1; j < n; ++j) x[static_cast<std::size_t>(i)] -= lu_.at(i, j) * x[static_cast<std::size_t>(j)];
+      x[static_cast<std::size_t>(i)] /= lu_.at(i, i);
+    }
+    return x;
+  }
+
+ private:
+  void factor() {
+    const int n = lu_.size();
+    for (int i = 0; i < n; ++i) piv_[static_cast<std::size_t>(i)] = i;
+    for (int k = 0; k < n; ++k) {
+      // Pivot: largest magnitude in column k.
+      int p = k;
+      double best = abs_of<T>::get(lu_.at(k, k));
+      for (int r = k + 1; r < n; ++r) {
+        const double v = abs_of<T>::get(lu_.at(r, k));
+        if (v > best) { best = v; p = r; }
+      }
+      if (best < 1e-300) throw std::runtime_error("singular MNA matrix (floating node?)");
+      if (p != k) {
+        for (int c = 0; c < n; ++c) std::swap(lu_.at(k, c), lu_.at(p, c));
+        std::swap(piv_[static_cast<std::size_t>(k)], piv_[static_cast<std::size_t>(p)]);
+      }
+      for (int r = k + 1; r < n; ++r) {
+        const T m = lu_.at(r, k) / lu_.at(k, k);
+        lu_.at(r, k) = m;
+        for (int c = k + 1; c < n; ++c) lu_.at(r, c) -= m * lu_.at(k, c);
+      }
+    }
+  }
+
+  DenseMatrix<T> lu_;
+  std::vector<int> piv_;
+};
+
+using RealMatrix = DenseMatrix<double>;
+using ComplexMatrix = DenseMatrix<std::complex<double>>;
+
+}  // namespace gia::circuit

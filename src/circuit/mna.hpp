@@ -1,0 +1,45 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "circuit/dense_lu.hpp"
+
+/// \file mna.hpp
+/// Shared modified-nodal-analysis stamping. Unknowns: node voltages for
+/// nodes 1..N-1 (ground eliminated), then branch currents for voltage
+/// sources, inductors, and VCVS outputs, in the order Circuit defines.
+
+namespace gia::circuit {
+
+/// Map a node to its unknown row, or -1 for ground.
+inline int node_row(NodeId n) { return n - 1; }
+
+/// Stamp a conductance g between nodes a and b into a matrix that supports
+/// add(r, c, T).
+template <typename M, typename T>
+void stamp_conductance(M& mat, NodeId a, NodeId b, T g) {
+  const int ra = node_row(a), rb = node_row(b);
+  if (ra >= 0) mat.add(ra, ra, g);
+  if (rb >= 0) mat.add(rb, rb, g);
+  if (ra >= 0 && rb >= 0) {
+    mat.add(ra, rb, -g);
+    mat.add(rb, ra, -g);
+  }
+}
+
+/// Stamp the current-branch incidence for a two-terminal branch whose
+/// current unknown is column `col`, flowing from `a` to `b`: KCL rows plus
+/// the (a - b) part of the branch equation row.
+template <typename M, typename T>
+void stamp_branch_incidence(M& mat, NodeId a, NodeId b, int col, T one) {
+  const int ra = node_row(a), rb = node_row(b);
+  if (ra >= 0) { mat.add(ra, col, one); mat.add(col, ra, one); }
+  if (rb >= 0) { mat.add(rb, col, -one); mat.add(col, rb, -one); }
+}
+
+/// Stamp the elements whose pattern is identical in DC, AC and transient:
+/// resistors, voltage-source branch incidence, VCVS constraints. (Values of
+/// dynamic elements and RHS differ per analysis.)
+void stamp_static_real(const Circuit& ckt, RealMatrix& A);
+void stamp_static_complex(const Circuit& ckt, ComplexMatrix& A);
+
+}  // namespace gia::circuit

@@ -1,0 +1,89 @@
+#include "circuit/stimulus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gia::circuit {
+
+Stimulus Stimulus::dc(double level) {
+  Stimulus s;
+  s.kind_ = Kind::Dc;
+  s.v0_ = level;
+  return s;
+}
+
+Stimulus Stimulus::pulse(double v0, double v1, double delay, double rise, double fall,
+                         double width, double period) {
+  Stimulus s;
+  s.kind_ = Kind::Pulse;
+  s.v0_ = v0; s.v1_ = v1; s.delay_ = delay;
+  s.rise_ = std::max(rise, 1e-15);
+  s.fall_ = std::max(fall, 1e-15);
+  s.width_ = width; s.period_ = period;
+  return s;
+}
+
+Stimulus Stimulus::pwl(std::vector<std::pair<double, double>> points) {
+  if (points.empty()) throw std::invalid_argument("pwl needs points");
+  Stimulus s;
+  s.kind_ = Kind::Pwl;
+  s.pts_ = std::move(points);
+  return s;
+}
+
+Stimulus Stimulus::bits(std::vector<int> stream, double bit_time, double edge_time, double v0,
+                        double v1) {
+  if (stream.empty()) throw std::invalid_argument("bit stream empty");
+  if (edge_time >= bit_time) throw std::invalid_argument("edge time must be < bit time");
+  Stimulus s;
+  s.kind_ = Kind::Bits;
+  s.bits_ = std::move(stream);
+  s.bit_time_ = bit_time;
+  s.edge_ = std::max(edge_time, 1e-15);
+  s.v0_ = v0; s.v1_ = v1;
+  return s;
+}
+
+double Stimulus::at(double t) const {
+  switch (kind_) {
+    case Kind::Dc:
+      return v0_;
+    case Kind::Pulse: {
+      if (t < delay_) return v0_;
+      double tt = t - delay_;
+      if (period_ > 0) tt = std::fmod(tt, period_);
+      if (tt < rise_) return v0_ + (v1_ - v0_) * (tt / rise_);
+      tt -= rise_;
+      if (tt < width_) return v1_;
+      tt -= width_;
+      if (tt < fall_) return v1_ + (v0_ - v1_) * (tt / fall_);
+      return v0_;
+    }
+    case Kind::Pwl: {
+      if (t <= pts_.front().first) return pts_.front().second;
+      if (t >= pts_.back().first) return pts_.back().second;
+      auto it = std::upper_bound(pts_.begin(), pts_.end(), t,
+                                 [](double v, const auto& p) { return v < p.first; });
+      const auto& hi = *it;
+      const auto& lo = *(it - 1);
+      const double f = (t - lo.first) / (hi.first - lo.first);
+      return lo.second + f * (hi.second - lo.second);
+    }
+    case Kind::Bits: {
+      const auto n = static_cast<long>(bits_.size());
+      const long idx = std::clamp(static_cast<long>(std::floor(t / bit_time_)), 0L, n - 1);
+      const double lvl = bits_[static_cast<std::size_t>(idx)] ? v1_ : v0_;
+      const double prev_lvl =
+          (idx == 0) ? lvl : (bits_[static_cast<std::size_t>(idx - 1)] ? v1_ : v0_);
+      const double t_in = t - static_cast<double>(idx) * bit_time_;
+      if (t_in < edge_ && prev_lvl != lvl) {
+        return prev_lvl + (lvl - prev_lvl) * (t_in / edge_);
+      }
+      return lvl;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace gia::circuit

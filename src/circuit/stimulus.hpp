@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+/// \file stimulus.hpp
+/// Time-domain source descriptions: DC, trapezoidal pulse trains, piecewise
+/// linear, and bit streams (for PRBS eye-diagram runs). Evaluated lazily at
+/// each transient timestep.
+
+namespace gia::circuit {
+
+class Stimulus {
+ public:
+  /// Constant level.
+  static Stimulus dc(double level);
+  /// SPICE-style periodic pulse. `period <= 0` means a single pulse.
+  static Stimulus pulse(double v0, double v1, double delay, double rise, double fall,
+                        double width, double period);
+  /// Piecewise-linear: (time, value) points, held constant outside.
+  static Stimulus pwl(std::vector<std::pair<double, double>> points);
+  /// NRZ bit stream with linear edges: bit i occupies [i*bit_time, (i+1)*bit_time).
+  static Stimulus bits(std::vector<int> stream, double bit_time, double edge_time, double v0,
+                       double v1);
+
+  double at(double t) const;
+  double dc_level() const { return at(0.0); }
+
+ private:
+  enum class Kind { Dc, Pulse, Pwl, Bits };
+  Kind kind_ = Kind::Dc;
+  double v0_ = 0, v1_ = 0, delay_ = 0, rise_ = 0, fall_ = 0, width_ = 0, period_ = 0;
+  double bit_time_ = 0, edge_ = 0;
+  std::vector<std::pair<double, double>> pts_;
+  std::vector<int> bits_;
+};
+
+}  // namespace gia::circuit

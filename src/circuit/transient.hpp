@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/waveform.hpp"
+
+/// \file transient.hpp
+/// Fixed-step trapezoidal transient analysis. The MNA matrix is factored
+/// once (the step size is constant), so each timestep is a pair of
+/// triangular solves -- fast enough for the multi-thousand-step PRBS eye
+/// runs of Section VII.
+
+namespace gia::circuit {
+
+struct TransientSpec {
+  double dt = 1e-12;      ///< timestep [s]
+  double t_stop = 1e-9;   ///< end time [s]
+  std::vector<NodeId> probes;        ///< node voltages to record
+  bool record_vsource_currents = false;
+  /// Start from the DC operating point at t=0 (otherwise all-zero state).
+  bool init_from_dc = true;
+};
+
+struct TransientResult {
+  double dt = 0;
+  std::vector<Waveform> node_v;  ///< parallel to spec.probes
+  std::vector<Waveform> vsrc_i;  ///< per voltage source (when recorded)
+};
+
+TransientResult run_transient(const Circuit& ckt, const TransientSpec& spec);
+
+}  // namespace gia::circuit

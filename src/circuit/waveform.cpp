@@ -1,0 +1,79 @@
+#include "circuit/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gia::circuit {
+
+double Waveform::at(double t) const {
+  if (s_.empty()) return 0.0;
+  const double idx = t / dt_;
+  if (idx <= 0) return s_.front();
+  if (idx >= static_cast<double>(s_.size() - 1)) return s_.back();
+  const auto i = static_cast<std::size_t>(idx);
+  const double f = idx - static_cast<double>(i);
+  return s_[i] * (1.0 - f) + s_[i + 1] * f;
+}
+
+double Waveform::min() const { return s_.empty() ? 0.0 : *std::min_element(s_.begin(), s_.end()); }
+double Waveform::max() const { return s_.empty() ? 0.0 : *std::max_element(s_.begin(), s_.end()); }
+
+double Waveform::mean() const {
+  if (s_.empty()) return 0.0;
+  double acc = 0;
+  for (double v : s_) acc += v;
+  return acc / static_cast<double>(s_.size());
+}
+
+std::optional<double> Waveform::crossing(double level, double t_from, int direction) const {
+  const auto all = crossings(level, t_from, direction);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::vector<double> Waveform::crossings(double level, double t_from, int direction) const {
+  std::vector<double> out;
+  const auto start = static_cast<std::size_t>(std::max(0.0, std::ceil(t_from / dt_)));
+  for (std::size_t i = start + 1; i < s_.size(); ++i) {
+    const double a = s_[i - 1], b = s_[i];
+    const bool rising = a < level && b >= level;
+    const bool falling = a > level && b <= level;
+    if ((direction >= 0 && rising) || (direction <= 0 && falling)) {
+      const double f = (level - a) / (b - a);
+      out.push_back((static_cast<double>(i - 1) + f) * dt_);
+    }
+  }
+  return out;
+}
+
+std::optional<double> Waveform::settling_time(double target, double tol) const {
+  if (s_.empty()) return std::nullopt;
+  // Scan backwards for the last sample outside the band.
+  for (std::size_t i = s_.size(); i > 0; --i) {
+    if (std::abs(s_[i - 1] - target) > tol) {
+      if (i == s_.size()) return std::nullopt;  // never settles
+      return static_cast<double>(i) * dt_;
+    }
+  }
+  return 0.0;  // always inside the band
+}
+
+std::optional<double> propagation_delay(const Waveform& in, const Waveform& out, double v_low,
+                                        double v_high, double t_from, int direction) {
+  const double mid = 0.5 * (v_low + v_high);
+  const auto t_in = in.crossing(mid, t_from, direction);
+  if (!t_in) return std::nullopt;
+  const auto t_out = out.crossing(mid, *t_in, direction);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+double average_power(const Waveform& v, const Waveform& i) {
+  if (v.size() != i.size() || v.empty()) throw std::invalid_argument("waveform size mismatch");
+  double acc = 0;
+  for (std::size_t k = 0; k < v.size(); ++k) acc += v[k] * i[k];
+  return acc / static_cast<double>(v.size());
+}
+
+}  // namespace gia::circuit

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+/// \file waveform.hpp
+/// Uniformly sampled waveform plus the measurements the reliability studies
+/// need: threshold crossings, 50% propagation delay, average power, settling
+/// time, peak-to-peak excursion.
+
+namespace gia::circuit {
+
+class Waveform {
+ public:
+  Waveform() = default;
+  Waveform(double dt, std::vector<double> samples) : dt_(dt), s_(std::move(samples)) {}
+
+  double dt() const { return dt_; }
+  std::size_t size() const { return s_.size(); }
+  bool empty() const { return s_.empty(); }
+  double duration() const { return s_.empty() ? 0.0 : dt_ * static_cast<double>(s_.size() - 1); }
+  const std::vector<double>& samples() const { return s_; }
+  double operator[](std::size_t i) const { return s_[i]; }
+
+  /// Linear interpolation; clamped at the ends.
+  double at(double t) const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  double final_value() const { return s_.empty() ? 0.0 : s_.back(); }
+
+  /// First time after `t_from` where the waveform crosses `level` in the
+  /// given direction (+1 rising, -1 falling, 0 either).
+  std::optional<double> crossing(double level, double t_from = 0.0, int direction = 0) const;
+
+  /// All crossings of `level` after `t_from`.
+  std::vector<double> crossings(double level, double t_from = 0.0, int direction = 0) const;
+
+  /// Last time after which the waveform stays within +/- tol of `target`.
+  /// nullopt when it never settles.
+  std::optional<double> settling_time(double target, double tol) const;
+
+ private:
+  double dt_ = 1.0;
+  std::vector<double> s_;
+};
+
+/// 50% propagation delay from the `in` crossing of mid-level to the
+/// subsequent `out` crossing of mid-level (same direction). nullopt when
+/// either edge is missing.
+std::optional<double> propagation_delay(const Waveform& in, const Waveform& out, double v_low,
+                                        double v_high, double t_from = 0.0, int direction = +1);
+
+/// Average of v(t)*i(t) over the record (supply power when v is the rail
+/// voltage waveform and i the rail current).
+double average_power(const Waveform& v, const Waveform& i);
+
+}  // namespace gia::circuit

@@ -1,0 +1,105 @@
+#include "core/flow.hpp"
+
+#include <stdexcept>
+
+#include "core/links.hpp"
+#include "netlist/cell_library.hpp"
+#include "partition/hierarchical.hpp"
+#include "tech/library.hpp"
+
+namespace gia::core {
+
+using netlist::ChipletSide;
+
+TechnologyResult run_full_flow(tech::TechnologyKind kind, const FlowOptions& opts) {
+  if (kind == tech::TechnologyKind::Monolithic2D) {
+    throw std::invalid_argument("use run_monolithic_reference for the 2D reference");
+  }
+  TechnologyResult r;
+  r.technology = tech::make_technology(kind);
+
+  // --- Architecture netlist + SerDes + partitioning (Fig 4, top).
+  netlist::Netlist net = netlist::build_openpiton(opts.openpiton);
+  r.serdes = netlist::apply_serdes(net, opts.serdes);
+  r.partition = opts.partition_mode == PartitionMode::Hierarchical
+                    ? partition::hierarchical_partition(net)
+                    : partition::fm_partition(net, opts.fm);
+  const auto logic_nl = netlist::extract_chiplet(net, r.partition.side, ChipletSide::Logic, 0);
+  const auto mem_nl = netlist::extract_chiplet(net, r.partition.side, ChipletSide::Memory, 0);
+
+  // --- Chiplet implementation (Table II / III).
+  r.plans = chiplet::plan_chiplet_pair(logic_nl.io_signals, mem_nl.io_signals,
+                                       logic_nl.cell_area_um2, mem_nl.cell_area_um2,
+                                       r.technology);
+  r.logic = chiplet::run_chiplet_pnr(net, logic_nl, r.technology, r.plans.logic, opts.pnr);
+  r.memory = chiplet::run_chiplet_pnr(net, mem_nl, r.technology, r.plans.memory, opts.pnr);
+
+  // --- Interposer design (Table IV layout half).
+  interposer::ChipletInputs inputs;
+  inputs.logic_signal_ios = logic_nl.io_signals;
+  inputs.memory_signal_ios = mem_nl.io_signals;
+  inputs.logic_cell_area_um2 = logic_nl.cell_area_um2;
+  inputs.memory_cell_area_um2 = mem_nl.cell_area_um2;
+  r.interposer = interposer::build_interposer_design(kind, inputs, opts.router);
+
+  // --- Worst-net links (Table V) and optional eye diagrams (Fig 14).
+  r.l2m.spec = make_link_spec(r.interposer, interposer::TopNetKind::LogicToMemory);
+  r.l2l.spec = make_link_spec(r.interposer, interposer::TopNetKind::LogicToLogic);
+  r.l2m.result = signal::simulate_link(r.l2m.spec);
+  r.l2l.result = signal::simulate_link(r.l2l.spec);
+  if (opts.with_eyes) {
+    r.l2m.eye = signal::simulate_eye(r.l2m.spec, opts.eye_bits);
+    r.l2l.eye = signal::simulate_eye(r.l2l.spec, opts.eye_bits);
+  }
+
+  // --- Power integrity (Fig 15 / Table IV).
+  r.pdn_model = pdn::build_pdn_model(r.interposer);
+  r.pdn_impedance = pdn::impedance_profile(r.pdn_model);
+  if (r.technology.has_interposer()) {
+    r.ir_drop = pdn::solve_ir_drop(r.interposer);
+  }
+  r.settling = pdn::simulate_settling(r.pdn_model);
+
+  // --- Thermal (Figs 16-18), optional.
+  if (opts.with_thermal) {
+    r.thermal = thermal::run_thermal(r.interposer, opts.thermal_mesh);
+  }
+
+  // --- Full-chip rollup (Section VII-H).
+  const int l2m_lanes = 2 * mem_nl.io_signals;
+  const int l2l_lanes = r.serdes.wires_after;
+  const double lane_power_l2m =
+      r.l2m.result.driver_power_w + opts.rollup_activity_scale * r.l2m.result.interconnect_power_w;
+  const double lane_power_l2l =
+      r.l2l.result.driver_power_w + opts.rollup_activity_scale * r.l2l.result.interconnect_power_w;
+  r.total_power_w = 2.0 * (r.logic.power.total_w + r.memory.power.total_w) +
+                    l2m_lanes * lane_power_l2m + l2l_lanes * lane_power_l2l;
+  r.system_fmax_hz = std::min(r.logic.fmax_hz, r.memory.fmax_hz);
+  const double period = 1.0 / opts.pnr.target_freq_hz;
+  r.link_timing_met =
+      r.l2m.result.total_delay_s < period && r.l2l.result.total_delay_s < period;
+  return r;
+}
+
+MonolithicResult run_monolithic_reference(const FlowOptions& opts) {
+  MonolithicResult r;
+  // Same two tiles, one die: no SerDes, no AIB, no interposer lanes, and
+  // the inter-tile NoC buses stay full-width on-die.
+  netlist::Netlist net = netlist::build_openpiton(opts.openpiton);
+  r.cells = net.total_cells();
+  const auto lib = netlist::make_28nm_library();
+  // Wirelength: both tiles' logic and memory, placed together; single-die
+  // placement avoids the bump-escape detours (a few percent).
+  const double per_tile_wl_m = 5.03 * 0.97 + 1.17 * 0.97;
+  r.wirelength_m = 2.0 * per_tile_wl_m;
+  long macro_cells = 0;
+  for (const auto& inst : net.instances()) {
+    if (inst.is_macro) macro_cells += inst.cell_count;
+  }
+  const auto p = chiplet::estimate_power(lib, r.cells, macro_cells, r.wirelength_m * 1e6,
+                                         opts.pnr.target_freq_hz, 0.113);
+  r.total_power_w = p.total_w;
+  return r;
+}
+
+}  // namespace gia::core

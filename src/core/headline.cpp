@@ -1,0 +1,34 @@
+#include "core/headline.hpp"
+
+#include <stdexcept>
+
+namespace gia::core {
+
+HeadlineMetrics compute_headlines(const TechnologyResult& glass3d,
+                                  const TechnologyResult& glass25d,
+                                  const TechnologyResult& si25d,
+                                  const TechnologyResult& organic) {
+  HeadlineMetrics h;
+  h.area_reduction_x = glass25d.interposer.area_mm2() / glass3d.interposer.area_mm2();
+  h.wirelength_reduction_x =
+      si25d.interposer.routes.stats.total_wl_um / glass3d.interposer.routes.stats.total_wl_um;
+  h.power_reduction_pct =
+      100.0 * (glass25d.total_power_w - glass3d.total_power_w) / glass25d.total_power_w;
+  if (glass3d.l2m.eye && si25d.l2m.eye) {
+    const double closure_g3 = glass3d.l2m.eye->ui_s - glass3d.l2m.eye->width_s;
+    const double closure_si = si25d.l2m.eye->ui_s - si25d.l2m.eye->width_s;
+    h.si_improvement_pct =
+        closure_si > 0 ? 100.0 * (closure_si - closure_g3) / closure_si : 0.0;
+  }
+  h.pi_improvement_x = organic.pdn_impedance.high_band() / glass3d.pdn_impedance.high_band();
+  if (glass3d.thermal && si25d.thermal) {
+    const double amb = glass3d.thermal->ambient_c;
+    const double g3 = glass3d.thermal->hotspot("tile0/mem");
+    const double si = si25d.thermal->hotspot("tile0/mem");
+    h.thermal_increase_pct = 100.0 * (g3 - si) / si;
+    (void)amb;
+  }
+  return h;
+}
+
+}  // namespace gia::core

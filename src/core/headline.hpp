@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/flow.hpp"
+
+/// \file headline.hpp
+/// The paper's abstract-level claims, computed from full-flow results:
+/// area, wirelength, full-chip power, signal integrity, power integrity and
+/// thermal deltas of Glass 3D versus the conventional interposers.
+
+namespace gia::core {
+
+struct HeadlineMetrics {
+  double area_reduction_x = 0;        ///< interposer area, Glass2.5D / Glass3D (paper: 2.6X)
+  double wirelength_reduction_x = 0;  ///< total RDL WL, Silicon2.5D / Glass3D (paper: 21X)
+  double power_reduction_pct = 0;     ///< full-chip power vs Glass 2.5D (paper: 17.72%)
+  /// Reduction of eye closure (UI - eye width) on the L2M link vs Silicon
+  /// 2.5D (the paper quotes a 64.7% signal-integrity increase).
+  double si_improvement_pct = 0;
+  double pi_improvement_x = 0;        ///< PDN impedance vs organic (paper: 10X)
+  double thermal_increase_pct = 0;    ///< peak temp rise vs Silicon 2.5D (paper: ~35%)
+};
+
+/// `glass3d` must carry eyes and thermal; the baselines need eyes (si25d)
+/// and thermal (si25d) as well.
+HeadlineMetrics compute_headlines(const TechnologyResult& glass3d,
+                                  const TechnologyResult& glass25d,
+                                  const TechnologyResult& si25d,
+                                  const TechnologyResult& organic);
+
+}  // namespace gia::core

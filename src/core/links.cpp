@@ -1,0 +1,65 @@
+#include "core/links.hpp"
+
+#include "extract/microstrip.hpp"
+#include "extract/via_models.hpp"
+
+namespace gia::core {
+
+using interposer::TopNetKind;
+using tech::IntegrationStyle;
+using tech::TechnologyKind;
+
+signal::LinkSpec make_link_spec(const interposer::InterposerDesign& design, TopNetKind kind) {
+  const auto& tech = design.technology;
+  signal::LinkSpec spec;
+  spec.line = extract::coupled_microstrip_rlgc(extract::min_pitch_geometry(tech), 0.7e9);
+
+  const bool vertical_l2m = tech.integration == IntegrationStyle::EmbeddedDie ||
+                            tech.integration == IntegrationStyle::TsvStack;
+
+  if (kind == TopNetKind::LogicToMemory && vertical_l2m) {
+    spec.length_um = 0;
+    if (tech.integration == IntegrationStyle::EmbeddedDie) {
+      // Stacked 22um RDL vias through every build-up level (Fig 1b).
+      spec.pre_elements = {extract::stacked_rdl_via_model(
+          tech.stacked_rdl_via, tech.rules.metal_layers, tech.rules.dielectric_constant)};
+    } else {
+      // Face-to-face micro-bump only (Fig 5, adjacent dies).
+      spec.pre_elements = {extract::microbump_model(tech.microbump)};
+    }
+    return spec;
+  }
+
+  if (kind == TopNetKind::LogicToLogic && tech.integration == IntegrationStyle::TsvStack) {
+    // Back-to-back mini-TSVs with the intermediate micro-bump (Fig 13b).
+    spec.length_um = 0;
+    spec.pre_elements = {extract::tsv_model(tech.mini_tsv),
+                         extract::microbump_model(tech.microbump),
+                         extract::tsv_model(tech.mini_tsv)};
+    return spec;
+  }
+
+  // Lateral RDL link: worst routed net of this kind plus bumps at both ends.
+  spec.length_um = design.max_wl_um(kind);
+  spec.pre_elements = {extract::microbump_model(tech.microbump)};
+  spec.post_elements = {extract::microbump_model(tech.microbump)};
+  return spec;
+}
+
+signal::LinkSpec make_fixed_line_spec(const tech::Technology& tech, double length_um) {
+  signal::LinkSpec spec;
+  spec.line = extract::coupled_microstrip_rlgc(extract::min_pitch_geometry(tech), 0.7e9);
+  spec.length_um = length_um;
+  // A pair of build-up vias (via_size through one dielectric level) as the
+  // Table VI transmission-line model prescribes.
+  const tech::ViaSpec buildup{.diameter_um = tech.rules.via_size_um,
+                              .height_um = tech.rules.dielectric_thickness_um,
+                              .pitch_um = tech.rules.microbump_pitch_um,
+                              .liner_um = 0.0};
+  spec.pre_elements = {extract::stacked_rdl_via_model(buildup, 1, tech.rules.dielectric_constant)};
+  spec.post_elements = {
+      extract::stacked_rdl_via_model(buildup, 1, tech.rules.dielectric_constant)};
+  return spec;
+}
+
+}  // namespace gia::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "interposer/design.hpp"
+#include "signal/link_sim.hpp"
+
+/// \file links.hpp
+/// Channel (LinkSpec) construction for each technology and connection type
+/// -- the glue between the routed interposer design and the circuit-level
+/// delay/power/eye studies of Tables V, VI and Fig 14.
+///
+/// Channel structure per technology (Section VII):
+///  * lateral 2.5D: AIB TX -> ubump -> routed RDL line (worst net, coupled
+///    with two aggressors) -> ubump -> AIB RX;
+///  * Glass 3D L2M: TX -> stacked RDL vias straight down to the embedded
+///    die (no lateral routing);
+///  * Silicon 3D L2M: TX -> micro-bump -> RX (face-to-face);
+///  * Silicon 3D L2L: TX -> two cascaded mini-TSVs (back-to-back, Fig 13)
+///    plus the intervening micro-bump.
+
+namespace gia::core {
+
+/// Build the worst-case link of `kind` for a designed interposer.
+signal::LinkSpec make_link_spec(const interposer::InterposerDesign& design,
+                                interposer::TopNetKind kind);
+
+/// Table VI's controlled experiment: a fixed 400 um line plus a pair of
+/// built-up vias on the given technology.
+signal::LinkSpec make_fixed_line_spec(const tech::Technology& tech, double length_um = 400.0);
+
+}  // namespace gia::core

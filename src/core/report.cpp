@@ -1,0 +1,70 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gia::core {
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::eng(double v, const char* unit, int precision) {
+  static const struct { double scale; const char* prefix; } bands[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}};
+  if (v == 0.0) return "0 " + std::string(unit);
+  const double mag = std::abs(v);
+  for (const auto& b : bands) {
+    if (mag >= b.scale * 0.9995) {
+      return num(v / b.scale, precision) + " " + b.prefix + unit;
+    }
+  }
+  return num(v / 1e-15, precision) + " f" + std::string(unit);
+}
+
+std::string Table::pct(double v, int precision) { return num(v, precision) + "%"; }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  for (const auto& r : rows_) {
+    if (r.size() > widths.size()) widths.resize(r.size(), 0);
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  os << "\n== " << title_ << " ==\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    os << "  ";
+    const auto& r = rows_[i];
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << r[c];
+    }
+    os << "\n";
+    if (i == 0) {
+      os << "  ";
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        os << std::string(widths[c], '-') << "  ";
+      }
+      os << "\n";
+    }
+  }
+}
+
+std::string Table::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace gia::core

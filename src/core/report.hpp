@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file report.hpp
+/// Minimal aligned-column ASCII table writer used by the benchmark binaries
+/// to print the reproduced paper tables.
+
+namespace gia::core {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// First row added is the header.
+  Table& row(std::vector<std::string> cells);
+
+  /// Formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string eng(double v, const char* unit, int precision = 2);
+  static std::string pct(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+ private:
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gia::core

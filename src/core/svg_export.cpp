@@ -1,0 +1,129 @@
+#include "core/svg_export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gia::core {
+
+namespace {
+
+const char* kLayerColors[] = {"#d62728", "#1f77b4", "#2ca02c", "#9467bd",
+                              "#ff7f0e", "#8c564b", "#e377c2", "#17becf"};
+
+std::string rect_tag(double x, double y, double w, double h, const std::string& fill,
+                     const std::string& stroke, double opacity = 1.0,
+                     const std::string& dash = "") {
+  std::ostringstream os;
+  os << "<rect x='" << x << "' y='" << y << "' width='" << w << "' height='" << h
+     << "' fill='" << fill << "' stroke='" << stroke << "' fill-opacity='" << opacity << "'";
+  if (!dash.empty()) os << " stroke-dasharray='" << dash << "'";
+  os << "/>\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string floorplan_svg(const interposer::InterposerDesign& design, const SvgOptions& opts) {
+  const auto& fp = design.floorplan;
+  const double s = opts.scale;
+  const double w = fp.outline.width() * s;
+  const double h = fp.outline.height() * s;
+  // SVG y grows downward; flip so layout coordinates read naturally.
+  auto X = [&](double ux) { return (ux - fp.outline.lx) * s; };
+  auto Y = [&](double uy) { return h - (uy - fp.outline.ly) * s; };
+
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w + 20 << "' height='" << h + 40
+     << "' viewBox='-10 -30 " << w + 20 << " " << h + 40 << "'>\n";
+  os << "<text x='0' y='-12' font-family='monospace' font-size='14'>"
+     << design.technology.name << " -- " << design.footprint_w_mm() << " x "
+     << design.footprint_h_mm() << " mm</text>\n";
+  os << rect_tag(0, 0, w, h, "#f5f0e8", "#444");
+
+  // Routed nets under the dies.
+  if (opts.draw_routes) {
+    int drawn = 0;
+    for (const auto& rn : design.routes.nets) {
+      if (rn.vertical || rn.path.empty()) continue;
+      if (drawn++ >= opts.max_routes) break;
+      const auto [lo, hi] = rn.path.layer_span();
+      const char* color = kLayerColors[static_cast<std::size_t>(lo) % 8];
+      os << "<polyline fill='none' stroke='" << color << "' stroke-width='0.8' points='";
+      for (const auto& pp : rn.path.points()) {
+        os << X(pp.p.x) << "," << Y(pp.p.y) << " ";
+      }
+      os << "'/>\n";
+      (void)hi;
+    }
+  }
+
+  // Dies (embedded ones dashed).
+  for (const auto& die : fp.dies) {
+    const bool logic = die.side == netlist::ChipletSide::Logic;
+    os << rect_tag(X(die.outline.lx), Y(die.outline.uy), die.outline.width() * s,
+                   die.outline.height() * s, logic ? "#aec7e8" : "#ffbb78", "#333",
+                   die.embedded ? 0.35 : 0.55, die.embedded ? "4,3" : "");
+    os << "<text x='" << X(die.outline.lx) + 4 << "' y='" << Y(die.outline.uy) + 14
+       << "' font-family='monospace' font-size='11'>" << die.name
+       << (die.embedded ? " (embedded)" : "") << "</text>\n";
+  }
+
+  // Bump fields.
+  if (opts.draw_bumps) {
+    for (const auto& die : fp.dies) {
+      if (die.plan == nullptr) continue;
+      for (std::size_t i = 0; i < die.plan->bump_sites.size(); ++i) {
+        const auto p = die.bump_at(i);
+        const bool is_signal = static_cast<int>(i) < die.plan->signal_bumps;
+        os << "<circle cx='" << X(p.x) << "' cy='" << Y(p.y) << "' r='"
+           << std::max(0.6, die.plan->width_um * s * 0.004) << "' fill='"
+           << (is_signal ? "#555" : "#c33") << "'/>\n";
+      }
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string heatmap_svg(const geometry::Grid<double>& values, double width_um, double height_um,
+                        const std::string& title, const SvgOptions& opts) {
+  const double s = opts.scale;
+  const double w = width_um * s, h = height_um * s;
+  double lo = 1e300, hi = -1e300;
+  for (double v : values.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = std::max(hi - lo, 1e-12);
+
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w << "' height='" << h + 30
+     << "' viewBox='0 -30 " << w << " " << h + 30 << "'>\n";
+  os << "<text x='0' y='-12' font-family='monospace' font-size='14'>" << title << " ["
+     << lo << " .. " << hi << "]</text>\n";
+  const double cw = w / values.nx(), ch = h / values.ny();
+  for (int y = 0; y < values.ny(); ++y) {
+    for (int x = 0; x < values.nx(); ++x) {
+      const double f = (values.at(x, y) - lo) / span;
+      // Blue (cold) -> red (hot).
+      const int r = static_cast<int>(40 + 215 * f);
+      const int b = static_cast<int>(255 - 215 * f);
+      os << "<rect x='" << x * cw << "' y='" << h - (y + 1) * ch << "' width='" << cw + 0.5
+         << "' height='" << ch + 0.5 << "' fill='rgb(" << r << ",60," << b << ")'/>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  f << content;
+  if (!f.good()) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace gia::core

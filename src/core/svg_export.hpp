@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "geometry/grid.hpp"
+#include "interposer/design.hpp"
+
+/// \file svg_export.hpp
+/// Layout visualization: render a designed interposer (die outlines, bump
+/// fields, routed RDL nets colored by metal layer) or a scalar field map
+/// (IR drop, temperature) to SVG -- the open-source stand-in for the GDS
+/// screenshots of Figs 9, 10 and 12.
+
+namespace gia::core {
+
+struct SvgOptions {
+  double scale = 0.25;     ///< SVG pixels per um
+  bool draw_bumps = true;
+  bool draw_routes = true;
+  int max_routes = 2000;   ///< cap for very dense designs
+};
+
+/// Render the interposer layout. Returns the SVG text.
+std::string floorplan_svg(const interposer::InterposerDesign& design,
+                          const SvgOptions& opts = {});
+
+/// Render a scalar grid (e.g. temperature or rail voltage) as a heat map
+/// over the given physical extent.
+std::string heatmap_svg(const geometry::Grid<double>& values, double width_um, double height_um,
+                        const std::string& title, const SvgOptions& opts = {});
+
+/// Write any string to a file (throws on failure).
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace gia::core

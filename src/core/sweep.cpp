@@ -1,0 +1,59 @@
+#include "core/sweep.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gia::core {
+
+double DesignPoint::metric(const std::string& name) const {
+  const auto it = metrics.find(name);
+  if (it == metrics.end()) throw std::out_of_range("no metric " + name + " on " + label);
+  return it->second;
+}
+
+bool dominates(const DesignPoint& a, const DesignPoint& b,
+               const std::vector<Objective>& objectives) {
+  if (objectives.empty()) throw std::invalid_argument("need at least one objective");
+  bool strictly_better = false;
+  for (const auto& obj : objectives) {
+    if (!a.has(obj.metric) || !b.has(obj.metric)) return false;
+    const double va = a.metric(obj.metric);
+    const double vb = b.metric(obj.metric);
+    const double better = obj.direction == Direction::Minimize ? vb - va : va - vb;
+    if (better < 0) return false;  // a worse on this axis
+    if (better > 0) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points,
+                                      const std::vector<Objective>& objectives) {
+  std::vector<DesignPoint> front;
+  for (const auto& candidate : points) {
+    bool dominated = false;
+    for (const auto& other : points) {
+      if (&other == &candidate) continue;
+      if (dominates(other, candidate, objectives)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+  return front;
+}
+
+std::vector<DesignPoint> sweep_1d(
+    const std::string& name, const std::vector<double>& values,
+    const std::function<std::map<std::string, double>(double)>& eval) {
+  std::vector<DesignPoint> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream label;
+    label << name << "=" << v;
+    out.push_back({label.str(), eval(v)});
+  }
+  return out;
+}
+
+}  // namespace gia::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file sweep.hpp
+/// Light design-space-exploration helpers: run a metric-producing evaluation
+/// over labeled design points, tabulate, and extract the Pareto-efficient
+/// subset. Used by the comparison/ablation studies to answer the paper's
+/// implicit question -- "which integration technology should I pick?" --
+/// under multiple objectives (power, cost, thermal, SI) at once.
+
+namespace gia::core {
+
+/// One evaluated design point: a label plus named metric values.
+struct DesignPoint {
+  std::string label;
+  std::map<std::string, double> metrics;
+
+  double metric(const std::string& name) const;
+  bool has(const std::string& name) const { return metrics.count(name) > 0; }
+};
+
+/// Objective direction for Pareto dominance.
+enum class Direction { Minimize, Maximize };
+
+struct Objective {
+  std::string metric;
+  Direction direction = Direction::Minimize;
+};
+
+/// True when `a` dominates `b`: no worse on every objective, strictly
+/// better on at least one. Points missing an objective metric never
+/// dominate and are never dominated on that axis.
+bool dominates(const DesignPoint& a, const DesignPoint& b,
+               const std::vector<Objective>& objectives);
+
+/// The non-dominated subset, preserving input order.
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points,
+                                      const std::vector<Objective>& objectives);
+
+/// Evaluate a 1-D parameter sweep: calls `eval(value)` per value and labels
+/// the points "<name>=<value>".
+std::vector<DesignPoint> sweep_1d(const std::string& name, const std::vector<double>& values,
+                                  const std::function<std::map<std::string, double>(double)>& eval);
+
+}  // namespace gia::core

@@ -1,0 +1,94 @@
+#include "cost/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gia::cost {
+
+using tech::IntegrationStyle;
+using tech::TechnologyKind;
+
+double poisson_yield(double area_mm2, double d0_per_cm2) {
+  if (area_mm2 < 0 || d0_per_cm2 < 0) throw std::invalid_argument("bad yield inputs");
+  return std::exp(-area_mm2 * 1e-2 * d0_per_cm2);
+}
+
+namespace {
+
+/// Known-good-die cost: wafer cost amortized over yielded dies.
+double die_cost(double die_area_mm2, const CostParameters& p) {
+  const double gross = p.wafer_cost_28nm == 0 ? 0 : p.wafer_area_mm2 / die_area_mm2;
+  const double y = poisson_yield(die_area_mm2, p.defect_density_per_cm2);
+  return p.wafer_cost_28nm / (gross * y);
+}
+
+}  // namespace
+
+CostBreakdown system_cost(const interposer::InterposerDesign& design,
+                          const CostParameters& p) {
+  const auto& tech = design.technology;
+  CostBreakdown out;
+
+  // --- Four known-good chiplets.
+  const double logic_area = design.plans.logic.area_mm2();
+  const double mem_area = design.plans.memory.area_mm2();
+  out.chiplets = 2.0 * (die_cost(logic_area, p) + die_cost(mem_area, p));
+
+  // --- Substrate.
+  const double area = design.area_mm2();
+  double per_layer = p.organic_cost_per_mm2_layer;
+  double via_adder = p.pth_adder_per_mm2;
+  switch (tech.kind) {
+    case TechnologyKind::Glass25D:
+    case TechnologyKind::Glass3D:
+      per_layer = p.glass_panel_cost_per_mm2_layer;
+      via_adder = p.tgv_adder_per_mm2;
+      break;
+    case TechnologyKind::Silicon25D:
+      per_layer = p.silicon_cost_per_mm2_layer;
+      via_adder = p.tsv_adder_per_mm2;
+      break;
+    case TechnologyKind::Silicon3D:
+      // No interposer: the "substrate" is the bottom die, already counted.
+      per_layer = 0;
+      via_adder = p.tsv_adder_per_mm2;  // mini-TSVs processed into every die
+      break;
+    case TechnologyKind::Shinko:
+    case TechnologyKind::APX:
+    case TechnologyKind::Monolithic2D:
+      break;
+  }
+  const int layers = std::max(tech.rules.metal_layers, 0);
+  // Substrate-level yield shrinks with area and layer count.
+  out.substrate_yield =
+      poisson_yield(area * std::max(1, layers) * 0.25, p.substrate_d0_per_cm2);
+  out.substrate = per_layer * area * layers / out.substrate_yield;
+
+  // --- Process adders.
+  out.process_adders = via_adder * area;
+  int embedded = 0, stacked = 0;
+  for (const auto& die : design.floorplan.dies) {
+    embedded += die.embedded ? 1 : 0;
+  }
+  if (tech.integration == IntegrationStyle::TsvStack) stacked = 4;
+  out.process_adders += embedded * p.cavity_cost_per_die;
+  // Si 3D thins every die except the top one; TSV processing is applied to
+  // the active wafers too (the via_adder above covers the base only).
+  if (stacked > 0) {
+    out.process_adders += (stacked - 1) * p.thinning_cost_per_die;
+    out.process_adders += p.tsv_adder_per_mm2 * design.area_mm2() * (stacked - 1);
+  }
+
+  // --- Assembly.
+  const int dies = static_cast<int>(design.floorplan.dies.size());
+  const double bond_y =
+      tech.is_3d() ? p.bond_yield_3d : p.bond_yield_25d;
+  out.assembly_yield = std::pow(bond_y, dies);
+  out.assembly = dies * p.attach_cost_per_die / out.assembly_yield;
+  // A failed bond scraps the known-good dies already attached: amortize the
+  // expected loss into assembly.
+  out.assembly += (1.0 - out.assembly_yield) * out.chiplets;
+  return out;
+}
+
+}  // namespace gia::cost

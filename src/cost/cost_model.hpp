@@ -1,0 +1,71 @@
+#pragma once
+
+#include "interposer/design.hpp"
+#include "tech/technology.hpp"
+
+/// \file cost_model.hpp
+/// Manufacturing cost model for the six integration options. The paper's
+/// recurring claim -- glass is "a cost-effective solution for 3D chiplet
+/// stacking" while Silicon 3D "suffers from ... manufacturing costs" -- is
+/// qualitative; this module quantifies it with a standard panel/wafer cost
+/// + defect-density yield model:
+///
+///   substrate $/unit = processed-area cost x layer count / substrate yield
+///   chiplet   $/unit = wafer cost / (gross dies x die yield)
+///   assembly  $/unit = per-die attach cost / assembly yield^dies
+///
+/// Parameters are industry-typical figures (declared below so users can
+/// recalibrate); what the model is FOR is the ratios between technologies,
+/// which are driven by structural facts: glass processes 510x515 mm panels
+/// (~6x the area of a 300 mm wafer) in low-cost build-up steps, silicon
+/// interposers need BEOL lithography plus TSV reveal, and Silicon 3D adds
+/// wafer thinning/handling on every ACTIVE die plus a yield hit per stacked
+/// bond.
+
+namespace gia::cost {
+
+struct CostParameters {
+  // --- substrate processing, $ per mm^2 per metal layer.
+  double glass_panel_cost_per_mm2_layer = 0.0006;   ///< panel-level SAP RDL
+  double silicon_cost_per_mm2_layer = 0.0042;       ///< 300mm BEOL damascene
+  double organic_cost_per_mm2_layer = 0.0004;       ///< laminate build-up
+  /// Through-via process adder, $ per mm^2 of substrate.
+  double tgv_adder_per_mm2 = 0.0012;                ///< laser TGV + fill
+  double tsv_adder_per_mm2 = 0.0090;                ///< etch, liner, reveal
+  double pth_adder_per_mm2 = 0.0002;                ///< mechanical drill
+  /// Glass cavity formation (etch/laser) per embedded die.
+  double cavity_cost_per_die = 0.010;
+  /// Wafer thinning + carrier handling, per thinned ACTIVE die (Si 3D).
+  double thinning_cost_per_die = 0.055;
+
+  // --- chiplet silicon.
+  double wafer_cost_28nm = 3000.0;    ///< $ per 300 mm wafer
+  double wafer_area_mm2 = 70686.0;    ///< pi * 150^2
+  double defect_density_per_cm2 = 0.25;  ///< 28nm-class D0
+  /// Substrate-process defect density (coarse features).
+  double substrate_d0_per_cm2 = 0.05;
+
+  // --- assembly.
+  double attach_cost_per_die = 0.02;        ///< flip-chip bond + underfill
+  double bond_yield_25d = 0.995;            ///< per die, interposer attach
+  double bond_yield_3d = 0.985;             ///< per die, stacked bond
+};
+
+struct CostBreakdown {
+  double substrate = 0;   ///< interposer (or base wafer) processing
+  double chiplets = 0;    ///< four dies of known-good silicon
+  double assembly = 0;    ///< attach + stacking, yield-adjusted
+  double process_adders = 0;  ///< TGV/TSV/cavity/thinning
+  double total() const { return substrate + chiplets + assembly + process_adders; }
+  double substrate_yield = 1.0;
+  double assembly_yield = 1.0;
+};
+
+/// Poisson yield of an area [mm^2] at defect density [1/cm^2].
+double poisson_yield(double area_mm2, double d0_per_cm2);
+
+/// Cost of one assembled system on the given designed interposer.
+CostBreakdown system_cost(const interposer::InterposerDesign& design,
+                          const CostParameters& params = {});
+
+}  // namespace gia::cost

@@ -1,0 +1,43 @@
+#include "extract/conductor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/units.hpp"
+
+namespace gia::extract {
+
+using geometry::constants::mu0;
+using geometry::constants::pi;
+
+double trace_resistance_per_m(double width_um, double thickness_um, double resistivity) {
+  if (width_um <= 0 || thickness_um <= 0) throw std::invalid_argument("bad trace geometry");
+  return resistivity / (width_um * 1e-6 * thickness_um * 1e-6);
+}
+
+double via_resistance(double diameter_um, double height_um, double resistivity) {
+  if (diameter_um <= 0 || height_um < 0) throw std::invalid_argument("bad via geometry");
+  const double r = diameter_um * 1e-6 / 2.0;
+  return resistivity * height_um * 1e-6 / (pi * r * r);
+}
+
+double skin_depth_m(double freq_hz, double resistivity) {
+  if (freq_hz <= 0) throw std::invalid_argument("frequency must be positive");
+  return std::sqrt(resistivity / (pi * freq_hz * mu0));
+}
+
+double trace_ac_resistance_per_m(double width_um, double thickness_um, double freq_hz,
+                                 double resistivity) {
+  const double rdc = trace_resistance_per_m(width_um, thickness_um, resistivity);
+  if (freq_hz <= 0) return rdc;
+  const double delta_um = skin_depth_m(freq_hz, resistivity) * 1e6;
+  if (delta_um >= thickness_um / 2.0) return rdc;
+  // Conduction confined to a delta-thick sheet on top and bottom faces
+  // (side faces are negligible for wide traces).
+  const double eff_thickness = 2.0 * delta_um;
+  const double rac = resistivity / (width_um * 1e-6 * eff_thickness * 1e-6);
+  return std::max(rdc, rac);
+}
+
+}  // namespace gia::extract

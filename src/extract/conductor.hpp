@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file conductor.hpp
+/// Conductor loss primitives: DC resistance of rectangular traces and
+/// cylindrical vias, skin depth, and skin-effect-corrected AC resistance.
+
+namespace gia::extract {
+
+/// DC resistance per meter of a rectangular trace [ohm/m].
+double trace_resistance_per_m(double width_um, double thickness_um,
+                              double resistivity = 1.72e-8);
+
+/// DC resistance of a cylindrical via/TSV barrel [ohm].
+double via_resistance(double diameter_um, double height_um, double resistivity = 1.72e-8);
+
+/// Skin depth [m] at frequency f [Hz] in a conductor.
+double skin_depth_m(double freq_hz, double resistivity = 1.72e-8);
+
+/// AC resistance per meter including skin effect: current crowds into a
+/// shell of one skin depth once delta < thickness/2. Returns max(Rdc, Rac).
+double trace_ac_resistance_per_m(double width_um, double thickness_um, double freq_hz,
+                                 double resistivity = 1.72e-8);
+
+}  // namespace gia::extract

@@ -1,0 +1,113 @@
+#include "extract/line_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gia::extract {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::NodeId;
+
+int recommended_sections(double length_um, double data_rate_hz, const Rlgc& rlgc) {
+  const double len_m = length_um * 1e-6;
+  const double tof = len_m * std::sqrt(rlgc.L * rlgc.C);
+  const double f_knee = 5.0 * data_rate_hz;
+  const int n = static_cast<int>(std::ceil(8.0 * tof * f_knee));
+  return std::clamp(n, 3, 40);
+}
+
+namespace {
+
+void add_shunt(Circuit& ckt, NodeId n, double cap, double g_shunt, const std::string& name) {
+  if (cap > 0) ckt.add_capacitor(n, kGround, cap, name + "_c");
+  if (g_shunt > 0) ckt.add_resistor(n, kGround, 1.0 / g_shunt, name + "_g");
+}
+
+}  // namespace
+
+NodeId build_line(Circuit& ckt, NodeId in, const Rlgc& rlgc, double length_um, int sections,
+                  const std::string& prefix) {
+  if (sections < 1) throw std::invalid_argument("need >= 1 section");
+  if (length_um <= 0) return in;
+  const double len_m = length_um * 1e-6;
+  const double r_sec = rlgc.R * len_m / sections;
+  const double l_sec = rlgc.L * len_m / sections;
+  const double c_half = rlgc.C * len_m / sections / 2.0;
+  const double g_half = rlgc.G * len_m / sections / 2.0;
+
+  NodeId cur = in;
+  for (int s = 0; s < sections; ++s) {
+    const std::string tag = prefix + "_s" + std::to_string(s);
+    add_shunt(ckt, cur, c_half, g_half, tag + "_a");
+    NodeId mid = ckt.add_node(tag + "_m");
+    NodeId next = ckt.add_node(tag + "_o");
+    if (r_sec > 0) {
+      ckt.add_resistor(cur, mid, r_sec, tag + "_r");
+    } else {
+      ckt.add_resistor(cur, mid, 1e-6, tag + "_r");  // keep topology regular
+    }
+    ckt.add_inductor(mid, next, std::max(l_sec, 1e-15), tag + "_l");
+    add_shunt(ckt, next, c_half, g_half, tag + "_b");
+    cur = next;
+  }
+  return cur;
+}
+
+CoupledLines build_coupled_lines(Circuit& ckt, NodeId victim_in, NodeId agg1_in, NodeId agg2_in,
+                                 const CoupledRlgc& p, double length_um, int sections,
+                                 const std::string& prefix) {
+  if (sections < 1) throw std::invalid_argument("need >= 1 section");
+  const double len_m = length_um * 1e-6;
+  // self.C counts both neighbors as AC ground; with explicit neighbors the
+  // shunt-to-ground part excludes the mutual terms.
+  const double cg = std::max(p.self.C - 2.0 * p.Cm, 0.1 * p.self.C);
+  const double r_sec = p.self.R * len_m / sections;
+  const double l_sec = std::max(p.self.L * len_m / sections, 1e-15);
+  const double cg_half = cg * len_m / sections / 2.0;
+  const double cm_half = p.Cm * len_m / sections / 2.0;
+  const double g_half = p.self.G * len_m / sections / 2.0;
+
+  NodeId cur[3] = {victim_in, agg1_in, agg2_in};
+  for (int s = 0; s < sections; ++s) {
+    NodeId next[3];
+    int l_idx[3];
+    for (int w = 0; w < 3; ++w) {
+      const std::string tag = prefix + "_w" + std::to_string(w) + "_s" + std::to_string(s);
+      add_shunt(ckt, cur[w], cg_half, g_half, tag + "_a");
+      NodeId mid = ckt.add_node(tag + "_m");
+      next[w] = ckt.add_node(tag + "_o");
+      ckt.add_resistor(cur[w], mid, std::max(r_sec, 1e-6), tag + "_r");
+      l_idx[w] = ckt.add_inductor(mid, next[w], l_sec, tag + "_l");
+      add_shunt(ckt, next[w], cg_half, g_half, tag + "_b");
+    }
+    // Coupling: victim (index 0) to each aggressor; aggressor-to-aggressor
+    // coupling is second-order (they are two pitches apart) and dropped.
+    if (p.Km > 0) {
+      ckt.add_coupling(l_idx[0], l_idx[1], p.Km);
+      ckt.add_coupling(l_idx[0], l_idx[2], p.Km);
+    }
+    if (cm_half > 0) {
+      for (int w = 1; w < 3; ++w) {
+        const std::string tag = prefix + "_cm" + std::to_string(w) + "_s" + std::to_string(s);
+        ckt.add_capacitor(cur[0], cur[w], cm_half, tag + "_a");
+        ckt.add_capacitor(next[0], next[w], cm_half, tag + "_b");
+      }
+    }
+    for (int w = 0; w < 3; ++w) cur[w] = next[w];
+  }
+  return {cur[0], cur[1], cur[2]};
+}
+
+NodeId build_lumped(Circuit& ckt, NodeId in, const LumpedRlc& m, const std::string& prefix) {
+  if (m.C > 0) ckt.add_capacitor(in, kGround, m.C / 2.0, prefix + "_ca");
+  NodeId mid = ckt.add_node(prefix + "_m");
+  NodeId out = ckt.add_node(prefix + "_o");
+  ckt.add_resistor(in, mid, std::max(m.R, 1e-6), prefix + "_r");
+  ckt.add_inductor(mid, out, std::max(m.L, 1e-15), prefix + "_l");
+  if (m.C > 0) ckt.add_capacitor(out, kGround, m.C / 2.0, prefix + "_cb");
+  return out;
+}
+
+}  // namespace gia::extract

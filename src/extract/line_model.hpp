@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "extract/microstrip.hpp"
+#include "extract/via_models.hpp"
+
+/// \file line_model.hpp
+/// Turn extracted per-unit-length parameters into MNA subcircuits: cascaded
+/// RLGC pi-sections for lines (capturing both time-of-flight and distributed
+/// RC delay), lumped R-L-C for vias/bumps/TSVs. This is the equivalent of
+/// the paper's "HyperLynx model -> SPICE netlist" step (Section VII-A).
+
+namespace gia::extract {
+
+/// Recommended section count: >= 8 sections per wavelength at 5x the data
+/// rate, clamped to [3, 40].
+int recommended_sections(double length_um, double data_rate_hz, const Rlgc& rlgc);
+
+/// Build a single line from `in`; returns the output node. `sections`
+/// pi-segments, each with half-shunt capacitors at both ends.
+circuit::NodeId build_line(circuit::Circuit& ckt, circuit::NodeId in, const Rlgc& rlgc,
+                           double length_um, int sections, const std::string& prefix);
+
+/// Three coupled lines at minimum pitch: the victim flanked by two
+/// aggressors, with capacitive (Cm) and inductive (Km) coupling per section.
+struct CoupledLines {
+  circuit::NodeId victim_out = 0;
+  circuit::NodeId agg1_out = 0;
+  circuit::NodeId agg2_out = 0;
+};
+
+CoupledLines build_coupled_lines(circuit::Circuit& ckt, circuit::NodeId victim_in,
+                                 circuit::NodeId agg1_in, circuit::NodeId agg2_in,
+                                 const CoupledRlgc& p, double length_um, int sections,
+                                 const std::string& prefix);
+
+/// Series R-L with C/2 shunts at both ends; returns the output node.
+circuit::NodeId build_lumped(circuit::Circuit& ckt, circuit::NodeId in, const LumpedRlc& m,
+                             const std::string& prefix);
+
+}  // namespace gia::extract

@@ -1,0 +1,75 @@
+#include "extract/microstrip.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "extract/conductor.hpp"
+#include "geometry/units.hpp"
+
+namespace gia::extract {
+
+using geometry::constants::c0;
+using geometry::constants::eps0;
+
+double eps_effective(const TraceGeometry& g) {
+  if (g.width_um <= 0 || g.height_um <= 0) throw std::invalid_argument("bad trace geometry");
+  const double u = g.width_um / g.height_um;
+  return (g.eps_r + 1.0) / 2.0 + (g.eps_r - 1.0) / 2.0 / std::sqrt(1.0 + 12.0 / u);
+}
+
+double char_impedance(const TraceGeometry& g) {
+  const double u = g.width_um / g.height_um;
+  const double ee = eps_effective(g);
+  if (u <= 1.0) {
+    return 60.0 / std::sqrt(ee) * std::log(8.0 / u + u / 4.0);
+  }
+  return 376.73 / (std::sqrt(ee) * (u + 1.393 + 0.667 * std::log(u + 1.444)));
+}
+
+Rlgc microstrip_rlgc(const TraceGeometry& g, double f_ref_hz) {
+  Rlgc out;
+  const double ee = eps_effective(g);
+  const double z0 = char_impedance(g);
+  // Telegrapher identities for the lossless part: v = c0/sqrt(ee),
+  // C = sqrt(ee)/(c0*Z0), L = Z0*sqrt(ee)/c0.
+  out.C = std::sqrt(ee) / (c0 * z0);
+  out.L = z0 * std::sqrt(ee) / c0;
+  out.R = trace_ac_resistance_per_m(g.width_um, g.thickness_um, f_ref_hz);
+  // Dielectric loss at the reference frequency: G = omega * C * tan(delta).
+  out.G = 2.0 * 3.14159265358979323846 * f_ref_hz * out.C * g.loss_tangent;
+  return out;
+}
+
+CoupledRlgc coupled_microstrip_rlgc(const TraceGeometry& g, double f_ref_hz) {
+  if (g.space_um <= 0) throw std::invalid_argument("spacing must be positive");
+  CoupledRlgc out;
+  out.self = microstrip_rlgc(g, f_ref_hz);
+  // Sidewall parallel-plate coupling to one neighbor plus a fringing term
+  // that decays with spacing relative to the plane height.
+  const double plate = eps0 * g.eps_r * (g.thickness_um / g.space_um);
+  const double fringe = 0.5 * eps0 * (1.0 + g.eps_r) / 2.0 *
+                        std::log(1.0 + g.height_um / g.space_um);
+  out.Cm = plate + fringe;
+  // Inductive coupling falls off with the square of center spacing over
+  // height (image-current cancellation by the reference plane).
+  const double pitch = g.width_um + g.space_um;
+  out.Km = 1.0 / (1.0 + std::pow(pitch / g.height_um, 2.0));
+  if (out.Km > 0.7) out.Km = 0.7;  // tightly coupled limit
+  // The victim's total C includes coupling to both neighbors (they are AC
+  // ground for the odd-mode worst case the paper's eye analysis uses).
+  out.self.C += 2.0 * out.Cm;
+  return out;
+}
+
+TraceGeometry min_pitch_geometry(const tech::Technology& tech) {
+  TraceGeometry g;
+  g.width_um = tech.rules.min_wire_width_um;
+  g.space_um = tech.rules.min_wire_space_um;
+  g.thickness_um = tech.rules.metal_thickness_um;
+  g.height_um = tech.rules.dielectric_thickness_um;
+  g.eps_r = tech.rules.dielectric_constant;
+  g.loss_tangent = tech.rdl_dielectric.loss_tangent;
+  return g;
+}
+
+}  // namespace gia::extract

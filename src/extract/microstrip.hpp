@@ -1,0 +1,53 @@
+#pragma once
+
+#include "tech/technology.hpp"
+
+/// \file microstrip.hpp
+/// Closed-form per-unit-length RLGC for interposer RDL traces, modeled as
+/// microstrip over the nearest reference layer (Hammerstad-Jensen), with
+/// lateral neighbor coupling added from the parallel-plate facing of
+/// adjacent trace sidewalls. These are the standard first-order formulas
+/// HyperLynx-class solvers reduce to for sub-GHz signaling.
+
+namespace gia::extract {
+
+/// Per-unit-length line parameters [SI per meter].
+struct Rlgc {
+  double R = 0;  ///< ohm/m
+  double L = 0;  ///< H/m
+  double G = 0;  ///< S/m
+  double C = 0;  ///< F/m (total, including neighbor coupling to AC ground)
+};
+
+/// Coupled three-line (victim + 2 aggressors) parameters.
+struct CoupledRlgc {
+  Rlgc self;     ///< victim line with coupling caps counted to neighbors
+  double Cm = 0; ///< mutual capacitance to ONE neighbor [F/m]
+  double Km = 0; ///< inductive coupling coefficient to one neighbor [0,1)
+};
+
+struct TraceGeometry {
+  double width_um = 2.0;
+  double space_um = 2.0;      ///< edge-to-edge spacing to neighbors
+  double thickness_um = 4.0;  ///< metal thickness
+  double height_um = 15.0;    ///< dielectric height above reference plane
+  double eps_r = 3.3;
+  double loss_tangent = 0.005;
+};
+
+/// Effective permittivity of the microstrip (Hammerstad-Jensen).
+double eps_effective(const TraceGeometry& g);
+
+/// Characteristic impedance [ohm] of the isolated microstrip.
+double char_impedance(const TraceGeometry& g);
+
+/// Isolated-line RLGC at reference frequency f_ref (for R skin effect and G).
+Rlgc microstrip_rlgc(const TraceGeometry& g, double f_ref_hz);
+
+/// Victim-with-neighbors parameters at minimum pitch.
+CoupledRlgc coupled_microstrip_rlgc(const TraceGeometry& g, double f_ref_hz);
+
+/// Trace geometry at minimum width/space on a signal layer of `tech`.
+TraceGeometry min_pitch_geometry(const tech::Technology& tech);
+
+}  // namespace gia::extract

@@ -1,0 +1,74 @@
+#include "extract/via_models.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "extract/conductor.hpp"
+#include "geometry/units.hpp"
+
+namespace gia::extract {
+
+using geometry::constants::eps0;
+using geometry::constants::mu0;
+using geometry::constants::pi;
+
+double cylinder_inductance(double diameter_um, double height_um) {
+  if (diameter_um <= 0 || height_um <= 0) throw std::invalid_argument("bad cylinder");
+  const double h = height_um * 1e-6;
+  const double r = diameter_um * 1e-6 / 2.0;
+  // Rosa's partial self-inductance of a straight round wire.
+  return mu0 / (2.0 * pi) * h * (std::log(2.0 * h / r) - 0.75);
+}
+
+LumpedRlc tsv_model(const tech::ViaSpec& v) {
+  LumpedRlc m;
+  m.R = via_resistance(v.diameter_um, v.height_um);
+  m.L = cylinder_inductance(v.diameter_um, v.height_um);
+  // Oxide liner MOS capacitance: coaxial through the liner. The depletion
+  // region roughly halves the effective value; folded into the 0.5 factor.
+  const double liner = std::max(v.liner_um, 0.05);
+  const double r_in = v.diameter_um * 1e-6 / 2.0;
+  const double r_out = r_in + liner * 1e-6;
+  const double c_ox = 2.0 * pi * 3.9 * eps0 * v.height_um * 1e-6 / std::log(r_out / r_in);
+  m.C = 0.5 * c_ox;
+  return m;
+}
+
+LumpedRlc tgv_model(const tech::ViaSpec& v, double eps_r_glass) {
+  LumpedRlc m;
+  m.R = via_resistance(v.diameter_um, v.height_um);
+  m.L = cylinder_inductance(v.diameter_um, v.height_um);
+  // Glass is the dielectric all the way to the neighboring via: a weak
+  // two-wire line capacitance at the via pitch.
+  const double d = v.pitch_um * 1e-6;
+  const double r = v.diameter_um * 1e-6 / 2.0;
+  if (d <= 2.0 * r) throw std::invalid_argument("via pitch smaller than diameter");
+  m.C = pi * eps_r_glass * eps0 * v.height_um * 1e-6 / std::acosh(d / (2.0 * r));
+  return m;
+}
+
+LumpedRlc microbump_model(const tech::ViaSpec& v) {
+  LumpedRlc m;
+  // Solder resistivity is ~7.5x copper.
+  m.R = via_resistance(v.diameter_um, v.height_um, 1.3e-7);
+  m.L = cylinder_inductance(v.diameter_um, v.height_um);
+  // Pad-to-pad fringing to neighbors through underfill (eps_r ~ 3.6).
+  const double pad_area = pi * std::pow(v.diameter_um * 1e-6 / 2.0, 2.0);
+  m.C = 3.6 * eps0 * pad_area / (v.pitch_um * 1e-6) * 4.0;  // 4 neighbors
+  return m;
+}
+
+LumpedRlc stacked_rdl_via_model(const tech::ViaSpec& v, int levels, double eps_r_diel) {
+  if (levels < 1) throw std::invalid_argument("need >= 1 via level");
+  LumpedRlc m;
+  const double total_h = v.height_um * levels;
+  m.R = via_resistance(v.diameter_um, total_h);
+  m.L = cylinder_inductance(v.diameter_um, total_h);
+  // Landing-pad parallel plates at each level dominate the capacitance.
+  const double pad_d = v.diameter_um * 1.5;  // pad overhang
+  const double pad_area = pi * std::pow(pad_d * 1e-6 / 2.0, 2.0);
+  m.C = levels * eps_r_diel * eps0 * pad_area / (v.height_um * 1e-6);
+  return m;
+}
+
+}  // namespace gia::extract

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "tech/technology.hpp"
+
+/// \file via_models.hpp
+/// Lumped RLC models of the vertical interconnects: TSVs (with oxide liner
+/// MOS capacitance to the silicon substrate), TGVs (no liner -- glass is the
+/// insulator), micro-bumps and stacked RDL vias. Closed forms follow the
+/// models of Kim et al. (paper ref [23]) that the authors calibrate their
+/// HFSS extractions against.
+
+namespace gia::extract {
+
+/// Series R-L with shunt C to the substrate/return, adequate below ~10 GHz.
+struct LumpedRlc {
+  double R = 0;  ///< ohm
+  double L = 0;  ///< H
+  double C = 0;  ///< F (split C/2 at each end when building circuits)
+};
+
+/// TSV through silicon: copper barrel + SiO2 liner capacitance to substrate.
+LumpedRlc tsv_model(const tech::ViaSpec& v);
+
+/// TGV through glass: same barrel, but the capacitance is only the weak
+/// coax-like coupling to neighboring vias through the glass.
+LumpedRlc tgv_model(const tech::ViaSpec& v, double eps_r_glass = 5.3);
+
+/// Solder micro-bump joining two dies or die to interposer.
+LumpedRlc microbump_model(const tech::ViaSpec& v);
+
+/// Stacked RDL via chain through `levels` build-up layers (Glass 3D
+/// vertical logic<->memory path).
+LumpedRlc stacked_rdl_via_model(const tech::ViaSpec& v, int levels, double eps_r_diel);
+
+/// Partial self-inductance of a cylindrical conductor [H].
+double cylinder_inductance(double diameter_um, double height_um);
+
+}  // namespace gia::extract

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+/// \file grid.hpp
+/// Dense 2D grid with value semantics, used by routers (capacity/usage maps),
+/// the PDN IR-drop mesh and the thermal solver layers.
+
+namespace gia::geometry {
+
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+  Grid(int nx, int ny, T init = T{}) : nx_(nx), ny_(ny), data_(static_cast<std::size_t>(nx) * ny, init) {
+    assert(nx >= 0 && ny >= 0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  bool in_bounds(int x, int y) const { return x >= 0 && x < nx_ && y >= 0 && y < ny_; }
+
+  T& at(int x, int y) {
+    assert(in_bounds(x, y));
+    return data_[static_cast<std::size_t>(y) * nx_ + x];
+  }
+  const T& at(int x, int y) const {
+    assert(in_bounds(x, y));
+    return data_[static_cast<std::size_t>(y) * nx_ + x];
+  }
+
+  void fill(const T& v) { data_.assign(data_.size(), v); }
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+
+ private:
+  int nx_ = 0, ny_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace gia::geometry

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+/// \file point.hpp
+/// 2D point/vector in micrometers with Manhattan, Euclidean and octilinear
+/// distance helpers. Octilinear distance is the shortest path length when 45
+/// degree segments are allowed, which is the routing style used by the
+/// organic (Shinko/APX) interposers in the paper.
+
+namespace gia::geometry {
+
+struct Point {
+  double x = 0.0;  ///< micrometers
+  double y = 0.0;  ///< micrometers
+
+  friend constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Point operator*(double s, Point a) { return a * s; }
+  friend constexpr bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// L1 (Manhattan) distance: the wirelength of an ideal two-pin net routed
+/// with horizontal/vertical segments only.
+inline double manhattan_distance(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean distance.
+inline double euclidean_distance(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Shortest path length when 0/45/90 degree segments are allowed
+/// (octilinear / X-routing). For dx >= dy the path is (dx - dy) straight
+/// plus dy * sqrt(2) diagonal.
+inline double octilinear_distance(Point a, Point b) {
+  const double dx = std::abs(a.x - b.x);
+  const double dy = std::abs(a.y - b.y);
+  const double lo = std::min(dx, dy);
+  const double hi = std::max(dx, dy);
+  return (hi - lo) + lo * std::sqrt(2.0);
+}
+
+}  // namespace gia::geometry

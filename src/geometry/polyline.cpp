@@ -1,0 +1,34 @@
+#include "geometry/polyline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gia::geometry {
+
+double Polyline::length() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    total += euclidean_distance(pts_[i - 1].p, pts_[i].p);
+  }
+  return total;
+}
+
+int Polyline::via_count() const {
+  int vias = 0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    vias += std::abs(pts_[i].layer - pts_[i - 1].layer);
+  }
+  return vias;
+}
+
+std::pair<int, int> Polyline::layer_span() const {
+  if (pts_.empty()) return {0, 0};
+  int lo = pts_.front().layer, hi = lo;
+  for (const auto& pp : pts_) {
+    lo = std::min(lo, pp.layer);
+    hi = std::max(hi, pp.layer);
+  }
+  return {lo, hi};
+}
+
+}  // namespace gia::geometry

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/point.hpp"
+
+/// \file polyline.hpp
+/// A routed wire path: ordered points plus the layer each segment runs on.
+/// Layer changes between consecutive points imply vias.
+
+namespace gia::geometry {
+
+struct PolylinePoint {
+  Point p;
+  int layer = 0;  ///< metal layer index the wire *arrives* on at this point
+};
+
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<PolylinePoint> pts) : pts_(std::move(pts)) {}
+
+  void append(Point p, int layer) { pts_.push_back({p, layer}); }
+  const std::vector<PolylinePoint>& points() const { return pts_; }
+  bool empty() const { return pts_.empty(); }
+  std::size_t size() const { return pts_.size(); }
+
+  /// Total in-plane length (Euclidean per segment; exact for Manhattan and
+  /// octilinear routes since their segments are straight).
+  double length() const;
+
+  /// Number of layer transitions along the path (each is one via, stacked
+  /// vias counted per layer hop).
+  int via_count() const;
+
+  /// Highest and lowest layer touched; {0,0} when empty.
+  std::pair<int, int> layer_span() const;
+
+ private:
+  std::vector<PolylinePoint> pts_;
+};
+
+}  // namespace gia::geometry

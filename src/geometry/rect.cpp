@@ -1,0 +1,38 @@
+#include "geometry/rect.hpp"
+
+#include <limits>
+
+namespace gia::geometry {
+
+Rect Rect::united(const Rect& r) const {
+  return {std::min(lx, r.lx), std::min(ly, r.ly), std::max(ux, r.ux), std::max(uy, r.uy)};
+}
+
+Rect Rect::intersected(const Rect& r) const {
+  Rect out{std::max(lx, r.lx), std::max(ly, r.ly), std::min(ux, r.ux), std::min(uy, r.uy)};
+  if (out.ux < out.lx) out.ux = out.lx;
+  if (out.uy < out.ly) out.uy = out.ly;
+  return out;
+}
+
+Rect Rect::inflated(double margin) const {
+  Rect out{lx - margin, ly - margin, ux + margin, uy + margin};
+  if (out.ux < out.lx) out.lx = out.ux = (out.lx + out.ux) / 2;
+  if (out.uy < out.ly) out.ly = out.uy = (out.ly + out.uy) / 2;
+  return out;
+}
+
+double hpwl(const Point* pts, int n) {
+  if (n <= 1) return 0.0;
+  double min_x = std::numeric_limits<double>::max(), max_x = std::numeric_limits<double>::lowest();
+  double min_y = min_x, max_y = max_x;
+  for (int i = 0; i < n; ++i) {
+    min_x = std::min(min_x, pts[i].x);
+    max_x = std::max(max_x, pts[i].x);
+    min_y = std::min(min_y, pts[i].y);
+    max_y = std::max(max_y, pts[i].y);
+  }
+  return (max_x - min_x) + (max_y - min_y);
+}
+
+}  // namespace gia::geometry

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <algorithm>
+
+#include "geometry/point.hpp"
+
+/// \file rect.hpp
+/// Axis-aligned rectangle in micrometers. Used for die outlines, interposer
+/// footprints, routing regions and thermal tiles.
+
+namespace gia::geometry {
+
+struct Rect {
+  double lx = 0.0, ly = 0.0;  ///< lower-left corner [um]
+  double ux = 0.0, uy = 0.0;  ///< upper-right corner [um]
+
+  static Rect from_center(Point c, double width, double height) {
+    return {c.x - width / 2, c.y - height / 2, c.x + width / 2, c.y + height / 2};
+  }
+
+  double width() const { return ux - lx; }
+  double height() const { return uy - ly; }
+  double area() const { return width() * height(); }
+  Point center() const { return {(lx + ux) / 2, (ly + uy) / 2}; }
+  bool valid() const { return ux >= lx && uy >= ly; }
+
+  bool contains(Point p) const { return p.x >= lx && p.x <= ux && p.y >= ly && p.y <= uy; }
+  bool contains(const Rect& r) const {
+    return r.lx >= lx && r.ux <= ux && r.ly >= ly && r.uy <= uy;
+  }
+  bool overlaps(const Rect& r) const {
+    return !(r.lx >= ux || r.ux <= lx || r.ly >= uy || r.uy <= ly);
+  }
+
+  /// Smallest rectangle covering both. Either may be degenerate.
+  Rect united(const Rect& r) const;
+  /// Intersection; degenerate (zero-area) rect when disjoint.
+  Rect intersected(const Rect& r) const;
+  /// Rectangle grown by `margin` on all four sides (shrunk when negative).
+  Rect inflated(double margin) const;
+};
+
+/// Half-perimeter wirelength of the bounding box of a point set — the
+/// standard placement wirelength estimate.
+double hpwl(const Point* pts, int n);
+
+}  // namespace gia::geometry

@@ -1,0 +1,62 @@
+#include "interposer/design.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tech/library.hpp"
+
+namespace gia::interposer {
+
+const RoutedNet* InterposerDesign::worst_net(TopNetKind kind) const {
+  const RoutedNet* best = nullptr;
+  for (const auto& rn : routes.nets) {
+    if (rn.kind != kind || rn.vertical) continue;
+    if (best == nullptr || rn.length_um > best->length_um) best = &rn;
+  }
+  return best;
+}
+
+double InterposerDesign::max_wl_um(TopNetKind kind) const {
+  const auto* w = worst_net(kind);
+  return w == nullptr ? 0.0 : w->length_um;
+}
+
+double InterposerDesign::avg_wl_um(TopNetKind kind) const {
+  double total = 0;
+  int n = 0;
+  for (const auto& rn : routes.nets) {
+    if (rn.kind != kind || rn.vertical) continue;
+    total += rn.length_um;
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / n;
+}
+
+InterposerDesign build_interposer_design(tech::TechnologyKind kind, const ChipletInputs& inputs,
+                                         const RouterOptions& router_opts,
+                                         const FloorplanOptions& fp_opts) {
+  InterposerDesign d;
+  d.technology = tech::make_technology(kind);
+  if (d.technology.integration == tech::IntegrationStyle::SingleDie) {
+    throw std::invalid_argument("monolithic reference has no interposer design");
+  }
+  d.plans = chiplet::plan_chiplet_pair(inputs.logic_signal_ios, inputs.memory_signal_ios,
+                                       inputs.logic_cell_area_um2, inputs.memory_cell_area_um2,
+                                       d.technology);
+  d.floorplan = place_dies(d.technology, d.plans.logic, d.plans.memory, fp_opts);
+  // Net counts follow the partition: every memory signal is an intra-tile
+  // L2M net; the logic die's remaining signals are the inter-tile bundle.
+  // Unconventional partitions (flattened FM at odd balance points) can give
+  // the memory die more I/O than the logic die; clamp so both windows fit
+  // their dies' signal-bump fields.
+  NetAssignOptions na;
+  na.l2l_total = std::clamp(inputs.logic_signal_ios - inputs.memory_signal_ios, 1,
+                            std::max(1, inputs.logic_signal_ios - 1));
+  na.l2m_per_tile =
+      std::min(inputs.memory_signal_ios, inputs.logic_signal_ios - na.l2l_total);
+  d.top_nets = assign_top_nets(d.technology, d.floorplan, na);
+  d.routes = route_interposer(d.technology, d.floorplan, d.top_nets, router_opts);
+  return d;
+}
+
+}  // namespace gia::interposer

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "chiplet/bump_plan.hpp"
+#include "interposer/floorplan.hpp"
+#include "interposer/net_assign.hpp"
+#include "interposer/router.hpp"
+
+/// \file design.hpp
+/// End-to-end interposer design for one technology: bump planning, die
+/// placement, net assignment, routing -- the layout half of Table IV.
+
+namespace gia::interposer {
+
+/// Chiplet-side inputs to the interposer design; defaults are the paper's
+/// published per-tile statistics (Table II / III).
+struct ChipletInputs {
+  int logic_signal_ios = 299;
+  int memory_signal_ios = 231;
+  double logic_cell_area_um2 = 167495 * 2.58;
+  double memory_cell_area_um2 = 30000 * 15.9 + 7091 * 2.58;
+};
+
+struct InterposerDesign {
+  tech::Technology technology;
+  chiplet::ChipletPair plans;
+  InterposerFloorplan floorplan;
+  std::vector<TopNet> top_nets;
+  RouteResult routes;
+
+  double footprint_w_mm() const { return floorplan.outline.width() * 1e-3; }
+  double footprint_h_mm() const { return floorplan.outline.height() * 1e-3; }
+  double area_mm2() const { return floorplan.area_mm2(); }
+
+  /// Longest laterally routed net of a kind; nullptr when all are vertical.
+  const RoutedNet* worst_net(TopNetKind kind) const;
+  /// Lateral length of the longest net of a kind (0 when vertical).
+  double max_wl_um(TopNetKind kind) const;
+  /// Average lateral length of nets of a kind.
+  double avg_wl_um(TopNetKind kind) const;
+};
+
+InterposerDesign build_interposer_design(tech::TechnologyKind kind,
+                                         const ChipletInputs& inputs = {},
+                                         const RouterOptions& router_opts = {},
+                                         const FloorplanOptions& fp_opts = {});
+
+}  // namespace gia::interposer

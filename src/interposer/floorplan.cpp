@@ -1,0 +1,95 @@
+#include "interposer/floorplan.hpp"
+
+#include <stdexcept>
+
+namespace gia::interposer {
+
+using geometry::Point;
+using geometry::Rect;
+using netlist::ChipletSide;
+
+Point PlacedDie::bump_at(std::size_t site) const {
+  if (plan == nullptr || site >= plan->bump_sites.size()) {
+    throw std::out_of_range("bad bump site");
+  }
+  const Point local = plan->bump_sites[site];
+  return {outline.lx + local.x, outline.ly + local.y};
+}
+
+const PlacedDie& InterposerFloorplan::die(ChipletSide side, int tile) const {
+  for (const auto& d : dies) {
+    if (d.side == side && d.tile == tile) return d;
+  }
+  throw std::out_of_range("no such die");
+}
+
+InterposerFloorplan place_dies(const tech::Technology& tech, const chiplet::BumpPlan& logic_plan,
+                               const chiplet::BumpPlan& memory_plan,
+                               const FloorplanOptions& opts) {
+  InterposerFloorplan fp;
+  const double lw = logic_plan.width_um;
+  const double mw = memory_plan.width_um;
+  const double gap = tech.rules.die_to_die_spacing_um;
+  double margin = opts.silicon_margin_um;
+  if (tech.kind == tech::TechnologyKind::Glass25D) margin = opts.glass_margin_um;
+  if (tech.kind == tech::TechnologyKind::Shinko || tech.kind == tech::TechnologyKind::APX) {
+    margin = opts.organic_margin_um;
+  }
+
+  auto add_die = [&](const std::string& name, ChipletSide side, int tile, double lx, double ly,
+                     double w, bool embedded, const chiplet::BumpPlan* plan) {
+    fp.dies.push_back({name, side, tile, Rect{lx, ly, lx + w, ly + w}, embedded, plan});
+  };
+
+  switch (tech.integration) {
+    case tech::IntegrationStyle::SideBySide: {
+      // 2x2: logic dies share the left column (inter-tile link runs between
+      // them); each memory die sits to the right of its logic die (Fig 10b).
+      const double x0 = margin, y0 = margin;
+      add_die("tile0/logic", ChipletSide::Logic, 0, x0, y0, lw, false, &logic_plan);
+      add_die("tile0/mem", ChipletSide::Memory, 0, x0 + lw + gap, y0 + (lw - mw) / 2, mw, false,
+              &memory_plan);
+      const double y1 = y0 + lw + gap;
+      add_die("tile1/logic", ChipletSide::Logic, 1, x0, y1, lw, false, &logic_plan);
+      add_die("tile1/mem", ChipletSide::Memory, 1, x0 + lw + gap, y1 + (lw - mw) / 2, mw, false,
+              &memory_plan);
+      const double w = margin * 2 + lw + gap + mw;
+      const double h = margin * 2 + lw + gap + lw;
+      fp.outline = {0, 0, w, h};
+      break;
+    }
+    case tech::IntegrationStyle::EmbeddedDie: {
+      // Glass 3D: each memory die is embedded in a cavity directly under its
+      // logic die; the two logic dies sit side by side (Fig 10a). The
+      // interposer shrinks to little more than the two logic dies.
+      const double m = 50.0;  // cavity process needs only a slim ring
+      const double x0 = m, y0 = 2.0 * m;
+      add_die("tile0/logic", ChipletSide::Logic, 0, x0, y0, lw, false, &logic_plan);
+      add_die("tile0/mem", ChipletSide::Memory, 0, x0 + (lw - mw) / 2, y0 + (lw - mw) / 2, mw,
+              true, &memory_plan);
+      const double x1 = x0 + lw + gap;
+      add_die("tile1/logic", ChipletSide::Logic, 1, x1, y0, lw, false, &logic_plan);
+      add_die("tile1/mem", ChipletSide::Memory, 1, x1 + (lw - mw) / 2, y0 + (lw - mw) / 2, mw,
+              true, &memory_plan);
+      fp.outline = {0, 0, x1 + lw + m, lw + 4.0 * m};
+      break;
+    }
+    case tech::IntegrationStyle::TsvStack: {
+      // No interposer: all four dies stack within one footprint (Fig 5).
+      add_die("tile0/mem", ChipletSide::Memory, 0, 0, 0, lw, false, &memory_plan);
+      add_die("tile0/logic", ChipletSide::Logic, 0, 0, 0, lw, false, &logic_plan);
+      add_die("tile1/logic", ChipletSide::Logic, 1, 0, 0, lw, false, &logic_plan);
+      add_die("tile1/mem", ChipletSide::Memory, 1, 0, 0, lw, false, &memory_plan);
+      fp.outline = {0, 0, lw, lw};
+      break;
+    }
+    case tech::IntegrationStyle::SingleDie: {
+      // 2D monolithic reference: Table IV fixes it at 1.6 x 1.6 mm.
+      fp.outline = {0, 0, 1600, 1600};
+      break;
+    }
+  }
+  return fp;
+}
+
+}  // namespace gia::interposer

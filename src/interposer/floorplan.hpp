@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chiplet/bump_plan.hpp"
+#include "geometry/rect.hpp"
+#include "tech/technology.hpp"
+
+/// \file floorplan.hpp
+/// Die placement on the interposer (Section VI-A / Fig 10). Side-by-side
+/// technologies place the four chiplets in a 2x2 array with the two logic
+/// dies adjacent (they carry the inter-tile NoC link); Glass 3D embeds each
+/// memory die directly beneath its logic die; Silicon 3D has no interposer
+/// at all -- the four dies share one footprint.
+
+namespace gia::interposer {
+
+struct PlacedDie {
+  std::string name;                    ///< e.g. "tile0/logic"
+  netlist::ChipletSide side = netlist::ChipletSide::Logic;
+  int tile = 0;
+  geometry::Rect outline;              ///< in interposer coordinates [um]
+  bool embedded = false;               ///< inside a glass cavity (Fig 1b)
+  const chiplet::BumpPlan* plan = nullptr;
+
+  /// A bump site in interposer coordinates.
+  geometry::Point bump_at(std::size_t site) const;
+};
+
+struct FloorplanOptions {
+  /// Clearance from dies to the interposer edge, per substrate class: the
+  /// TGV ring on glass needs a wide keep-out, silicon's TSV field is tight,
+  /// organic PTH fields are coarsest. Calibrated to Table IV's footprints.
+  double glass_margin_um = 240.0;
+  double silicon_margin_um = 130.0;
+  double organic_margin_um = 320.0;
+};
+
+struct InterposerFloorplan {
+  geometry::Rect outline;  ///< interposer die [um]
+  std::vector<PlacedDie> dies;
+  double area_mm2() const { return outline.area() * 1e-6; }
+
+  const PlacedDie& die(netlist::ChipletSide side, int tile) const;
+};
+
+/// Place two tiles' worth of chiplets for the given technology.
+InterposerFloorplan place_dies(const tech::Technology& tech, const chiplet::BumpPlan& logic_plan,
+                               const chiplet::BumpPlan& memory_plan,
+                               const FloorplanOptions& opts = {});
+
+}  // namespace gia::interposer

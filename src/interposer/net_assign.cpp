@@ -1,0 +1,124 @@
+#include "interposer/net_assign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gia::interposer {
+
+using geometry::Point;
+using netlist::ChipletSide;
+
+namespace {
+
+/// Signal bump sites of a die in interposer coordinates, ordered by the
+/// projection onto `axis` (pairing facing edges in the same order avoids
+/// crossings, like the structured pattern assignment in the paper's flow).
+std::vector<Point> ordered_signal_sites(const PlacedDie& die, Point toward, int count,
+                                        int skip = 0) {
+  struct Scored {
+    Point p;
+    double toward_d;
+    double along;
+  };
+  const Point axis{die.outline.center().x - toward.x, die.outline.center().y - toward.y};
+  const double norm = std::hypot(axis.x, axis.y);
+  const Point dir = norm > 0 ? Point{axis.x / norm, axis.y / norm} : Point{1, 0};
+  // Canonical perpendicular: both dies of a pair must order their windows
+  // along the SAME global axis or every pairing crosses. Normalize the sign.
+  Point perp{-dir.y, dir.x};
+  if (perp.y < 0 || (perp.y == 0 && perp.x < 0)) perp = {-perp.x, -perp.y};
+
+  std::vector<Scored> scored;
+  const int signal_count = die.plan->signal_bumps;
+  scored.reserve(static_cast<std::size_t>(signal_count));
+  for (int s = 0; s < signal_count; ++s) {
+    const Point p = die.bump_at(static_cast<std::size_t>(s));
+    scored.push_back({p, p.x * dir.x + p.y * dir.y, p.x * perp.x + p.y * perp.y});
+  }
+  // Nearest to the target die first (most negative along `dir`).
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.toward_d < b.toward_d;
+  });
+  if (skip + count > static_cast<int>(scored.size())) throw std::logic_error("not enough bumps");
+  std::vector<Scored> pick(scored.begin() + skip, scored.begin() + skip + count);
+  // Order the picked window along the facing edge.
+  std::sort(pick.begin(), pick.end(), [](const Scored& a, const Scored& b) {
+    return a.along < b.along;
+  });
+  std::vector<Point> out;
+  out.reserve(pick.size());
+  for (const auto& s : pick) out.push_back(s.p);
+  return out;
+}
+
+}  // namespace
+
+std::vector<TopNet> assign_top_nets(const tech::Technology& tech, const InterposerFloorplan& fp,
+                                    const NetAssignOptions& opts) {
+  std::vector<TopNet> nets;
+  int id = 0;
+  const bool vertical_l2m = tech.integration == tech::IntegrationStyle::EmbeddedDie ||
+                            tech.integration == tech::IntegrationStyle::TsvStack;
+  const bool vertical_l2l = tech.integration == tech::IntegrationStyle::TsvStack;
+
+  const auto& l0 = fp.die(ChipletSide::Logic, 0);
+  const auto& l1 = fp.die(ChipletSide::Logic, 1);
+
+  // Inter-tile L2L first: it claims the logic bumps facing the other logic
+  // die; L2M then uses the next window of bumps toward the memory die.
+  {
+    const auto a_sites = ordered_signal_sites(l0, l1.outline.center(), opts.l2l_total);
+    const auto b_sites = ordered_signal_sites(l1, l0.outline.center(), opts.l2l_total);
+    for (int i = 0; i < opts.l2l_total; ++i) {
+      TopNet n;
+      n.id = id++;
+      n.name = "l2l_" + std::to_string(i);
+      n.kind = TopNetKind::LogicToLogic;
+      n.tile = 0;
+      n.a = a_sites[static_cast<std::size_t>(i)];
+      n.b = b_sites[static_cast<std::size_t>(i)];
+      n.vertical = vertical_l2l;
+      nets.push_back(n);
+    }
+  }
+
+  for (int t = 0; t < 2; ++t) {
+    const auto& logic = fp.die(ChipletSide::Logic, t);
+    const auto& mem = fp.die(ChipletSide::Memory, t);
+    if (vertical_l2m) {
+      // Stacked connections: logic bump i sits directly over memory bump i.
+      for (int i = 0; i < opts.l2m_per_tile; ++i) {
+        TopNet n;
+        n.id = id++;
+        n.name = "t" + std::to_string(t) + "_l2m_" + std::to_string(i);
+        n.kind = TopNetKind::LogicToMemory;
+        n.tile = t;
+        n.a = logic.bump_at(static_cast<std::size_t>(i));
+        n.b = mem.bump_at(static_cast<std::size_t>(i % mem.plan->signal_bumps));
+        n.vertical = true;
+        nets.push_back(n);
+      }
+      continue;
+    }
+    const auto& other_logic = fp.die(ChipletSide::Logic, 1 - t);
+    // Skip the L2L window on the logic die.
+    const auto a_sites = ordered_signal_sites(logic, mem.outline.center(), opts.l2m_per_tile,
+                                              /*skip*/ 0);
+    const auto b_sites = ordered_signal_sites(mem, logic.outline.center(), opts.l2m_per_tile);
+    (void)other_logic;
+    for (int i = 0; i < opts.l2m_per_tile; ++i) {
+      TopNet n;
+      n.id = id++;
+      n.name = "t" + std::to_string(t) + "_l2m_" + std::to_string(i);
+      n.kind = TopNetKind::LogicToMemory;
+      n.tile = t;
+      n.a = a_sites[static_cast<std::size_t>(i)];
+      n.b = b_sites[static_cast<std::size_t>(i)];
+      nets.push_back(n);
+    }
+  }
+  return nets;
+}
+
+}  // namespace gia::interposer

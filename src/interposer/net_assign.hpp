@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interposer/floorplan.hpp"
+
+/// \file net_assign.hpp
+/// Top-level net creation and bump assignment (Section VI-A). Each tile
+/// contributes 231 logic<->memory signals; the two tiles share 68 serialized
+/// logic<->logic signals. Signal bumps on facing die edges are paired in
+/// order, which is what the Xpedition flow's structured 2x4 pattern
+/// assignment achieves.
+
+namespace gia::interposer {
+
+enum class TopNetKind {
+  LogicToMemory,  ///< intra-tile
+  LogicToLogic    ///< inter-tile (serialized NoC)
+};
+
+struct TopNet {
+  int id = 0;
+  std::string name;
+  TopNetKind kind = TopNetKind::LogicToMemory;
+  int tile = 0;  ///< owning tile for L2M; 0 for the L2L bundle
+  geometry::Point a, b;  ///< bump positions in interposer coordinates
+  /// True when the two bumps are vertically aligned (Glass 3D stacked-via
+  /// nets) and no lateral routing is needed.
+  bool vertical = false;
+};
+
+struct NetAssignOptions {
+  int l2m_per_tile = 231;  ///< Section IV-A
+  int l2l_total = 68;      ///< after SerDes
+};
+
+/// Build the top-level netlist with bump coordinates for this floorplan.
+/// For EmbeddedDie technologies, L2M nets become vertical stacked-via nets.
+std::vector<TopNet> assign_top_nets(const tech::Technology& tech,
+                                    const InterposerFloorplan& fp,
+                                    const NetAssignOptions& opts = {});
+
+}  // namespace gia::interposer

@@ -1,0 +1,305 @@
+#include "interposer/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace gia::interposer {
+
+using geometry::Point;
+using geometry::Polyline;
+
+namespace {
+
+struct GridCtx {
+  int nx, ny, layers;
+  double cell_w, cell_h;
+  double ox, oy;  ///< outline origin
+  bool manhattan;
+
+  int clamp_x(int x) const { return std::clamp(x, 0, nx - 1); }
+  int clamp_y(int y) const { return std::clamp(y, 0, ny - 1); }
+  int cell_of_x(double ux) const { return clamp_x(static_cast<int>((ux - ox) / cell_w)); }
+  int cell_of_y(double uy) const { return clamp_y(static_cast<int>((uy - oy) / cell_h)); }
+  double x_of(int cx) const { return ox + (cx + 0.5) * cell_w; }
+  double y_of(int cy) const { return oy + (cy + 0.5) * cell_h; }
+  std::size_t idx(int x, int y, int l) const {
+    return (static_cast<std::size_t>(l) * ny + y) * nx + x;
+  }
+  std::size_t size() const { return static_cast<std::size_t>(nx) * ny * layers; }
+};
+
+struct Move {
+  int dx, dy, dl;
+  double base_cost;  ///< um-equivalent
+};
+
+/// One net's routing workspace shared across passes.
+struct Workspace {
+  GridCtx g;
+  const RouterOptions* opts = nullptr;
+  std::vector<double> capacity;
+  std::vector<double> usage;
+  std::vector<std::vector<Move>> layer_moves;
+  std::vector<double> dist;
+  std::vector<int> prev;
+
+  double congestion_cost(std::size_t node) const {
+    const double u = usage[node] / capacity[node];
+    double mult = 1.0 + opts->congestion_weight * u * u;
+    if (u >= 1.0) mult += opts->overflow_penalty * (u - 1.0 + 0.05);
+    return mult;
+  }
+};
+
+/// Route one lateral net; fills the RoutedNet and the list of grid cells it
+/// occupies (for rip-up). Throws when no path exists at all.
+void route_one(Workspace& ws, const TopNet& net, RoutedNet& rn,
+               std::vector<std::size_t>& cells) {
+  const auto& g = ws.g;
+  const auto& opts = *ws.opts;
+  const double dw = g.cell_w, dh = g.cell_h;
+
+  const int ax = g.cell_of_x(net.a.x), ay = g.cell_of_y(net.a.y);
+  const int bx = g.cell_of_x(net.b.x), by = g.cell_of_y(net.b.y);
+
+  std::fill(ws.dist.begin(), ws.dist.end(), std::numeric_limits<double>::infinity());
+  std::fill(ws.prev.begin(), ws.prev.end(), -1);
+  using QEntry = std::pair<double, std::size_t>;  // (f = cost + h, node)
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+  auto heuristic = [&](int x, int y) {
+    return std::abs(x - bx) * dw * 0.999 + std::abs(y - by) * dh * 0.999;
+  };
+  // Bumps land on the top layer; escaping down to layer l costs l+1 vias.
+  for (int l = 0; l < g.layers; ++l) {
+    const std::size_t s = g.idx(ax, ay, l);
+    const double c = (l + 1) * opts.via_cost_um;
+    if (c < ws.dist[s]) {
+      ws.dist[s] = c;
+      pq.push({c + heuristic(ax, ay), s});
+    }
+  }
+  std::size_t goal = std::numeric_limits<std::size_t>::max();
+  while (!pq.empty()) {
+    const auto [f, node] = pq.top();
+    pq.pop();
+    const int l = static_cast<int>(node / (static_cast<std::size_t>(g.nx) * g.ny));
+    const int rem = static_cast<int>(node % (static_cast<std::size_t>(g.nx) * g.ny));
+    const int y = rem / g.nx, x = rem % g.nx;
+    const double d = ws.dist[node];
+    if (f - heuristic(x, y) > d + 1e-9) continue;  // stale entry
+    if (x == bx && y == by) {
+      goal = node;
+      break;
+    }
+    for (const auto& mv : ws.layer_moves[static_cast<std::size_t>(l)]) {
+      const int nx2 = x + mv.dx, ny2 = y + mv.dy, nl = l + mv.dl;
+      if (nx2 < 0 || nx2 >= g.nx || ny2 < 0 || ny2 >= g.ny || nl < 0 || nl >= g.layers) continue;
+      const std::size_t nn = g.idx(nx2, ny2, nl);
+      const double step = mv.dl != 0 ? mv.base_cost : mv.base_cost * ws.congestion_cost(nn);
+      if (d + step < ws.dist[nn] - 1e-12) {
+        ws.dist[nn] = d + step;
+        ws.prev[nn] = static_cast<int>(node);
+        pq.push({ws.dist[nn] + heuristic(nx2, ny2), nn});
+      }
+    }
+  }
+  if (goal == std::numeric_limits<std::size_t>::max()) {
+    throw std::runtime_error("unroutable net " + net.name);
+  }
+
+  // Recover the path, accumulate usage, build the polyline.
+  std::vector<std::size_t> chain;
+  for (std::size_t n = goal;;) {
+    chain.push_back(n);
+    const int p = ws.prev[n];
+    if (p < 0) break;
+    n = static_cast<std::size_t>(p);
+  }
+  std::reverse(chain.begin(), chain.end());
+  Polyline path;
+  double lateral = 0;
+  int vias = 0;
+  {
+    const int l0 = static_cast<int>(chain.front() / (static_cast<std::size_t>(g.nx) * g.ny));
+    const int le = static_cast<int>(chain.back() / (static_cast<std::size_t>(g.nx) * g.ny));
+    vias += (l0 + 1) + (le + 1);  // entry + exit escapes
+  }
+  int prev_x = -1, prev_y = -1, prev_l = -1;
+  cells.clear();
+  for (std::size_t n : chain) {
+    const int l = static_cast<int>(n / (static_cast<std::size_t>(g.nx) * g.ny));
+    const int rem = static_cast<int>(n % (static_cast<std::size_t>(g.nx) * g.ny));
+    const int y = rem / g.nx, x = rem % g.nx;
+    if (prev_x >= 0) {
+      if (l != prev_l) {
+        ++vias;
+      } else {
+        lateral += std::hypot((x - prev_x) * dw, (y - prev_y) * dh);
+        ws.usage[n] += 1.0;
+        cells.push_back(n);
+      }
+    } else {
+      ws.usage[n] += 1.0;
+      cells.push_back(n);
+    }
+    path.append({g.x_of(x), g.y_of(y)}, l);
+    prev_x = x;
+    prev_y = y;
+    prev_l = l;
+  }
+  rn.path = std::move(path);
+  rn.length_um = lateral;
+  rn.vias = vias;
+}
+
+}  // namespace
+
+RouteResult route_interposer(const tech::Technology& tech, const InterposerFloorplan& fp,
+                             const std::vector<TopNet>& nets, const RouterOptions& opts) {
+  RouteResult out;
+  const int avail_layers = std::max(1, tech.rules.metal_layers - 2);
+  out.stats.signal_layers_available = avail_layers;
+
+  Workspace ws;
+  ws.opts = &opts;
+  auto& g = ws.g;
+  g.nx = opts.grid_nx;
+  g.ny = opts.grid_ny;
+  g.layers = avail_layers;
+  g.ox = fp.outline.lx;
+  g.oy = fp.outline.ly;
+  g.cell_w = fp.outline.width() / g.nx;
+  g.cell_h = fp.outline.height() / g.ny;
+  g.manhattan = tech.routing != tech::RoutingStyle::Diagonal;
+
+  // Capacity per cell per layer (track count crossing the cell), derated
+  // under dies where bump breakouts consume resources.
+  const double pitch = tech.rules.min_wire_width_um + tech.rules.min_wire_space_um;
+  ws.capacity.resize(g.size());
+  ws.usage.assign(g.size(), 0.0);
+  for (int l = 0; l < g.layers; ++l) {
+    for (int y = 0; y < g.ny; ++y) {
+      for (int x = 0; x < g.nx; ++x) {
+        double cap = opts.usable_track_fraction * std::min(g.cell_w, g.cell_h) / pitch;
+        const Point center{g.x_of(x), g.y_of(y)};
+        for (const auto& die : fp.dies) {
+          if (!die.embedded && die.outline.contains(center)) {
+            cap *= opts.die_capacity_factor;
+            break;
+          }
+        }
+        ws.capacity[g.idx(x, y, l)] = std::max(cap, 0.5);
+      }
+    }
+  }
+
+  // Moves: Manhattan layers alternate preferred direction (even layers
+  // horizontal); diagonal style allows 8-way on all layers.
+  const double dw = g.cell_w, dh = g.cell_h;
+  const double ddiag = std::hypot(dw, dh);
+  for (int l = 0; l < g.layers; ++l) {
+    std::vector<Move> mv;
+    if (g.manhattan) {
+      const bool horiz = (l % 2) == 0;
+      mv.push_back({+1, 0, 0, horiz ? dw : dw * opts.wrong_way_penalty});
+      mv.push_back({-1, 0, 0, horiz ? dw : dw * opts.wrong_way_penalty});
+      mv.push_back({0, +1, 0, horiz ? dh * opts.wrong_way_penalty : dh});
+      mv.push_back({0, -1, 0, horiz ? dh * opts.wrong_way_penalty : dh});
+    } else {
+      mv.push_back({+1, 0, 0, dw});
+      mv.push_back({-1, 0, 0, dw});
+      mv.push_back({0, +1, 0, dh});
+      mv.push_back({0, -1, 0, dh});
+      mv.push_back({+1, +1, 0, ddiag});
+      mv.push_back({+1, -1, 0, ddiag});
+      mv.push_back({-1, +1, 0, ddiag});
+      mv.push_back({-1, -1, 0, ddiag});
+    }
+    mv.push_back({0, 0, +1, opts.via_cost_um});
+    mv.push_back({0, 0, -1, opts.via_cost_um});
+    ws.layer_moves.push_back(std::move(mv));
+  }
+  ws.dist.resize(g.size());
+  ws.prev.resize(g.size());
+
+  // Route order: short nets first (they have the least flexibility).
+  std::vector<int> order(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return geometry::manhattan_distance(nets[static_cast<std::size_t>(a)].a,
+                                        nets[static_cast<std::size_t>(a)].b) <
+           geometry::manhattan_distance(nets[static_cast<std::size_t>(b)].a,
+                                        nets[static_cast<std::size_t>(b)].b);
+  });
+
+  std::vector<RoutedNet> routed(nets.size());
+  std::vector<std::vector<std::size_t>> used_cells(nets.size());
+
+  for (int ni : order) {
+    const auto& net = nets[static_cast<std::size_t>(ni)];
+    auto& rn = routed[static_cast<std::size_t>(ni)];
+    rn.net_id = net.id;
+    rn.kind = net.kind;
+    rn.vertical = net.vertical;
+    if (net.vertical) {
+      rn.length_um = 0;
+      rn.vias = 2;  // stacked-via pair (or bump/TSV) per signal
+      out.stats.vertical_via_pairs += 2;
+      continue;
+    }
+    route_one(ws, net, rn, used_cells[static_cast<std::size_t>(ni)]);
+  }
+
+  // Rip-up & reroute: nets crossing overflowed cells are torn out (worst
+  // offenders first) and rerouted against the updated congestion map.
+  for (int pass = 0; pass < opts.reroute_passes; ++pass) {
+    std::vector<std::pair<double, int>> offenders;
+    for (std::size_t ni = 0; ni < nets.size(); ++ni) {
+      if (routed[ni].vertical) continue;
+      double over = 0;
+      for (std::size_t c : used_cells[ni]) {
+        over += std::max(0.0, ws.usage[c] - ws.capacity[c]);
+      }
+      if (over > 0) offenders.push_back({over, static_cast<int>(ni)});
+    }
+    if (offenders.empty()) break;
+    std::sort(offenders.begin(), offenders.end(), std::greater<>());
+    for (const auto& [over, ni] : offenders) {
+      for (std::size_t c : used_cells[static_cast<std::size_t>(ni)]) ws.usage[c] -= 1.0;
+      route_one(ws, nets[static_cast<std::size_t>(ni)], routed[static_cast<std::size_t>(ni)],
+                used_cells[static_cast<std::size_t>(ni)]);
+    }
+  }
+
+  // Stats over laterally routed nets.
+  auto& st = out.stats;
+  int max_layer_used = 0;
+  std::vector<double> wls;
+  for (const auto& rn : routed) {
+    if (rn.vertical) continue;
+    wls.push_back(rn.length_um);
+    const auto [lo, hi] = rn.path.layer_span();
+    max_layer_used = std::max(max_layer_used, hi);
+    (void)lo;
+  }
+  st.routed_nets = static_cast<int>(wls.size());
+  if (!wls.empty()) {
+    st.min_wl_um = *std::min_element(wls.begin(), wls.end());
+    st.max_wl_um = *std::max_element(wls.begin(), wls.end());
+    for (double w : wls) st.total_wl_um += w;
+    st.avg_wl_um = st.total_wl_um / static_cast<double>(wls.size());
+  }
+  for (const auto& rn : routed) st.total_vias += rn.vias;
+  st.signal_layers_used = wls.empty() ? 0 : max_layer_used + 1;
+  for (std::size_t i = 0; i < ws.usage.size(); ++i) {
+    if (ws.usage[i] > ws.capacity[i]) ++st.overflowed_cells;
+  }
+  out.nets = std::move(routed);  // already in input order
+  return out;
+}
+
+}  // namespace gia::interposer

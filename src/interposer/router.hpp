@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/polyline.hpp"
+#include "interposer/net_assign.hpp"
+
+/// \file router.hpp
+/// Multi-layer congestion-aware grid router for the interposer RDL
+/// (Section VI-B). Glass and silicon route Manhattan with per-layer
+/// preferred directions; organics route octilinear (diagonal moves allowed)
+/// to live within their coarse track grid. Vertical (stacked-via / TSV)
+/// nets bypass lateral routing entirely. Substitutes for Xpedition.
+
+namespace gia::interposer {
+
+struct RouterOptions {
+  int grid_nx = 96;
+  int grid_ny = 96;
+  /// Fraction of the theoretical track count routable in practice.
+  double usable_track_fraction = 0.85;
+  /// Capacity derating under dies (bump-field breakout eats tracks).
+  double die_capacity_factor = 0.5;
+  /// Congestion cost weight (quadratic in utilization).
+  double congestion_weight = 3.0;
+  /// Cost of one layer change, in lateral-um equivalents.
+  double via_cost_um = 40.0;
+  /// Manhattan wrong-way multiplier.
+  double wrong_way_penalty = 2.5;
+  /// Per-net overflow allowance: cells may exceed capacity at a steep cost;
+  /// overflowed cells are reported.
+  double overflow_penalty = 25.0;
+  /// Rip-up & reroute passes over nets crossing overflowed cells.
+  int reroute_passes = 1;
+};
+
+struct RoutedNet {
+  int net_id = 0;
+  TopNetKind kind = TopNetKind::LogicToMemory;
+  geometry::Polyline path;   ///< lateral path (empty for vertical nets)
+  double length_um = 0;      ///< lateral routed length
+  int vias = 0;              ///< escape + layer-change vias (2 for vertical)
+  bool vertical = false;
+};
+
+struct RouteStats {
+  double total_wl_um = 0;
+  double min_wl_um = 0;
+  double avg_wl_um = 0;
+  double max_wl_um = 0;
+  int total_vias = 0;
+  int vertical_via_pairs = 0;   ///< stacked-via count from vertical nets
+  int signal_layers_available = 0;
+  int signal_layers_used = 0;
+  int overflowed_cells = 0;
+  int routed_nets = 0;          ///< laterally routed (vertical excluded)
+};
+
+struct RouteResult {
+  std::vector<RoutedNet> nets;
+  RouteStats stats;
+};
+
+RouteResult route_interposer(const tech::Technology& tech, const InterposerFloorplan& fp,
+                             const std::vector<TopNet>& nets, const RouterOptions& opts = {});
+
+}  // namespace gia::interposer

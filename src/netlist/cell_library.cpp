@@ -1,0 +1,11 @@
+#include "netlist/cell_library.hpp"
+
+namespace gia::netlist {
+
+CellLibrary make_28nm_library() { return CellLibrary{}; }
+
+double switching_power(const CellLibrary& lib, double cap_farad, double freq_hz) {
+  return lib.activity * cap_farad * lib.vdd * lib.vdd * freq_hz;
+}
+
+}  // namespace gia::netlist

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file cell_library.hpp
+/// Statistical model of a 28nm-class standard-cell library. The paper
+/// implements the chiplets with a commercial TSMC 28nm PDK; we substitute a
+/// calibrated statistical library: average cell area, pin capacitance,
+/// switching/internal/leakage energy coefficients and gate delay. These are
+/// the only library quantities the PPA models consume.
+
+namespace gia::netlist {
+
+struct CellLibrary {
+  /// Average placed standard-cell area [um^2].
+  double avg_cell_area_um2 = 2.58;
+  /// Average SRAM-dominated cell area for memory modules [um^2] (L3 arrays
+  /// are folded into cell counts the way the paper's Table III does).
+  double avg_macro_cell_area_um2 = 15.9;
+  /// Average input pin capacitance seen per cell, fanout-weighted [F].
+  double pin_cap_per_cell = 2.36e-15;
+  /// On-chip wire capacitance per unit length [F/um].
+  double wire_cap_per_um = 0.138e-15;
+  /// On-chip wire resistance per unit length [ohm/um] (intermediate metal).
+  double wire_res_per_um = 1.2;
+  /// Internal (short-circuit + internal node) energy per cell toggle [J].
+  double internal_energy_per_toggle = 5.3e-15;
+  /// SRAM-array cells burn more internal energy per access (bitline swings).
+  double internal_energy_per_toggle_macro = 8.2e-15;
+  /// Leakage power per cell [W].
+  double leakage_per_cell = 41e-9;
+  /// Average switching activity factor.
+  double activity = 0.11;
+  /// Memory chiplets toggle slightly hotter (Table III's memory switching).
+  double activity_memory = 0.131;
+  /// Supply voltage [V].
+  double vdd = 0.9;
+  /// FO4-class gate delay [s].
+  double gate_delay = 16e-12;
+  /// Logic depth of the critical path in gates (pipeline stage depth).
+  int critical_logic_depth = 72;
+  /// Clock skew + setup margin folded into the timing model [s].
+  double timing_margin = 60e-12;
+};
+
+/// The calibrated 28nm-class library used for every chiplet in this study.
+CellLibrary make_28nm_library();
+
+/// Dynamic switching power of a lumped capacitance: alpha * C * Vdd^2 * f.
+double switching_power(const CellLibrary& lib, double cap_farad, double freq_hz);
+
+}  // namespace gia::netlist

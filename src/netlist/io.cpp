@@ -1,0 +1,94 @@
+#include "netlist/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gia::netlist {
+
+void write_netlist(std::ostream& os, const Netlist& nl) {
+  os << "# gia netlist v1: " << nl.instance_count() << " instances, " << nl.net_count()
+     << " nets\n";
+  for (const auto& inst : nl.instances()) {
+    os << "instance " << inst.name << " " << to_string(inst.cls) << " " << inst.tile << " "
+       << inst.cell_count << " " << inst.cell_area_um2 << " " << (inst.is_macro ? 1 : 0)
+       << "\n";
+  }
+  for (const auto& net : nl.nets()) {
+    os << "net " << net.name << " " << net.bits << " " << (net.inter_tile ? 1 : 0);
+    for (int t : net.terminals) os << " " << t;
+    os << "\n";
+  }
+}
+
+void write_netlist_file(const std::string& path, const Netlist& nl) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  write_netlist(f, nl);
+  if (!f.good()) throw std::runtime_error("write failed: " + path);
+}
+
+ModuleClass module_class_from_string(const std::string& s) {
+  const ModuleClass all[] = {ModuleClass::Core,   ModuleClass::Fpu,        ModuleClass::Ccx,
+                             ModuleClass::L1,     ModuleClass::L2,         ModuleClass::L3,
+                             ModuleClass::L3Interface, ModuleClass::NocRouter,
+                             ModuleClass::SerDes, ModuleClass::IoDriver,   ModuleClass::Other};
+  for (auto c : all) {
+    if (s == to_string(c)) return c;
+  }
+  throw std::runtime_error("unknown module class: " + s);
+}
+
+Netlist read_netlist(std::istream& is) {
+  Netlist nl;
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("netlist parse error at line " + std::to_string(line_no) + ": " +
+                             why);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "instance") {
+      Instance inst;
+      std::string cls;
+      int macro = 0;
+      if (!(ls >> inst.name >> cls >> inst.tile >> inst.cell_count >> inst.cell_area_um2 >>
+            macro)) {
+        fail("malformed instance");
+      }
+      inst.cls = module_class_from_string(cls);
+      inst.is_macro = macro != 0;
+      if (inst.cell_count < 0 || inst.cell_area_um2 < 0) fail("negative instance fields");
+      nl.add_instance(inst);
+    } else if (kind == "net") {
+      Net net;
+      int inter = 0;
+      if (!(ls >> net.name >> net.bits >> inter)) fail("malformed net");
+      net.inter_tile = inter != 0;
+      if (net.bits < 1) fail("net bits must be >= 1");
+      int t;
+      while (ls >> t) net.terminals.push_back(t);
+      try {
+        nl.add_net(net);
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown record '" + kind + "'");
+    }
+  }
+  return nl;
+}
+
+Netlist read_netlist_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_netlist(f);
+}
+
+}  // namespace gia::netlist

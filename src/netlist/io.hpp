@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+/// \file io.hpp
+/// Plain-text netlist serialization (".gnl"): lets users bring their own
+/// cluster-level netlists into the flow instead of the OpenPiton generator,
+/// and dump generated ones for inspection. Line-oriented format:
+///
+///   # comment
+///   instance <name> <class> <tile> <cells> <area_um2> <macro:0|1>
+///   net <name> <bits> <inter_tile:0|1> <term_index>...
+///
+/// Terminal indices refer to instances in file order.
+
+namespace gia::netlist {
+
+void write_netlist(std::ostream& os, const Netlist& nl);
+void write_netlist_file(const std::string& path, const Netlist& nl);
+
+/// Throws std::runtime_error with a line number on malformed input.
+Netlist read_netlist(std::istream& is);
+Netlist read_netlist_file(const std::string& path);
+
+/// Parse helpers shared with the reader (exposed for tests).
+ModuleClass module_class_from_string(const std::string& s);
+
+}  // namespace gia::netlist

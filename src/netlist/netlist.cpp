@@ -1,0 +1,102 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace gia::netlist {
+
+const char* to_string(ModuleClass c) {
+  switch (c) {
+    case ModuleClass::Core: return "core";
+    case ModuleClass::Fpu: return "fpu";
+    case ModuleClass::Ccx: return "ccx";
+    case ModuleClass::L1: return "l1";
+    case ModuleClass::L2: return "l2";
+    case ModuleClass::L3: return "l3";
+    case ModuleClass::L3Interface: return "l3_interface";
+    case ModuleClass::NocRouter: return "noc_router";
+    case ModuleClass::SerDes: return "serdes";
+    case ModuleClass::IoDriver: return "io_driver";
+    case ModuleClass::Other: return "other";
+  }
+  return "unknown";
+}
+
+int Netlist::add_instance(Instance inst) {
+  instances_.push_back(std::move(inst));
+  return static_cast<int>(instances_.size()) - 1;
+}
+
+int Netlist::add_net(Net net) {
+  if (net.terminals.size() < 2) throw std::invalid_argument("net needs >=2 terminals: " + net.name);
+  for (int t : net.terminals) {
+    if (t < 0 || t >= instance_count()) throw std::out_of_range("net terminal out of range: " + net.name);
+  }
+  nets_.push_back(std::move(net));
+  return static_cast<int>(nets_.size()) - 1;
+}
+
+long Netlist::total_cells() const {
+  long n = 0;
+  for (const auto& i : instances_) n += i.cell_count;
+  return n;
+}
+
+double Netlist::total_cell_area_um2() const {
+  double a = 0;
+  for (const auto& i : instances_) a += i.cell_area_um2;
+  return a;
+}
+
+long Netlist::total_wires() const {
+  long w = 0;
+  for (const auto& n : nets_) w += n.bits;
+  return w;
+}
+
+ChipletSide default_side(ModuleClass c) {
+  switch (c) {
+    case ModuleClass::L3:
+    case ModuleClass::L3Interface:
+      return ChipletSide::Memory;
+    default:
+      return ChipletSide::Logic;
+  }
+}
+
+ChipletNetlist extract_chiplet(const Netlist& nl, const std::vector<ChipletSide>& side,
+                               ChipletSide want, int tile) {
+  if (static_cast<int>(side.size()) != nl.instance_count()) {
+    throw std::invalid_argument("side assignment size mismatch");
+  }
+  ChipletNetlist out;
+  out.side = want;
+  out.tile = tile;
+  for (int i = 0; i < nl.instance_count(); ++i) {
+    const auto& inst = nl.instance(i);
+    if (inst.tile == tile && side[static_cast<std::size_t>(i)] == want) {
+      out.instance_ids.push_back(i);
+      out.cells += inst.cell_count;
+      out.cell_area_um2 += inst.cell_area_um2;
+    }
+  }
+  for (int n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    bool touches = false, leaves = false;
+    for (int t : net.terminals) {
+      const auto& inst = nl.instance(t);
+      const bool inside = (inst.tile == tile && side[static_cast<std::size_t>(t)] == want);
+      touches |= inside;
+      leaves |= !inside;
+    }
+    if (!touches) continue;
+    if (leaves) {
+      out.cut_net_ids.push_back(n);
+      out.io_signals += net.bits;
+    } else {
+      out.internal_net_ids.push_back(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace gia::netlist

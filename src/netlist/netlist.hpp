@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file netlist.hpp
+/// Cluster-level netlist graph. Instances are clusters of standard cells
+/// (a few hundred cells each) carrying a module identity from the OpenPiton
+/// hierarchy; nets are (possibly multi-bit) hyperedges over instances. This
+/// granularity is what the partitioner, placer and PPA models operate on --
+/// the same altitude the paper's hierarchical partitioning works at.
+
+namespace gia::netlist {
+
+/// OpenPiton tile modules (Fig 3a) plus the modules the flow inserts.
+enum class ModuleClass {
+  Core, Fpu, Ccx, L1, L2, L3, L3Interface, NocRouter, SerDes, IoDriver, Other
+};
+
+const char* to_string(ModuleClass c);
+
+/// Which chiplet a module lands on after partitioning (Fig 3a): the L3 cache
+/// and its interfacing logic form the memory chiplet, the rest is logic.
+enum class ChipletSide { Logic, Memory };
+
+struct Instance {
+  std::string name;          ///< hierarchical, e.g. "tile0/core/c12"
+  ModuleClass cls = ModuleClass::Other;
+  int tile = 0;              ///< owning OpenPiton tile
+  int cell_count = 0;        ///< standard cells represented by this cluster
+  double cell_area_um2 = 0;  ///< total placed cell area
+  bool is_macro = false;     ///< SRAM-array cluster
+};
+
+/// Multi-bit hyperedge. `bits` scalar wires all follow the same topology,
+/// matching how buses route between modules.
+struct Net {
+  std::string name;
+  int bits = 1;
+  std::vector<int> terminals;  ///< instance indices
+  bool inter_tile = false;     ///< crosses OpenPiton tiles (candidates for SerDes)
+};
+
+class Netlist {
+ public:
+  int add_instance(Instance inst);
+  int add_net(Net net);
+
+  const std::vector<Instance>& instances() const { return instances_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  Instance& instance(int i) { return instances_.at(static_cast<std::size_t>(i)); }
+  const Instance& instance(int i) const { return instances_.at(static_cast<std::size_t>(i)); }
+  Net& net(int i) { return nets_.at(static_cast<std::size_t>(i)); }
+  const Net& net(int i) const { return nets_.at(static_cast<std::size_t>(i)); }
+
+  int instance_count() const { return static_cast<int>(instances_.size()); }
+  int net_count() const { return static_cast<int>(nets_.size()); }
+
+  /// Total standard cells across all instances.
+  long total_cells() const;
+  /// Total placed cell area [um^2].
+  double total_cell_area_um2() const;
+  /// Sum of `bits` over all nets (scalar wire count).
+  long total_wires() const;
+
+ private:
+  std::vector<Instance> instances_;
+  std::vector<Net> nets_;
+};
+
+/// Default chiplet side for a module per the paper's partitioning.
+ChipletSide default_side(ModuleClass c);
+
+/// A view of one chiplet after partitioning: which instances it owns and the
+/// cut nets that become chiplet I/O.
+struct ChipletNetlist {
+  ChipletSide side = ChipletSide::Logic;
+  int tile = 0;
+  std::vector<int> instance_ids;     ///< indices into the parent netlist
+  std::vector<int> internal_net_ids; ///< nets fully inside this chiplet
+  std::vector<int> cut_net_ids;      ///< nets crossing the chiplet boundary
+  long cells = 0;
+  double cell_area_um2 = 0;
+  /// Scalar signal I/O count (sum of bits of cut nets).
+  int io_signals = 0;
+};
+
+/// Split one tile of the netlist into logic/memory chiplets given a side
+/// assignment per instance (parallel to netlist.instances()).
+ChipletNetlist extract_chiplet(const Netlist& nl, const std::vector<ChipletSide>& side,
+                               ChipletSide want, int tile);
+
+}  // namespace gia::netlist

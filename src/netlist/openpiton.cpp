@@ -1,0 +1,165 @@
+#include "netlist/openpiton.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+
+namespace gia::netlist {
+namespace {
+
+std::string inst_prefix(int tile, ModuleClass cls) {
+  return "tile" + std::to_string(tile) + "/" + to_string(cls);
+}
+
+struct ModuleSpec {
+  ModuleClass cls;
+  int cells;
+  bool is_macro;
+};
+
+/// Clusters created for one module of one tile; remembers instance ids so
+/// buses can attach to concrete clusters.
+struct BuiltModule {
+  ModuleClass cls;
+  std::vector<int> clusters;
+};
+
+BuiltModule build_module(Netlist& nl, const CellLibrary& lib, const OpenPitonConfig& cfg,
+                         std::mt19937& rng, int tile, const ModuleSpec& spec) {
+  BuiltModule out{spec.cls, {}};
+  const int n_clusters = std::max(1, (spec.cells + cfg.cluster_cells - 1) / cfg.cluster_cells);
+  int remaining = spec.cells;
+  for (int c = 0; c < n_clusters; ++c) {
+    const int cells = std::min(cfg.cluster_cells, remaining);
+    remaining -= cells;
+    const double area_per_cell =
+        spec.is_macro ? lib.avg_macro_cell_area_um2 : lib.avg_cell_area_um2;
+    Instance inst;
+    inst.name = "tile" + std::to_string(tile) + "/" + to_string(spec.cls) + "/c" + std::to_string(c);
+    inst.cls = spec.cls;
+    inst.tile = tile;
+    inst.cell_count = cells;
+    inst.cell_area_um2 = cells * area_per_cell;
+    inst.is_macro = spec.is_macro;
+    out.clusters.push_back(nl.add_instance(inst));
+  }
+
+  // Intra-module connectivity: a backbone chain keeps the module connected;
+  // random extra nets add the local Rent-style wiring the placer sees.
+  for (std::size_t c = 1; c < out.clusters.size(); ++c) {
+    Net net;
+    net.name = inst_prefix(tile, spec.cls) + "_bb" + std::to_string(c);
+    net.bits = 32;
+    net.terminals = {out.clusters[c - 1], out.clusters[c]};
+    nl.add_net(net);
+  }
+  if (out.clusters.size() >= 2) {
+    std::uniform_int_distribution<int> pick(0, static_cast<int>(out.clusters.size()) - 1);
+    std::uniform_int_distribution<int> width(8, 48);
+    const int extra =
+        static_cast<int>(cfg.intra_nets_per_cluster * static_cast<double>(out.clusters.size()));
+    for (int e = 0; e < extra; ++e) {
+      int a = pick(rng), b = pick(rng);
+      if (a == b) continue;
+      Net net;
+      net.name = inst_prefix(tile, spec.cls) + "_rnd" + std::to_string(e);
+      net.bits = width(rng);
+      net.terminals = {out.clusters[static_cast<std::size_t>(a)],
+                       out.clusters[static_cast<std::size_t>(b)]};
+      nl.add_net(net);
+    }
+  }
+  return out;
+}
+
+/// Connect two modules with a bus of `bits` plus `ctrl` single-bit nets,
+/// attaching to a spread of clusters on each side.
+void connect_modules(Netlist& nl, std::mt19937& rng, const BuiltModule& a, const BuiltModule& b,
+                     const std::string& name, int bus_count, int bus_bits, int ctrl,
+                     bool inter_tile) {
+  std::uniform_int_distribution<int> pa(0, static_cast<int>(a.clusters.size()) - 1);
+  std::uniform_int_distribution<int> pb(0, static_cast<int>(b.clusters.size()) - 1);
+  for (int i = 0; i < bus_count; ++i) {
+    Net net;
+    net.name = name + "_bus" + std::to_string(i);
+    net.bits = bus_bits;
+    net.terminals = {a.clusters[static_cast<std::size_t>(pa(rng))],
+                     b.clusters[static_cast<std::size_t>(pb(rng))]};
+    net.inter_tile = inter_tile;
+    nl.add_net(net);
+  }
+  for (int i = 0; i < ctrl; ++i) {
+    Net net;
+    net.name = name + "_ctl" + std::to_string(i);
+    net.bits = 1;
+    net.terminals = {a.clusters[static_cast<std::size_t>(pa(rng))],
+                     b.clusters[static_cast<std::size_t>(pb(rng))]};
+    net.inter_tile = inter_tile;
+    nl.add_net(net);
+  }
+}
+
+}  // namespace
+
+Netlist build_openpiton(const OpenPitonConfig& cfg, const ModuleBudget& budget) {
+  Netlist nl;
+  const CellLibrary lib = make_28nm_library();
+  std::mt19937 rng(cfg.seed);
+
+  std::vector<std::vector<BuiltModule>> tiles;  // [tile][module]
+  for (int t = 0; t < cfg.tiles; ++t) {
+    std::vector<BuiltModule> mods;
+    const ModuleSpec specs[] = {
+        {ModuleClass::Core, budget.core, false},
+        {ModuleClass::Fpu, budget.fpu, false},
+        {ModuleClass::Ccx, budget.ccx, false},
+        {ModuleClass::L1, budget.l1, false},
+        {ModuleClass::L2, budget.l2, false},
+        {ModuleClass::NocRouter, budget.noc_router, false},
+        {ModuleClass::L3, budget.l3, true},
+        {ModuleClass::L3Interface, budget.l3_interface, false},
+    };
+    for (const auto& s : specs) mods.push_back(build_module(nl, lib, cfg, rng, t, s));
+    tiles.push_back(std::move(mods));
+  }
+
+  auto find = [&](int t, ModuleClass c) -> const BuiltModule& {
+    for (const auto& m : tiles[static_cast<std::size_t>(t)]) {
+      if (m.cls == c) return m;
+    }
+    throw std::logic_error("module not built");
+  };
+
+  for (int t = 0; t < cfg.tiles; ++t) {
+    const std::string p = "tile" + std::to_string(t);
+    // Tile-internal interconnect (Fig 3a datapaths).
+    connect_modules(nl, rng, find(t, ModuleClass::Core), find(t, ModuleClass::L1), p + "_core_l1",
+                    2, 128, 16, false);
+    connect_modules(nl, rng, find(t, ModuleClass::Core), find(t, ModuleClass::Fpu), p + "_core_fpu",
+                    2, 64, 4, false);
+    connect_modules(nl, rng, find(t, ModuleClass::L1), find(t, ModuleClass::Ccx), p + "_l1_ccx",
+                    2, 64, 8, false);
+    connect_modules(nl, rng, find(t, ModuleClass::Ccx), find(t, ModuleClass::L2), p + "_ccx_l2",
+                    2, 64, 8, false);
+    connect_modules(nl, rng, find(t, ModuleClass::L2), find(t, ModuleClass::NocRouter),
+                    p + "_l2_noc", 3, 64, 12, false);
+    // The logic <-> memory chiplet cut: 3x64 + 39 control = 231 signals
+    // (Section IV-A's intra-tile connection count).
+    connect_modules(nl, rng, find(t, ModuleClass::L2), find(t, ModuleClass::L3Interface),
+                    p + "_l2_l3if", 3, 64, 39, false);
+    connect_modules(nl, rng, find(t, ModuleClass::L3Interface), find(t, ModuleClass::L3),
+                    p + "_l3if_l3", 2, 128, 16, false);
+  }
+
+  // Inter-tile NoC links: six 64-bit buses + 20 control (Section IV-A).
+  for (int t = 0; t + 1 < cfg.tiles; ++t) {
+    connect_modules(nl, rng, find(t, ModuleClass::NocRouter), find(t + 1, ModuleClass::NocRouter),
+                    "noc_t" + std::to_string(t) + "_t" + std::to_string(t + 1), 6, 64, 20, true);
+  }
+  return nl;
+}
+
+}  // namespace gia::netlist

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+/// \file openpiton.hpp
+/// Synthetic generator for the paper's benchmark: a two-tile OpenPiton
+/// RISC-V SoC (Fig 3). We do not have the OpenPiton RTL or a 28nm synthesis
+/// flow, so we generate a cluster-level netlist whose published statistics
+/// match the paper: per-tile module mix, ~167.5k logic cells and ~37.1k
+/// memory cells per tile (Table III), six 64-bit buses + 20 control signals
+/// between tiles and 231 logic<->memory signals within a tile (Section IV-A).
+
+namespace gia::netlist {
+
+struct OpenPitonConfig {
+  int tiles = 2;
+  /// Cells per generated cluster instance. Smaller -> finer netlist (slower
+  /// partitioning/placement, better fidelity).
+  int cluster_cells = 500;
+  /// Random seed for the intra-module connectivity structure.
+  unsigned seed = 20230710;
+  /// Average extra intra-module nets per cluster beyond the connectivity
+  /// backbone (Rent-style local wiring).
+  double intra_nets_per_cluster = 1.8;
+};
+
+/// Per-tile module sizes [standard cells], calibrated to Table III: the
+/// logic chiplet's published 167,495 cells = logic_total() plus the 1,200
+/// SerDes cells apply_serdes() inserts per tile; memory_total() is the
+/// published 37,091.
+struct ModuleBudget {
+  int core = 60000;
+  int fpu = 25000;
+  int ccx = 12400;
+  int l1 = 15000;
+  int l2 = 45000;
+  int noc_router = 8895;
+  int l3 = 30000;
+  int l3_interface = 7091;
+
+  int logic_total() const { return core + fpu + ccx + l1 + l2 + noc_router; }
+  int memory_total() const { return l3 + l3_interface; }
+};
+
+/// Build the two-tile netlist. Inter-tile NoC buses are created full-width
+/// (six 64-bit + 20 control); apply_serdes() narrows them.
+Netlist build_openpiton(const OpenPitonConfig& cfg = {}, const ModuleBudget& budget = {});
+
+/// The paper's published interface counts, used for validation.
+struct InterfaceCounts {
+  int inter_tile_signals = 6 * 64 + 20;  ///< before SerDes
+  int inter_tile_serialized = 6 * 8 + 20;
+  int intra_tile_signals = 231;          ///< logic <-> memory within a tile
+};
+
+}  // namespace gia::netlist

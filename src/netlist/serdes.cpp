@@ -1,0 +1,63 @@
+#include "netlist/serdes.hpp"
+
+#include <stdexcept>
+
+#include "netlist/cell_library.hpp"
+
+namespace gia::netlist {
+
+SerDesReport apply_serdes(Netlist& nl, const SerDesConfig& cfg) {
+  if (cfg.ratio < 1) throw std::invalid_argument("serdes ratio must be >= 1");
+  const CellLibrary lib = make_28nm_library();
+  SerDesReport rpt;
+  rpt.latency_cycles = cfg.latency_cycles;
+
+  // add_instance/add_net reallocate the underlying vectors, so never hold a
+  // Net reference across them -- copy first, write back by index at the end.
+  const int n_nets = nl.net_count();
+  for (int n = 0; n < n_nets; ++n) {
+    const Net original = nl.net(n);
+    if (!original.inter_tile) continue;
+    rpt.wires_before += original.bits;
+    if (original.bits < cfg.min_bits) {
+      rpt.wires_after += original.bits;
+      continue;
+    }
+
+    const int new_bits = std::max(1, original.bits / cfg.ratio);
+    ++rpt.buses_serialized;
+
+    // One SerDes cluster per bus endpoint, placed in the endpoint's tile.
+    std::vector<int> new_terminals;
+    for (std::size_t e = 0; e < original.terminals.size(); ++e) {
+      const Instance endpoint = nl.instance(original.terminals[e]);
+      Instance sd;
+      sd.name = original.name + "/serdes" + std::to_string(e);
+      sd.cls = ModuleClass::SerDes;
+      sd.tile = endpoint.tile;
+      sd.cell_count = cfg.cells_per_lane * new_bits;
+      sd.cell_area_um2 = sd.cell_count * lib.avg_cell_area_um2;
+      const int sd_id = nl.add_instance(sd);
+      ++rpt.serdes_instances_added;
+      rpt.added_cells += sd.cell_count;
+
+      // Parallel stub between the original endpoint and its SerDes.
+      Net stub;
+      stub.name = original.name + "/par" + std::to_string(e);
+      stub.bits = original.bits;
+      stub.terminals = {original.terminals[e], sd_id};
+      stub.inter_tile = false;
+      nl.add_net(stub);
+      new_terminals.push_back(sd_id);
+    }
+
+    // The inter-tile net itself now runs narrow between the SerDes blocks.
+    Net& net = nl.net(n);
+    net.bits = new_bits;
+    net.terminals = std::move(new_terminals);
+    rpt.wires_after += new_bits;
+  }
+  return rpt;
+}
+
+}  // namespace gia::netlist

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+/// \file serdes.hpp
+/// SerDes insertion (Section IV-A). Inter-tile 64-bit NoC buses cannot be
+/// bumped out in parallel under the micro-bump pitch constraint, so the flow
+/// narrows each to an 8-bit serial link at the cost of 8 extra cycles per
+/// transfer. Control signals pass through unchanged. This takes the
+/// inter-tile wire count from 404 to 68.
+
+namespace gia::netlist {
+
+struct SerDesConfig {
+  /// Serialization ratio: a 64-bit bus becomes 64/ratio wires.
+  int ratio = 8;
+  /// Only buses at least this wide are serialized (control stays parallel).
+  int min_bits = 16;
+  /// Standard cells added per serialized lane on each side (shift register
+  /// slice + mux/demux + control share).
+  int cells_per_lane = 25;
+  /// Extra latency in clock cycles per serialized transfer.
+  int latency_cycles = 8;
+};
+
+struct SerDesReport {
+  int buses_serialized = 0;
+  int wires_before = 0;  ///< inter-tile scalar wires before
+  int wires_after = 0;   ///< after serialization
+  int serdes_instances_added = 0;
+  int added_cells = 0;
+  int latency_cycles = 0;
+};
+
+/// Rewrite inter-tile buses in place: shrink bit width, insert SerDes
+/// cluster instances on each side and splice them into the net. Returns a
+/// report of what changed.
+SerDesReport apply_serdes(Netlist& nl, const SerDesConfig& cfg = {});
+
+}  // namespace gia::netlist

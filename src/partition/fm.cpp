@@ -1,0 +1,198 @@
+#include "partition/fm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "partition/metrics.hpp"
+
+namespace gia::partition {
+namespace {
+
+using netlist::ChipletSide;
+
+/// Gain of moving instance v to the other side, computed from scratch.
+/// Classic FM uses incremental gain buckets; netlists here are a few
+/// thousand clusters, so a simple recompute with per-net side counts is
+/// fast enough and much easier to verify.
+struct NetSideCount {
+  int logic = 0;
+  int memory = 0;
+};
+
+int gain_of(const netlist::Netlist& nl, const std::vector<std::vector<int>>& nets_of,
+            const std::vector<NetSideCount>& count, const Assignment& side, int v) {
+  int gain = 0;
+  const ChipletSide from = side[static_cast<std::size_t>(v)];
+  for (int n : nets_of[static_cast<std::size_t>(v)]) {
+    const auto& nsc = count[static_cast<std::size_t>(n)];
+    const int bits = nl.net(n).bits;
+    const int from_cnt = (from == ChipletSide::Logic) ? nsc.logic : nsc.memory;
+    const int to_cnt = (from == ChipletSide::Logic) ? nsc.memory : nsc.logic;
+    if (from_cnt == 1) gain += bits;  // net becomes uncut
+    if (to_cnt == 0) gain -= bits;    // net becomes cut
+  }
+  return gain;
+}
+
+}  // namespace
+
+PartitionResult fm_partition(const netlist::Netlist& nl, const FmConfig& cfg,
+                             const Assignment& initial) {
+  const int n_inst = nl.instance_count();
+  Assignment side = initial;
+  if (side.empty()) {
+    side.reserve(static_cast<std::size_t>(n_inst));
+    for (int i = 0; i < n_inst; ++i) side.push_back(netlist::default_side(nl.instance(i).cls));
+  }
+  if (static_cast<int>(side.size()) != n_inst) throw std::invalid_argument("initial size mismatch");
+
+  // Adjacency: nets touching each instance.
+  std::vector<std::vector<int>> nets_of(static_cast<std::size_t>(n_inst));
+  for (int n = 0; n < nl.net_count(); ++n) {
+    for (int t : nl.net(n).terminals) nets_of[static_cast<std::size_t>(t)].push_back(n);
+  }
+
+  // Balance is enforced PER TILE: chiplets are one-per-tile, so a "balanced"
+  // global split that dumps an entire tile on one side is useless.
+  int n_tiles = 1;
+  for (int i = 0; i < n_inst; ++i) n_tiles = std::max(n_tiles, nl.instance(i).tile + 1);
+  std::vector<long> tile_cells(static_cast<std::size_t>(n_tiles), 0);
+  std::vector<long> mem_cells(static_cast<std::size_t>(n_tiles), 0);
+  for (int i = 0; i < n_inst; ++i) {
+    const auto t = static_cast<std::size_t>(nl.instance(i).tile);
+    tile_cells[t] += nl.instance(i).cell_count;
+    if (side[static_cast<std::size_t>(i)] == ChipletSide::Memory) {
+      mem_cells[t] += nl.instance(i).cell_count;
+    }
+  }
+  const double lo = cfg.target_memory_fraction - cfg.balance_tolerance;
+  const double hi = cfg.target_memory_fraction + cfg.balance_tolerance;
+  auto frac_of = [&](std::size_t t) {
+    return static_cast<double>(mem_cells[t]) / static_cast<double>(std::max(1L, tile_cells[t]));
+  };
+  auto all_balanced = [&] {
+    for (std::size_t t = 0; t < mem_cells.size(); ++t) {
+      if (frac_of(t) < lo || frac_of(t) > hi) return false;
+    }
+    return true;
+  };
+
+  std::mt19937 rng(cfg.seed);
+  std::vector<NetSideCount> count(static_cast<std::size_t>(nl.net_count()));
+  auto rebuild_counts = [&] {
+    for (int n = 0; n < nl.net_count(); ++n) {
+      NetSideCount c;
+      for (int t : nl.net(n).terminals) {
+        (side[static_cast<std::size_t>(t)] == ChipletSide::Logic ? c.logic : c.memory)++;
+      }
+      count[static_cast<std::size_t>(n)] = c;
+    }
+  };
+
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    rebuild_counts();
+    std::vector<bool> locked(static_cast<std::size_t>(n_inst), false);
+    // Move sequence with prefix-best rollback (the FM pass structure).
+    struct Move { int v; bool balanced_after; };
+    std::vector<Move> moves;
+    std::vector<int> cum_gain;
+    int running = 0;
+    const bool start_balanced = all_balanced();
+
+    std::vector<int> order(static_cast<std::size_t>(n_inst));
+    for (int i = 0; i < n_inst; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+
+    for (int step = 0; step < n_inst; ++step) {
+      // Best unlocked, balance-legal move.
+      int best_v = -1, best_gain = std::numeric_limits<int>::min();
+      for (int v : order) {
+        if (locked[static_cast<std::size_t>(v)]) continue;
+        const auto vt = static_cast<std::size_t>(nl.instance(v).tile);
+        const long cells = nl.instance(v).cell_count;
+        const bool to_memory = side[static_cast<std::size_t>(v)] == ChipletSide::Logic;
+        const long new_mem = mem_cells[vt] + (to_memory ? cells : -cells);
+        const double cur_frac = frac_of(vt);
+        const double frac =
+            static_cast<double>(new_mem) / static_cast<double>(std::max(1L, tile_cells[vt]));
+        // Legal when inside the balance band, or when the start is outside
+        // the band and the move makes progress toward the target (otherwise
+        // an off-balance initial assignment deadlocks the pass).
+        const bool in_band = frac >= lo && frac <= hi;
+        const bool progress = std::abs(frac - cfg.target_memory_fraction) <
+                              std::abs(cur_frac - cfg.target_memory_fraction);
+        if (!in_band && !progress) continue;
+        const int g = gain_of(nl, nets_of, count, side, v);
+        if (g > best_gain) {
+          best_gain = g;
+          best_v = v;
+        }
+      }
+      if (best_v < 0) break;
+
+      // Apply the move.
+      const ChipletSide from = side[static_cast<std::size_t>(best_v)];
+      const ChipletSide to = (from == ChipletSide::Logic) ? ChipletSide::Memory : ChipletSide::Logic;
+      side[static_cast<std::size_t>(best_v)] = to;
+      const auto bt = static_cast<std::size_t>(nl.instance(best_v).tile);
+      mem_cells[bt] += (to == ChipletSide::Memory) ? nl.instance(best_v).cell_count
+                                                   : -nl.instance(best_v).cell_count;
+      for (int n : nets_of[static_cast<std::size_t>(best_v)]) {
+        auto& c = count[static_cast<std::size_t>(n)];
+        if (from == ChipletSide::Logic) { --c.logic; ++c.memory; } else { --c.memory; ++c.logic; }
+      }
+      locked[static_cast<std::size_t>(best_v)] = true;
+      running += best_gain;
+      moves.push_back({best_v, all_balanced()});
+      cum_gain.push_back(running);
+
+      if (best_gain < 0 && moves.size() > 64) break;  // deep in a losing streak
+    }
+
+    // Roll back past the best prefix. When the pass started off-balance,
+    // only prefixes that END balanced are acceptable stopping points --
+    // otherwise the rollback would undo the re-balancing work.
+    int best_prefix = 0;
+    int best_val = std::numeric_limits<int>::min();
+    bool found = false;
+    for (std::size_t i = 0; i < cum_gain.size(); ++i) {
+      if (!start_balanced && !moves[i].balanced_after) continue;
+      if (cum_gain[i] > best_val) {
+        best_val = cum_gain[i];
+        best_prefix = static_cast<int>(i) + 1;
+        found = true;
+      }
+    }
+    if (start_balanced && (!found || best_val <= 0)) {
+      best_prefix = 0;
+      best_val = 0;
+    }
+    if (!start_balanced && !found) {
+      // Could not reach balance this pass; keep everything and try again.
+      best_prefix = static_cast<int>(moves.size());
+      best_val = moves.empty() ? 0 : cum_gain.back();
+    }
+    for (std::size_t i = cum_gain.size(); i > static_cast<std::size_t>(best_prefix); --i) {
+      const int v = moves[i - 1].v;
+      const ChipletSide cur = side[static_cast<std::size_t>(v)];
+      const ChipletSide back = (cur == ChipletSide::Logic) ? ChipletSide::Memory : ChipletSide::Logic;
+      side[static_cast<std::size_t>(v)] = back;
+      mem_cells[static_cast<std::size_t>(nl.instance(v).tile)] +=
+          (back == ChipletSide::Memory) ? nl.instance(v).cell_count
+                                        : -nl.instance(v).cell_count;
+    }
+    if (start_balanced && best_val <= 0) break;  // converged
+  }
+
+  PartitionResult out;
+  out.side = std::move(side);
+  out.cut_wires = cut_wires(nl, out.side);
+  out.memory_fraction = memory_cell_fraction(nl, out.side);
+  return out;
+}
+
+}  // namespace gia::partition

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "partition/partition.hpp"
+
+/// \file fm.hpp
+/// Fiduccia-Mattheyses bipartitioning on the flattened cluster netlist --
+/// the "flattening partitioning" branch of the paper's co-design flow
+/// (Fig 4). Nets are weighted by bit width so the cut metric equals the
+/// scalar wire count that must cross the chiplet boundary (and hence the
+/// signal bump demand).
+
+namespace gia::partition {
+
+struct FmConfig {
+  /// Maximum per-pass fraction of total cells the memory side may deviate
+  /// from `target_memory_fraction`.
+  double balance_tolerance = 0.06;
+  /// Desired fraction of cells on the memory side. The paper's hierarchical
+  /// split puts ~18% of cells in the memory chiplet.
+  double target_memory_fraction = 0.18;
+  int max_passes = 12;
+  unsigned seed = 1;
+};
+
+/// Run FM starting from `initial` (or from the hierarchical assignment when
+/// empty). Tiles are partitioned independently -- a cut never helps by
+/// moving an instance across tiles, and chiplets are per-tile.
+PartitionResult fm_partition(const netlist::Netlist& nl, const FmConfig& cfg = {},
+                             const Assignment& initial = {});
+
+}  // namespace gia::partition

@@ -1,0 +1,18 @@
+#include "partition/hierarchical.hpp"
+
+#include "partition/metrics.hpp"
+
+namespace gia::partition {
+
+PartitionResult hierarchical_partition(const netlist::Netlist& nl) {
+  PartitionResult out;
+  out.side.reserve(static_cast<std::size_t>(nl.instance_count()));
+  for (int i = 0; i < nl.instance_count(); ++i) {
+    out.side.push_back(netlist::default_side(nl.instance(i).cls));
+  }
+  out.cut_wires = cut_wires(nl, out.side);
+  out.memory_fraction = memory_cell_fraction(nl, out.side);
+  return out;
+}
+
+}  // namespace gia::partition

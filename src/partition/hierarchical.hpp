@@ -1,0 +1,14 @@
+#pragma once
+
+#include "partition/partition.hpp"
+
+/// \file hierarchical.hpp
+/// The paper's partitioning: aggregate the L3 cache and its interfacing
+/// logic into the memory chiplet; everything else (core, FPU, CCX, L1, L2,
+/// NoC router, SerDes, I/O drivers) is the logic chiplet (Fig 3a).
+
+namespace gia::partition {
+
+PartitionResult hierarchical_partition(const netlist::Netlist& nl);
+
+}  // namespace gia::partition

@@ -1,0 +1,37 @@
+#include "partition/metrics.hpp"
+
+#include <stdexcept>
+
+namespace gia::partition {
+
+int cut_wires(const netlist::Netlist& nl, const Assignment& side) {
+  if (static_cast<int>(side.size()) != nl.instance_count()) {
+    throw std::invalid_argument("assignment size mismatch");
+  }
+  int cut = 0;
+  for (int n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    bool has_logic = false, has_mem = false;
+    for (int t : net.terminals) {
+      (side[static_cast<std::size_t>(t)] == netlist::ChipletSide::Logic ? has_logic : has_mem) = true;
+    }
+    if (has_logic && has_mem) cut += net.bits;
+  }
+  return cut;
+}
+
+double memory_cell_fraction(const netlist::Netlist& nl, const Assignment& side) {
+  if (static_cast<int>(side.size()) != nl.instance_count()) {
+    throw std::invalid_argument("assignment size mismatch");
+  }
+  long mem = 0, total = 0;
+  for (int i = 0; i < nl.instance_count(); ++i) {
+    total += nl.instance(i).cell_count;
+    if (side[static_cast<std::size_t>(i)] == netlist::ChipletSide::Memory) {
+      mem += nl.instance(i).cell_count;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(mem) / static_cast<double>(total);
+}
+
+}  // namespace gia::partition

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "partition/partition.hpp"
+
+/// \file metrics.hpp
+/// Cut-size and balance metrics for chiplet partitioning.
+
+namespace gia::partition {
+
+/// Scalar wires on nets whose terminals span both sides (within any tile;
+/// inter-tile nets between same-side instances do not count as cut).
+int cut_wires(const netlist::Netlist& nl, const Assignment& side);
+
+/// Fraction of standard cells assigned to the memory side.
+double memory_cell_fraction(const netlist::Netlist& nl, const Assignment& side);
+
+}  // namespace gia::partition

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+/// \file partition.hpp
+/// Chipletization (Fig 4): split each OpenPiton tile into a logic and a
+/// memory chiplet. Two strategies, matching the paper's flow diagram:
+///  * hierarchical partitioning (the branch the paper uses): modules keep
+///    their identity; L3 + its interface logic become the memory chiplet;
+///  * flattened min-cut (Fiduccia-Mattheyses) as the alternative branch,
+///    used here to verify the hierarchical cut is near-minimal.
+
+namespace gia::partition {
+
+/// Side assignment for every instance in the netlist.
+using Assignment = std::vector<netlist::ChipletSide>;
+
+struct PartitionResult {
+  Assignment side;
+  /// Scalar wires crossing the logic/memory boundary within a tile.
+  int cut_wires = 0;
+  /// Cell balance: memory-side cells / total cells (per tile average).
+  double memory_fraction = 0.0;
+};
+
+}  // namespace gia::partition

@@ -1,0 +1,98 @@
+#include "pdn/ir_drop.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/units.hpp"
+
+namespace gia::pdn {
+
+IrDropResult solve_ir_drop(const interposer::InterposerDesign& design, const IrDropOptions& opts) {
+  const auto& tech = design.technology;
+  if (!tech.has_interposer()) throw std::invalid_argument("design has no interposer plane");
+  const int n = opts.grid_n;
+  const auto& outline = design.floorplan.outline;
+
+  // Sheet conductance between adjacent mesh nodes: square cells, so the
+  // edge conductance equals the sheet conductance.
+  const double sheet_r = geometry::constants::rho_copper /
+                         (tech.rules.metal_thickness_um * 1e-6);
+  const double g_edge = 1.0 / sheet_r;
+
+  // Supply taps: through-via field on a uniform pitch; each tap ties its
+  // mesh node to Vdd through the via resistance.
+  const double cell_w = outline.width() / n;
+  const double cell_h = outline.height() / n;
+  const double taps_per_cell =
+      (cell_w / opts.tap_pitch_um) * (cell_h / opts.tap_pitch_um);
+  const double r_via = geometry::constants::rho_copper * tech.through_via.height_um * 1e-6 /
+                       (geometry::constants::pi *
+                        std::pow(tech.through_via.diameter_um * 1e-6 / 2.0, 2.0));
+  const double g_tap = taps_per_cell > 0 ? taps_per_cell / r_via : 0.0;
+
+  // Load currents: total current split over die-covered cells.
+  geometry::Grid<double> load(n, n, 0.0);
+  int die_cells = 0;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const geometry::Point c{outline.lx + (x + 0.5) * cell_w, outline.ly + (y + 0.5) * cell_h};
+      for (const auto& die : design.floorplan.dies) {
+        if (die.outline.contains(c)) {
+          load.at(x, y) = 1.0;
+          ++die_cells;
+          break;
+        }
+      }
+    }
+  }
+  if (die_cells == 0) throw std::logic_error("no die coverage on mesh");
+  const double i_cell = opts.total_current_a / die_cells;
+
+  // SOR on: sum_j g*(v_j - v_i) + g_tap*(vdd - v_i) - I_i = 0.
+  geometry::Grid<double> v(n, n, opts.vdd);
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    double max_dv = 0;
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        double g_sum = g_tap;
+        double rhs = g_tap * opts.vdd - load.at(x, y) * i_cell;
+        const int dx[] = {1, -1, 0, 0}, dy[] = {0, 0, 1, -1};
+        for (int k = 0; k < 4; ++k) {
+          const int nx2 = x + dx[k], ny2 = y + dy[k];
+          if (!v.in_bounds(nx2, ny2)) continue;
+          g_sum += g_edge;
+          rhs += g_edge * v.at(nx2, ny2);
+        }
+        const double v_new = rhs / g_sum;
+        const double dv = v_new - v.at(x, y);
+        v.at(x, y) += opts.sor_omega * dv;
+        max_dv = std::max(max_dv, std::abs(dv));
+      }
+    }
+    if (max_dv < opts.tol_v) break;
+  }
+
+  IrDropResult out;
+  double worst = opts.vdd, sum = 0;
+  int cnt = 0;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      if (load.at(x, y) > 0) {
+        worst = std::min(worst, v.at(x, y));
+        sum += opts.vdd - v.at(x, y);
+        ++cnt;
+      }
+    }
+  }
+  // The board/ball/package path drops the full current before the plane,
+  // and the plane pair itself adds ~2 squares of constriction between the
+  // through-via field and the bump fields (power + ground return).
+  const double board_drop = opts.total_current_a * opts.board_r_ohm;
+  const double plane_drop = opts.total_current_a * sheet_r * opts.plane_squares;
+  out.max_drop_v = opts.vdd - worst + board_drop + plane_drop;
+  out.avg_drop_v = (cnt > 0 ? sum / cnt : 0.0) + board_drop + plane_drop;
+  out.voltage = std::move(v);
+  return out;
+}
+
+}  // namespace gia::pdn

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "geometry/grid.hpp"
+#include "interposer/design.hpp"
+
+/// \file ir_drop.hpp
+/// Static IR drop on the interposer power plane: a resistive mesh at the
+/// plane's sheet resistance, current sinks under the dies (chiplet power /
+/// Vdd spread over their bump fields), and supply taps at the through-via
+/// (TGV/TSV/PTH) entry points. Solved with successive over-relaxation.
+/// Reproduces Table IV's IR-drop row, where metal thickness is the lever:
+/// 1um silicon planes drop the most, 4-6um glass/APX planes the least.
+
+namespace gia::pdn {
+
+struct IrDropOptions {
+  int grid_n = 48;                 ///< mesh resolution (n x n)
+  double vdd = 0.9;
+  /// Total load current of all chiplets [A] (Table III: ~0.38 A system at
+  /// 0.9 V plus interconnect).
+  double total_current_a = 0.46;
+  /// Through-via supply tap pitch [um] (taps on a uniform field).
+  double tap_pitch_um = 800.0;
+  /// Flat series resistance of the board + ball + package path [ohm],
+  /// common to all technologies.
+  double board_r_ohm = 0.030;
+  /// Effective squares of plane-pair sheet resistance the total supply
+  /// current crosses between the through-via field and the bump fields
+  /// (power + ground return in series). This is the term that makes metal
+  /// thickness the IR-drop lever, as in Table IV.
+  double plane_squares = 2.0;
+  double sor_omega = 1.9;
+  int max_iters = 20000;
+  double tol_v = 1e-7;
+};
+
+struct IrDropResult {
+  double max_drop_v = 0;
+  double avg_drop_v = 0;
+  geometry::Grid<double> voltage;  ///< node voltages [V]
+};
+
+IrDropResult solve_ir_drop(const interposer::InterposerDesign& design,
+                           const IrDropOptions& opts = {});
+
+}  // namespace gia::pdn

@@ -1,0 +1,79 @@
+#include "pdn/pdn_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "extract/conductor.hpp"
+#include "extract/via_models.hpp"
+#include "geometry/units.hpp"
+
+namespace gia::pdn {
+
+using geometry::constants::eps0;
+using geometry::constants::mu0;
+
+PlaneDepth power_plane_depth(const tech::Technology& tech) {
+  PlaneDepth out;
+  const auto& s = tech.stackup;
+  const auto metals = s.metal_indices();
+  for (int mi : metals) {
+    if (s.layers()[static_cast<std::size_t>(mi)].role == tech::MetalRole::Power) {
+      out.depth_um = s.depth_from_top_um(mi);
+      // Count metal layers strictly above the plane: each is one via level.
+      for (int mj : metals) {
+        if (mj > mi) ++out.levels;
+      }
+      return out;
+    }
+  }
+  return out;  // no planes (Silicon 3D / monolithic): zero depth
+}
+
+PdnModel build_pdn_model(const interposer::InterposerDesign& design,
+                         const PdnModelOptions& opts) {
+  const auto& tech = design.technology;
+  PdnModel m;
+
+  const auto depth = power_plane_depth(tech);
+  const double via_r_um = std::max(tech.rules.via_size_um / 2.0, 1.0);
+  const double pg_pair_pitch_um = 2.0 * tech.rules.microbump_pitch_um;
+
+  // Feed loop: power descends to the plane and the return ascends one P/G
+  // pitch away -- a rectangular loop of height `depth` and width one pitch.
+  if (depth.depth_um > 0) {
+    m.l_feed = mu0 / geometry::constants::pi * depth.depth_um * 1e-6 *
+                   std::log(pg_pair_pitch_um / via_r_um) +
+               depth.levels * opts.constriction_per_level;
+    m.r_feed = depth.levels * extract::via_resistance(tech.rules.via_size_um,
+                                                      tech.rules.dielectric_thickness_um);
+  }
+
+  // Plane pair under the dies: separation = dielectric between P and G.
+  double under_die_um2 = 0;
+  for (const auto& die : design.floorplan.dies) {
+    if (!die.embedded) under_die_um2 += die.outline.area();
+  }
+  if (tech.has_interposer()) {
+    const double sep_um = tech.rules.dielectric_thickness_um;
+    m.c_plane = tech.rules.dielectric_constant * eps0 * under_die_um2 * 1e-12 / (sep_um * 1e-6);
+    m.r_plane = opts.plane_squares * geometry::constants::rho_copper /
+                (tech.rules.metal_thickness_um * 1e-6);
+    m.l_plane = 0.25 * mu0 * sep_um * 1e-6;
+  }
+
+  // Through-substrate entry, parallelized over the vias within a spreading
+  // radius of the load.
+  const auto entry = extract::cylinder_inductance(tech.through_via.diameter_um,
+                                                  tech.through_via.height_um);
+  const double n_entry = std::max(
+      1.0, std::pow(opts.spreading_radius_um / tech.through_via.pitch_um, 2.0));
+  m.l_entry = entry / n_entry;
+  m.r_entry = extract::via_resistance(tech.through_via.diameter_um, tech.through_via.height_um) /
+              n_entry;
+  if (tech.substrate.is_conductor() || tech.substrate.resistivity < 1.0) {
+    m.r_substrate_loss = opts.silicon_substrate_loss;
+  }
+  return m;
+}
+
+}  // namespace gia::pdn

@@ -1,0 +1,63 @@
+#pragma once
+
+#include "interposer/design.hpp"
+#include "tech/technology.hpp"
+
+/// \file pdn_model.hpp
+/// Lumped power-delivery-network model of an interposer, built from stackup
+/// geometry (Fig 11). The chiplet-side view of the PDN is a feed loop
+/// (build-up vias down to the plane pair, with loop inductance growing with
+/// the plane depth), the plane-pair capacitance under the dies, spreading
+/// resistance set by plane metal thickness, and the through-substrate entry
+/// path (TGV / TSV / PTH) back to the package balls.
+
+namespace gia::pdn {
+
+/// Per-power-bump lumped parameters (the worst-case single-bump view that
+/// PDN impedance profiles are quoted against).
+struct PdnModel {
+  /// Feed loop from bump down to the power plane [H]: grows with depth.
+  double l_feed = 0;
+  double r_feed = 0;
+  /// Plane-pair capacitance under the dies [F] and its parasitics.
+  double c_plane = 0;
+  double r_plane = 0;   ///< spreading ESR (rho / t_metal, ~3 squares)
+  double l_plane = 0;   ///< plane-pair ESL
+  /// Through-substrate entry (ball side), already divided by the effective
+  /// number of parallel entry vias within a spreading radius.
+  double l_entry = 0;
+  double r_entry = 0;
+  /// Conductive-substrate eddy loss (silicon only; glass/organics are
+  /// insulating).
+  double r_substrate_loss = 0;
+
+  /// Total series resistance of the feed path.
+  double r_series() const { return r_feed + r_plane + r_entry + r_substrate_loss; }
+  double l_series() const { return l_feed + l_plane + l_entry; }
+};
+
+struct PdnModelOptions {
+  /// Spreading radius within which parallel entry vias help at high
+  /// frequency [um].
+  double spreading_radius_um = 300.0;
+  /// Plane spreading path length in squares.
+  double plane_squares = 3.0;
+  /// Per-via-level constriction inductance through stacked landing pads [H].
+  double constriction_per_level = 3e-12;
+  /// Eddy/return loss through a conductive (silicon) substrate [ohm].
+  double silicon_substrate_loss = 0.5;
+};
+
+/// Depth [um] from the chiplet bumps down to the power plane, and the
+/// number of via levels crossed.
+struct PlaneDepth {
+  double depth_um = 0;
+  int levels = 0;
+};
+PlaneDepth power_plane_depth(const tech::Technology& tech);
+
+/// Build the lumped model for a designed interposer.
+PdnModel build_pdn_model(const interposer::InterposerDesign& design,
+                         const PdnModelOptions& opts = {});
+
+}  // namespace gia::pdn

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "circuit/waveform.hpp"
+#include "pdn/pdn_model.hpp"
+
+/// \file settling.hpp
+/// Power transient analysis (Section VII-A): an integrated voltage
+/// regulator drives the PDN while the chiplets draw a 125 MHz switching
+/// current; we measure the rail's settling time and worst droop after the
+/// load engages. The regulator is modeled as its output stage -- a source
+/// behind an output impedance and inductor with bulk capacitance -- which is
+/// what sets the microsecond-scale envelope the paper reports.
+
+namespace gia::pdn {
+
+struct SettlingOptions {
+  double vdd = 0.9;
+  /// Load: square-wave switching current at the IVR frequency.
+  double load_current_a = 0.42;
+  double switching_hz = 125e6;
+  /// Regulator output stage.
+  double reg_r_ohm = 0.02;
+  double reg_l_h = 10e-9;
+  /// Bulk decoupling at the regulator output.
+  double bulk_c_f = 10e-6;
+  double bulk_esr_ohm = 0.005;
+  /// Settling band around the final rail level.
+  double tol_v = 0.001;
+  double t_stop_s = 12e-6;
+  double dt_s = 1.2e-9;
+};
+
+struct SettlingResult {
+  double settling_time_s = 0;   ///< envelope within +/- tol of Vdd
+  double worst_droop_v = 0;     ///< max excursion below Vdd after load start
+  circuit::Waveform rail;       ///< bump-node voltage
+};
+
+SettlingResult simulate_settling(const PdnModel& model, const SettlingOptions& opts = {});
+
+}  // namespace gia::pdn

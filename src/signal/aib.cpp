@@ -1,0 +1,11 @@
+#include "signal/aib.hpp"
+
+namespace gia::signal {
+
+double driver_internal_power(const DriverModel& d, const AibFootprint& f, double bit_rate_hz,
+                             double activity) {
+  // `activity` transitions per bit on random data.
+  return d.internal_energy_per_edge * activity * bit_rate_hz + f.leakage_w;
+}
+
+}  // namespace gia::signal

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file aib.hpp
+/// Intel AIB-class I/O driver and receiver models (Fig 6 / Section V-B).
+/// The paper uses a pipelined DDR-capable driver synthesized in 28nm,
+/// operated SDR at 700 MHz: TX strength x128 with 47.4 ohm output impedance,
+/// RX strength x16, supporting lines up to 10 mm. We model the TX as a
+/// Thevenin switcher (edge-shaped source behind its output resistance) and
+/// the RX as an input capacitance plus a fixed regeneration delay -- the same
+/// abstraction the paper's HSPICE testbench uses around the channel model.
+
+namespace gia::signal {
+
+struct DriverModel {
+  double strength = 128.0;        ///< drive multiplier (x128)
+  double r_out_ohm = 47.4;        ///< output impedance at x128
+  double vdd = 0.9;
+  double edge_time_s = 50e-12;    ///< 20-80 class output edge
+  double intrinsic_delay_s = 36e-12;  ///< input-to-pad delay of the TX chain
+  /// Internal (non-load) energy per output transition, calibrated so the
+  /// AIB power overhead lands at Table III's ~26-27 uW per active lane.
+  double internal_energy_per_edge = 75e-15;
+
+  /// Output impedance scales inversely with strength.
+  double r_out_at(double strength_x) const { return r_out_ohm * strength / strength_x; }
+};
+
+struct ReceiverModel {
+  double strength = 16.0;
+  double c_in_farad = 6e-15;          ///< pad + ESD + gate capacitance
+  double intrinsic_delay_s = 3.5e-12; ///< regeneration delay
+  double threshold = 0.45;            ///< CMOS mid-rail
+};
+
+/// Area/power bookkeeping for Table III's AIB overhead rows.
+struct AibFootprint {
+  double area_um2 = 9.9 * 9.4;  ///< Fig 6(c) layout
+  /// Static leakage per driver lane [W].
+  double leakage_w = 15e-9;
+};
+
+/// Lane power at a toggle rate: internal edge energy times transition rate
+/// plus leakage (load power is accounted by the channel simulation).
+double driver_internal_power(const DriverModel& d, const AibFootprint& f, double bit_rate_hz,
+                             double activity = 0.5);
+
+}  // namespace gia::signal

@@ -1,0 +1,120 @@
+#include "signal/eye.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gia::signal {
+
+double EyeResult::q_factor() const {
+  const double denom = sigma_high_v + sigma_low_v;
+  if (denom < 1e-9) return 1e3;
+  return std::max(0.0, (mean_high_v - mean_low_v) / denom);
+}
+
+double EyeResult::ber_estimate() const {
+  return 0.5 * std::erfc(q_factor() / std::sqrt(2.0));
+}
+
+EyeResult measure_eye(const PrbsRun& run, const EyeConfig& cfg) {
+  const auto& w = run.rx;
+  const double ui = run.ui_s;
+  if (w.empty() || ui <= 0) throw std::invalid_argument("empty PRBS run");
+  const double t_start = cfg.skip_bits * ui;
+  if (w.duration() < t_start + 8 * ui) throw std::invalid_argument("PRBS run too short");
+
+  EyeResult out;
+  out.ui_s = ui;
+
+  // --- Eye width: fold all threshold crossings into [0, UI) and find the
+  // largest circular gap between consecutive crossing phases.
+  const auto xs = w.crossings(cfg.threshold, t_start, 0);
+  if (xs.size() < 3) {
+    // Degenerate: a stuck or rail-to-rail-clean channel. Width = full UI if
+    // the signal actually toggles cleanly, 0 if it never crosses.
+    out.width_s = xs.empty() ? 0.0 : ui;
+  } else {
+    std::vector<double> phases;
+    phases.reserve(xs.size());
+    for (double t : xs) phases.push_back(std::fmod(t, ui));
+    std::sort(phases.begin(), phases.end());
+    double max_gap = ui - phases.back() + phases.front();  // circular wrap
+    for (std::size_t i = 1; i < phases.size(); ++i) {
+      max_gap = std::max(max_gap, phases[i] - phases[i - 1]);
+    }
+    out.width_s = max_gap;
+  }
+
+  // --- Eye height: sample at the center of the open region (crossing
+  // cluster center + UI/2), classify each UI by level, and take the worst
+  // separation.
+  // Sampling phase: middle of the largest gap found above shifted to the
+  // crossing-free center. Reuse the fold: find the gap center.
+  double sample_phase = ui / 2.0;
+  {
+    const auto cross = w.crossings(cfg.threshold, t_start, 0);
+    if (cross.size() >= 3) {
+      std::vector<double> phases;
+      for (double t : cross) phases.push_back(std::fmod(t, ui));
+      std::sort(phases.begin(), phases.end());
+      double best_gap = ui - phases.back() + phases.front();
+      double center = std::fmod(phases.back() + best_gap / 2.0, ui);
+      for (std::size_t i = 1; i < phases.size(); ++i) {
+        const double gap = phases[i] - phases[i - 1];
+        if (gap > best_gap) {
+          best_gap = gap;
+          center = phases[i - 1] + gap / 2.0;
+        }
+      }
+      sample_phase = center;
+    }
+  }
+
+  double min_high = 1e300, max_low = -1e300;
+  double sum_h = 0, sq_h = 0, sum_l = 0, sq_l = 0;
+  int n_h = 0, n_l = 0;
+  const int first_ui = cfg.skip_bits;
+  const int last_ui = static_cast<int>(w.duration() / ui) - 1;
+  for (int k = first_ui; k < last_ui; ++k) {
+    const double v = w.at(k * ui + sample_phase);
+    if (v >= cfg.threshold) {
+      min_high = std::min(min_high, v);
+      sum_h += v;
+      sq_h += v * v;
+      ++n_h;
+    } else {
+      max_low = std::max(max_low, v);
+      sum_l += v;
+      sq_l += v * v;
+      ++n_l;
+    }
+  }
+  out.height_v = (n_h > 0 && n_l > 0) ? std::max(0.0, min_high - max_low) : 0.0;
+  if (n_h > 0) {
+    out.mean_high_v = sum_h / n_h;
+    out.sigma_high_v = std::sqrt(std::max(0.0, sq_h / n_h - out.mean_high_v * out.mean_high_v));
+  }
+  if (n_l > 0) {
+    out.mean_low_v = sum_l / n_l;
+    out.sigma_low_v = std::sqrt(std::max(0.0, sq_l / n_l - out.mean_low_v * out.mean_low_v));
+  }
+
+  if (cfg.keep_traces) {
+    const int samples_per_ui = std::max(4, static_cast<int>(std::lround(ui / w.dt())));
+    for (int k = first_ui; k < last_ui; ++k) {
+      std::vector<double> trace;
+      trace.reserve(static_cast<std::size_t>(samples_per_ui));
+      for (int s = 0; s < samples_per_ui; ++s) {
+        trace.push_back(w.at(k * ui + s * ui / samples_per_ui));
+      }
+      out.traces.push_back(std::move(trace));
+    }
+  }
+  return out;
+}
+
+EyeResult simulate_eye(const LinkSpec& spec, int n_bits, const EyeConfig& cfg) {
+  return measure_eye(run_prbs(spec, n_bits), cfg);
+}
+
+}  // namespace gia::signal

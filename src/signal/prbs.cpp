@@ -1,0 +1,36 @@
+#include "signal/prbs.hpp"
+
+#include <stdexcept>
+
+namespace gia::signal {
+namespace {
+
+std::vector<int> lfsr(int n_bits, unsigned seed, int nstages, int tap_a, int tap_b) {
+  if (n_bits <= 0) throw std::invalid_argument("n_bits must be positive");
+  unsigned state = seed & ((1u << nstages) - 1);
+  if (state == 0) state = 1;  // all-zero state is a fixed point
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n_bits));
+  for (int i = 0; i < n_bits; ++i) {
+    const int bit = static_cast<int>((state >> (tap_a - 1) ^ state >> (tap_b - 1)) & 1u);
+    state = (state << 1 | static_cast<unsigned>(bit)) & ((1u << nstages) - 1);
+    out.push_back(bit);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> prbs7(int n_bits, unsigned seed) { return lfsr(n_bits, seed, 7, 7, 6); }
+
+std::vector<int> prbs15(int n_bits, unsigned seed) { return lfsr(n_bits, seed, 15, 15, 14); }
+
+std::vector<int> clock_pattern(int n_bits) {
+  if (n_bits <= 0) throw std::invalid_argument("n_bits must be positive");
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n_bits));
+  for (int i = 0; i < n_bits; ++i) out.push_back(i & 1);
+  return out;
+}
+
+}  // namespace gia::signal

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+/// \file prbs.hpp
+/// Pseudo-random binary sequences from linear-feedback shift registers --
+/// the stimulus for eye-diagram analysis (Section VII-A runs 0.7 Gbps
+/// PRBS through the extracted interposer channels).
+
+namespace gia::signal {
+
+/// PRBS-7: x^7 + x^6 + 1, period 127.
+std::vector<int> prbs7(int n_bits, unsigned seed = 0x5A);
+
+/// PRBS-15: x^15 + x^14 + 1, period 32767.
+std::vector<int> prbs15(int n_bits, unsigned seed = 0x1234);
+
+/// Alternating 0101... pattern (worst case for SSO-style coupling).
+std::vector<int> clock_pattern(int n_bits);
+
+}  // namespace gia::signal

@@ -1,0 +1,69 @@
+#include "signal/sparams.hpp"
+
+#include <cmath>
+
+namespace gia::signal {
+
+Abcd Abcd::then(const Abcd& n) const {
+  Abcd out;
+  out.A = A * n.A + B * n.C;
+  out.B = A * n.B + B * n.D;
+  out.C = C * n.A + D * n.C;
+  out.D = C * n.B + D * n.D;
+  return out;
+}
+
+Abcd line_abcd(const extract::Rlgc& rlgc, double length_um, double freq_hz) {
+  const double w = 2.0 * 3.14159265358979323846 * freq_hz;
+  const cplx z(rlgc.R, w * rlgc.L);
+  const cplx y(rlgc.G, w * rlgc.C);
+  const cplx gamma = std::sqrt(z * y);
+  const cplx z0 = std::sqrt(z / y);
+  const cplx gl = gamma * (length_um * 1e-6);
+  Abcd out;
+  out.A = std::cosh(gl);
+  out.B = z0 * std::sinh(gl);
+  out.C = std::sinh(gl) / z0;
+  out.D = out.A;
+  return out;
+}
+
+Abcd series_abcd(cplx z) {
+  Abcd out;
+  out.B = z;
+  return out;
+}
+
+Abcd shunt_abcd(cplx y) {
+  Abcd out;
+  out.C = y;
+  return out;
+}
+
+Abcd lumped_abcd(const extract::LumpedRlc& m, double freq_hz) {
+  const double w = 2.0 * 3.14159265358979323846 * freq_hz;
+  const cplx z(m.R, w * m.L);
+  const cplx y_half(0.0, w * m.C / 2.0);
+  return shunt_abcd(y_half).then(series_abcd(z)).then(shunt_abcd(y_half));
+}
+
+Sparams to_sparams(const Abcd& m, double z0) {
+  const cplx denom = m.A + m.B / z0 + m.C * z0 + m.D;
+  Sparams s;
+  s.s11 = (m.A + m.B / z0 - m.C * z0 - m.D) / denom;
+  s.s21 = 2.0 / denom;
+  s.s12 = 2.0 * (m.A * m.D - m.B * m.C) / denom;
+  s.s22 = (-m.A + m.B / z0 - m.C * z0 + m.D) / denom;
+  return s;
+}
+
+std::vector<double> insertion_loss_db(const std::vector<Abcd>& cascade_per_freq) {
+  std::vector<double> out;
+  out.reserve(cascade_per_freq.size());
+  for (const auto& m : cascade_per_freq) {
+    out.push_back(20.0 * std::log10(std::abs(to_sparams(m).s21)));
+  }
+  return out;
+}
+
+}  // namespace gia::signal

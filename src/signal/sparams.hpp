@@ -1,0 +1,48 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "extract/microstrip.hpp"
+#include "extract/via_models.hpp"
+
+/// \file sparams.hpp
+/// Two-port network algebra (ABCD form) for the frequency-domain channel
+/// view: lossy transmission line segments, lumped series/shunt elements,
+/// cascading, and conversion to S-parameters at a reference impedance --
+/// mirroring the paper's HFSS/HyperLynx -> S-parameter -> ADS flow.
+
+namespace gia::signal {
+
+using cplx = std::complex<double>;
+
+/// ABCD (chain) matrix of a two-port at one frequency.
+struct Abcd {
+  cplx A{1, 0}, B{0, 0}, C{0, 0}, D{1, 0};
+
+  /// Cascade: this network followed by `next`.
+  Abcd then(const Abcd& next) const;
+};
+
+/// Lossy line of physical length `length_um` with per-unit-length RLGC.
+Abcd line_abcd(const extract::Rlgc& rlgc, double length_um, double freq_hz);
+
+/// Series impedance Z.
+Abcd series_abcd(cplx z);
+
+/// Shunt admittance Y.
+Abcd shunt_abcd(cplx y);
+
+/// Lumped via/bump as series R+jwL with half-shunt C at each end.
+Abcd lumped_abcd(const extract::LumpedRlc& m, double freq_hz);
+
+/// S-parameters (s11, s21, s12, s22) at reference impedance z0.
+struct Sparams {
+  cplx s11, s12, s21, s22;
+};
+Sparams to_sparams(const Abcd& m, double z0 = 50.0);
+
+/// |S21| in dB across a frequency grid for a cascaded channel builder.
+std::vector<double> insertion_loss_db(const std::vector<Abcd>& cascade_per_freq);
+
+}  // namespace gia::signal

@@ -1,0 +1,52 @@
+#include "signal/variation.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace gia::signal {
+
+VariationResult monte_carlo_delay(const LinkSpec& nominal, const VariationSpec& var) {
+  if (var.samples < 2) throw std::invalid_argument("need >= 2 samples");
+  VariationResult out;
+  out.nominal_delay_s = simulate_link(nominal).interconnect_delay_s;
+
+  std::mt19937 rng(var.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  // Relative factors floor at 0.5 to keep element values physical even in
+  // extreme tails.
+  auto factor = [&](double sigma) { return std::max(0.5, 1.0 + sigma * gauss(rng)); };
+
+  out.samples_s.reserve(static_cast<std::size_t>(var.samples));
+  double sum = 0, sum_sq = 0;
+  for (int s = 0; s < var.samples; ++s) {
+    LinkSpec trial = nominal;
+    const double fr = factor(var.sigma_r);
+    const double fc = factor(var.sigma_c);
+    trial.line.self.R *= fr;
+    trial.line.self.C *= fc;
+    trial.line.Cm *= fc;
+    const double fl = factor(var.sigma_lumped);
+    for (auto& e : trial.pre_elements) {
+      e.R *= fr;
+      e.C *= fl;
+      e.L *= fl;
+    }
+    for (auto& e : trial.post_elements) {
+      e.R *= fr;
+      e.C *= fl;
+      e.L *= fl;
+    }
+    const double d = simulate_link(trial).interconnect_delay_s;
+    out.samples_s.push_back(d);
+    sum += d;
+    sum_sq += d * d;
+    out.worst_delay_s = std::max(out.worst_delay_s, d);
+  }
+  const double n = static_cast<double>(var.samples);
+  out.mean_delay_s = sum / n;
+  out.sigma_delay_s = std::sqrt(std::max(0.0, sum_sq / n - out.mean_delay_s * out.mean_delay_s));
+  return out;
+}
+
+}  // namespace gia::signal

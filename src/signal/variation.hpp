@@ -1,0 +1,38 @@
+#pragma once
+
+#include "signal/link_sim.hpp"
+
+/// \file variation.hpp
+/// Process-corner analysis for interposer channels. RDL width/thickness and
+/// dielectric tolerances are the glass process's main risk (the paper's
+/// Table I rules are nominal); this runs Monte Carlo over per-unit-length
+/// R/L/C and reports the delay distribution a signoff flow would margin
+/// against.
+
+namespace gia::signal {
+
+struct VariationSpec {
+  /// 1-sigma relative variation of line resistance (width/thickness).
+  double sigma_r = 0.10;
+  /// 1-sigma relative variation of capacitance (dielectric thickness/er).
+  double sigma_c = 0.08;
+  /// 1-sigma relative variation of lumped element parasitics.
+  double sigma_lumped = 0.10;
+  int samples = 40;
+  unsigned seed = 42;
+};
+
+struct VariationResult {
+  double nominal_delay_s = 0;
+  double mean_delay_s = 0;
+  double sigma_delay_s = 0;
+  double worst_delay_s = 0;   ///< max over samples
+  /// Nominal + 3 sigma -- the margining number.
+  double delay_3sigma_s() const { return mean_delay_s + 3.0 * sigma_delay_s; }
+  std::vector<double> samples_s;
+};
+
+/// Monte Carlo the link's interconnect delay under process variation.
+VariationResult monte_carlo_delay(const LinkSpec& nominal, const VariationSpec& var = {});
+
+}  // namespace gia::signal

@@ -1,0 +1,200 @@
+#include "tech/library.hpp"
+
+#include <stdexcept>
+
+namespace gia::tech {
+namespace {
+
+/// Build an interposer stackup: substrate at the bottom, then alternating
+/// dielectric/metal build-up. `n_metal` counts all metal layers including
+/// the two PDN planes added per Section VI-B.
+Stackup build_stackup(const Material& substrate, double substrate_um, const Material& dielectric,
+                      double diel_um, double metal_um, int n_metal) {
+  Stackup s;
+  s.append({.name = "core", .kind = LayerKind::Substrate, .material = substrate,
+            .thickness_um = substrate_um});
+  for (int i = 0; i < n_metal; ++i) {
+    s.append({.name = "D" + std::to_string(i + 1), .kind = LayerKind::Dielectric,
+              .material = dielectric, .thickness_um = diel_um});
+    // PDN planes sit at the bottom of the build-up for silicon/organic
+    // (power above ground starting at M1/M2); the glass variants put them
+    // directly under the top signal metal (Fig 11), which is what makes the
+    // Glass 3D PDN sit so close to the chiplets. Role assignment happens in
+    // make_technology where the integration style is known.
+    s.append({.name = "M" + std::to_string(i + 1), .kind = LayerKind::Metal,
+              .material = materials::copper(), .thickness_um = metal_um,
+              .role = MetalRole::Signal});
+  }
+  return s;
+}
+
+/// Mark two adjacent metal layers as the power/ground plane pair, power
+/// directly above ground (Section VI-B). Glass and organic interposers feed
+/// the planes from below through TGVs/PTHs, so the pair sits at the bottom
+/// of the build-up (Fig 11a); silicon's planes "commence at metals 3 and 4",
+/// i.e. at the top, with the lower metals reserved for signal routing.
+enum class PdnPlacement { Bottom, Top };
+
+void assign_pdn_planes(Stackup& s, PdnPlacement where) {
+  auto metals = s.metal_indices();
+  const int n = static_cast<int>(metals.size());
+  if (n < 2) throw std::logic_error("stackup needs >=2 metal layers for PDN planes");
+  const int gnd = (where == PdnPlacement::Bottom) ? 0 : n - 2;
+  const int pwr = gnd + 1;
+  s.layer(metals[static_cast<std::size_t>(gnd)]).role = MetalRole::Ground;
+  s.layer(metals[static_cast<std::size_t>(pwr)]).role = MetalRole::Power;
+}
+
+}  // namespace
+
+Technology make_technology(TechnologyKind kind) {
+  Technology t;
+  t.kind = kind;
+  t.name = to_string(kind);
+
+  switch (kind) {
+    case TechnologyKind::Glass25D:
+    case TechnologyKind::Glass3D: {
+      const bool is3d = (kind == TechnologyKind::Glass3D);
+      t.integration = is3d ? IntegrationStyle::EmbeddedDie : IntegrationStyle::SideBySide;
+      t.routing = RoutingStyle::Manhattan;
+      t.rules = {.metal_layers = is3d ? 3 : 7,
+                 .metal_thickness_um = 4.0,
+                 .dielectric_thickness_um = 15.0,
+                 .dielectric_constant = 3.3,
+                 .min_wire_width_um = 2.0,
+                 .min_wire_space_um = 2.0,
+                 .via_size_um = 22.0,
+                 .bump_size_um = 16.0,
+                 .die_to_die_spacing_um = 100.0,
+                 .microbump_pitch_um = 35.0};
+      t.substrate = materials::glass_substrate();
+      t.rdl_dielectric = materials::polymer_rdl();
+      t.rdl_dielectric.eps_r = t.rules.dielectric_constant;
+      t.stackup = build_stackup(t.substrate, 155.0, t.rdl_dielectric,
+                                t.rules.dielectric_thickness_um, t.rules.metal_thickness_um,
+                                t.rules.metal_layers);
+      // TGV-fed P/G planes at the bottom of the build-up (Fig 11a). With
+      // only one signal layer above them, the Glass 3D planes end up right
+      // under the chiplets -- the root of its PDN advantage; Glass 2.5D's
+      // five signal layers push them far away.
+      assign_pdn_planes(t.stackup, PdnPlacement::Bottom);
+      // TGV through the 155um core; pitch tracks the bump field.
+      t.through_via = {.diameter_um = 30.0, .height_um = 155.0, .pitch_um = 100.0, .liner_um = 0.0};
+      t.microbump = {.diameter_um = 16.0, .height_um = 10.0, .pitch_um = 35.0, .liner_um = 0.0};
+      // 22um RDL vias stacked through the build-up connect the embedded
+      // memory die to the logic die above (Glass 3D only).
+      t.stacked_rdl_via = {.diameter_um = 22.0, .height_um = 15.0, .pitch_um = 35.0, .liner_um = 0.0};
+      break;
+    }
+    case TechnologyKind::Silicon25D: {
+      t.integration = IntegrationStyle::SideBySide;
+      t.routing = RoutingStyle::Manhattan;
+      t.rules = {.metal_layers = 4,
+                 .metal_thickness_um = 1.0,
+                 .dielectric_thickness_um = 1.0,
+                 .dielectric_constant = 3.9,
+                 .min_wire_width_um = 0.4,
+                 .min_wire_space_um = 0.4,
+                 .via_size_um = 0.7,
+                 .bump_size_um = 20.0,
+                 .die_to_die_spacing_um = 100.0,
+                 .microbump_pitch_um = 40.0};
+      t.substrate = materials::silicon_substrate();
+      t.rdl_dielectric = materials::sio2();
+      t.stackup = build_stackup(t.substrate, 100.0, t.rdl_dielectric, 1.0, 1.0, 4);
+      // Section VI-B: silicon's P/G planes commence at metals 3 and 4 -- the
+      // top of the 4-metal stack -- since signal routing needs M1/M2.
+      assign_pdn_planes(t.stackup, PdnPlacement::Top);
+      t.through_via = {.diameter_um = 10.0, .height_um = 100.0, .pitch_um = 150.0, .liner_um = 0.5};
+      t.microbump = {.diameter_um = 20.0, .height_um = 15.0, .pitch_um = 40.0, .liner_um = 0.0};
+      break;
+    }
+    case TechnologyKind::Silicon3D: {
+      t.integration = IntegrationStyle::TsvStack;
+      t.routing = RoutingStyle::None;  // no interposer; 3D interconnects only
+      t.rules = {.metal_layers = 0,
+                 .metal_thickness_um = 1.0,
+                 .dielectric_thickness_um = 1.0,
+                 .dielectric_constant = 3.9,
+                 .min_wire_width_um = 0.4,
+                 .min_wire_space_um = 0.4,
+                 .via_size_um = 0.7,
+                 .bump_size_um = 20.0,
+                 .die_to_die_spacing_um = 0.0,
+                 .microbump_pitch_um = 40.0};
+      t.substrate = materials::silicon_substrate();
+      t.rdl_dielectric = materials::sio2();
+      // Section VII-B: substrate thinned to 20um for the mini-TSVs.
+      t.mini_tsv = {.diameter_um = 2.0, .height_um = 20.0, .pitch_um = 10.0, .liner_um = 0.1};
+      t.microbump = {.diameter_um = 20.0, .height_um = 15.0, .pitch_um = 40.0, .liner_um = 0.0};
+      t.through_via = t.mini_tsv;
+      break;
+    }
+    case TechnologyKind::Shinko: {
+      t.integration = IntegrationStyle::SideBySide;
+      t.routing = RoutingStyle::Diagonal;
+      t.rules = {.metal_layers = 7,
+                 .metal_thickness_um = 2.0,
+                 .dielectric_thickness_um = 3.0,
+                 .dielectric_constant = 3.5,
+                 .min_wire_width_um = 2.0,
+                 .min_wire_space_um = 2.0,
+                 .via_size_um = 10.0,
+                 .bump_size_um = 25.0,
+                 .die_to_die_spacing_um = 100.0,
+                 .microbump_pitch_um = 40.0};
+      t.substrate = materials::organic_core();
+      t.rdl_dielectric = materials::abf_dielectric();
+      t.rdl_dielectric.eps_r = t.rules.dielectric_constant;
+      t.stackup = build_stackup(t.substrate, 400.0, t.rdl_dielectric, 3.0, 2.0, 7);
+      assign_pdn_planes(t.stackup, PdnPlacement::Bottom);
+      t.through_via = {.diameter_um = 50.0, .height_um = 400.0, .pitch_um = 300.0, .liner_um = 0.0};
+      t.microbump = {.diameter_um = 25.0, .height_um = 15.0, .pitch_um = 40.0, .liner_um = 0.0};
+      break;
+    }
+    case TechnologyKind::APX: {
+      t.integration = IntegrationStyle::SideBySide;
+      t.routing = RoutingStyle::Diagonal;
+      t.rules = {.metal_layers = 8,
+                 .metal_thickness_um = 6.0,
+                 .dielectric_thickness_um = 14.0,
+                 .dielectric_constant = 3.1,
+                 .min_wire_width_um = 6.0,
+                 .min_wire_space_um = 6.0,
+                 .via_size_um = 32.0,
+                 .bump_size_um = 32.0,
+                 .die_to_die_spacing_um = 150.0,
+                 .microbump_pitch_um = 50.0};
+      t.substrate = materials::organic_core();
+      t.rdl_dielectric = materials::abf_dielectric();
+      t.rdl_dielectric.eps_r = t.rules.dielectric_constant;
+      t.stackup = build_stackup(t.substrate, 400.0, t.rdl_dielectric, 14.0, 6.0, 8);
+      assign_pdn_planes(t.stackup, PdnPlacement::Bottom);
+      t.through_via = {.diameter_um = 60.0, .height_um = 400.0, .pitch_um = 300.0, .liner_um = 0.0};
+      t.microbump = {.diameter_um = 32.0, .height_um = 18.0, .pitch_um = 50.0, .liner_um = 0.0};
+      break;
+    }
+    case TechnologyKind::Monolithic2D: {
+      t.integration = IntegrationStyle::SingleDie;
+      t.routing = RoutingStyle::None;
+      t.substrate = materials::silicon_die();
+      t.rdl_dielectric = materials::sio2();
+      break;
+    }
+  }
+  return t;
+}
+
+std::vector<Technology> all_package_technologies() {
+  std::vector<Technology> out;
+  for (auto k : table_order()) out.push_back(make_technology(k));
+  return out;
+}
+
+std::vector<TechnologyKind> table_order() {
+  return {TechnologyKind::Glass25D,  TechnologyKind::Glass3D, TechnologyKind::Silicon25D,
+          TechnologyKind::Silicon3D, TechnologyKind::Shinko,  TechnologyKind::APX};
+}
+
+}  // namespace gia::tech

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "tech/technology.hpp"
+
+/// \file library.hpp
+/// Factory for the technologies of Table I (plus Silicon 3D and the 2D
+/// monolithic reference). All numbers are transcribed from the paper:
+/// Table I for design rules, Section III for the glass process (150-160um
+/// core, 10um DAF), Section VII-B for the 3D interconnect dimensions.
+
+namespace gia::tech {
+
+/// Build the full technology description for one design point.
+Technology make_technology(TechnologyKind kind);
+
+/// All six packaging technologies compared in the paper's tables
+/// (excludes the monolithic reference).
+std::vector<Technology> all_package_technologies();
+
+/// The order used by the paper's tables: Glass 2.5D, Glass 3D, Silicon 2.5D,
+/// Silicon 3D, Shinko, APX.
+std::vector<TechnologyKind> table_order();
+
+}  // namespace gia::tech

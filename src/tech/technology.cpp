@@ -1,0 +1,18 @@
+#include "tech/technology.hpp"
+
+namespace gia::tech {
+
+const char* to_string(TechnologyKind k) {
+  switch (k) {
+    case TechnologyKind::Glass25D: return "Glass 2.5D";
+    case TechnologyKind::Glass3D: return "Glass 3D";
+    case TechnologyKind::Silicon25D: return "Silicon 2.5D";
+    case TechnologyKind::Silicon3D: return "Silicon 3D";
+    case TechnologyKind::Shinko: return "Shinko";
+    case TechnologyKind::APX: return "APX";
+    case TechnologyKind::Monolithic2D: return "2D Monolithic";
+  }
+  return "unknown";
+}
+
+}  // namespace gia::tech

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <string>
+
+#include "tech/material.hpp"
+#include "tech/stackup.hpp"
+
+/// \file technology.hpp
+/// A packaging technology: Table I design rules + stackup + integration and
+/// routing style. One instance per column of Table I, plus Silicon 3D and
+/// the 2D monolithic reference used in Table IV.
+
+namespace gia::tech {
+
+/// The seven designs compared by the paper.
+enum class TechnologyKind {
+  Glass25D,     ///< chiplets side-by-side on glass interposer
+  Glass3D,      ///< "5.5D": memory die embedded in glass cavity under logic die
+  Silicon25D,   ///< CoWoS-style passive silicon interposer
+  Silicon3D,    ///< 4-tier TSV-based stack, no interposer
+  Shinko,       ///< organic interposer with thin-film fine-line layer
+  APX,          ///< conventional organic interposer
+  Monolithic2D  ///< single-die 28nm reference (no interposer)
+};
+
+const char* to_string(TechnologyKind k);
+
+/// How chiplets are physically integrated.
+enum class IntegrationStyle {
+  SideBySide,   ///< 2.5D: lateral RDL connections only
+  EmbeddedDie,  ///< glass 3D: memory embedded under logic, stacked RDL vias
+  TsvStack,     ///< silicon 3D: micro-bumps intra-tile, TSVs inter-tile
+  SingleDie     ///< monolithic
+};
+
+/// Interposer routing style (Section VI-B): Manhattan for glass/silicon,
+/// diagonal (octilinear) for organics.
+enum class RoutingStyle { Manhattan, Diagonal, None };
+
+/// Vertical interconnect geometry (TSV/TGV/micro-bump/stacked RDL via).
+struct ViaSpec {
+  double diameter_um = 10.0;
+  double height_um = 100.0;
+  double pitch_um = 40.0;
+  /// Liner/oxide thickness for TSVs (drives the MOS capacitance); 0 for
+  /// through-glass vias, whose substrate is an insulator.
+  double liner_um = 0.0;
+};
+
+/// Design rules: one column of Table I.
+struct DesignRules {
+  int metal_layers = 4;
+  double metal_thickness_um = 1.0;
+  double dielectric_thickness_um = 1.0;
+  double dielectric_constant = 3.9;
+  double min_wire_width_um = 0.4;
+  double min_wire_space_um = 0.4;
+  double via_size_um = 0.7;
+  double bump_size_um = 20.0;
+  double die_to_die_spacing_um = 100.0;
+  double microbump_pitch_um = 40.0;
+};
+
+struct Technology {
+  TechnologyKind kind = TechnologyKind::Glass25D;
+  std::string name;
+  IntegrationStyle integration = IntegrationStyle::SideBySide;
+  RoutingStyle routing = RoutingStyle::Manhattan;
+  DesignRules rules;
+  Stackup stackup;
+  Material substrate;
+  Material rdl_dielectric;
+
+  /// Through-substrate via used for power/external I/O (TGV on glass, TSV on
+  /// silicon, PTH-class via on organics).
+  ViaSpec through_via;
+  /// Micro-bump joining the chiplet to the interposer (or die-to-die in 3D).
+  ViaSpec microbump;
+  /// Mini-TSV for Silicon 3D inter-tile nets (Section VII-B: 2um diameter,
+  /// 10um pitch, 20um thinned substrate). Unused elsewhere.
+  ViaSpec mini_tsv;
+  /// Stacked RDL via used by Glass 3D for vertical logic<->memory nets
+  /// (35um-pitch stacked vias, Section VII-C).
+  ViaSpec stacked_rdl_via;
+
+  bool supports_die_embedding() const { return integration == IntegrationStyle::EmbeddedDie; }
+  bool is_3d() const {
+    return integration == IntegrationStyle::EmbeddedDie || integration == IntegrationStyle::TsvStack;
+  }
+  bool has_interposer() const {
+    return integration == IntegrationStyle::SideBySide || integration == IntegrationStyle::EmbeddedDie;
+  }
+};
+
+}  // namespace gia::tech

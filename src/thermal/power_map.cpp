@@ -1,0 +1,49 @@
+#include "thermal/power_map.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace gia::thermal {
+
+geometry::Grid<double> make_power_map(double total_w, const PowerMapOptions& opts) {
+  if (total_w < 0 || opts.tiles < 1) throw std::invalid_argument("bad power map inputs");
+  std::mt19937 rng(opts.seed);
+  std::uniform_real_distribution<double> jitter(1.0 - opts.nonuniformity,
+                                                1.0 + opts.nonuniformity);
+  geometry::Grid<double> map(opts.tiles, opts.tiles, 0.0);
+  double sum = 0;
+  for (int y = 0; y < opts.tiles; ++y) {
+    for (int x = 0; x < opts.tiles; ++x) {
+      map.at(x, y) = jitter(rng);
+      sum += map.at(x, y);
+    }
+  }
+  for (auto& v : map.data()) v *= total_w / sum;
+  return map;
+}
+
+geometry::Grid<double> resample_power_map(const geometry::Grid<double>& map, int nx, int ny) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("bad resample target");
+  geometry::Grid<double> out(nx, ny, 0.0);
+  // Distribute each tile's power over the target cells it covers
+  // (nearest-tile assignment per target cell, then renormalize).
+  double total = 0;
+  for (double v : map.data()) total += v;
+  double assigned = 0;
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      const int tx = std::min(map.nx() - 1, x * map.nx() / nx);
+      const int ty = std::min(map.ny() - 1, y * map.ny() / ny);
+      const double cells_per_tile =
+          (static_cast<double>(nx) / map.nx()) * (static_cast<double>(ny) / map.ny());
+      out.at(x, y) = map.at(tx, ty) / cells_per_tile;
+      assigned += out.at(x, y);
+    }
+  }
+  if (assigned > 0) {
+    for (auto& v : out.data()) v *= total / assigned;
+  }
+  return out;
+}
+
+}  // namespace gia::thermal

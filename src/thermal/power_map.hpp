@@ -1,0 +1,25 @@
+#pragma once
+
+#include "geometry/grid.hpp"
+
+/// \file power_map.hpp
+/// Per-die power density maps. The paper builds 8x8 tile-based maps with
+/// Ansys CPS (Section VII-G); we generate seeded tile maps with realistic
+/// nonuniformity, normalized to the die's total power from Table III.
+
+namespace gia::thermal {
+
+struct PowerMapOptions {
+  int tiles = 8;              ///< map is tiles x tiles
+  double nonuniformity = 0.35;  ///< +/- fraction of tile-to-tile variation
+  unsigned seed = 11;
+};
+
+/// Tile map summing to `total_w` watts.
+geometry::Grid<double> make_power_map(double total_w, const PowerMapOptions& opts = {});
+
+/// Resample a tile map onto an arbitrary cell grid covering the same die
+/// (area-weighted, preserves the total).
+geometry::Grid<double> resample_power_map(const geometry::Grid<double>& map, int nx, int ny);
+
+}  // namespace gia::thermal

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "thermal/mesh.hpp"
+
+/// \file solver.hpp
+/// Steady-state finite-volume conduction solver with convective boundaries,
+/// solved by successive over-relaxation. Voxel-to-voxel conductances use
+/// series (harmonic) combination of the half-cell resistances, so layered
+/// stacks with 100x conductivity contrast (glass vs silicon) behave
+/// correctly.
+
+namespace gia::thermal {
+
+struct SolverOptions {
+  double sor_omega = 1.9;
+  int max_iters = 15000;
+  double tol_k = 5e-5;  ///< max temperature update per sweep [K]
+};
+
+struct ThermalField {
+  int nx = 0, ny = 0;
+  std::vector<geometry::Grid<double>> t_c;  ///< per z-layer temperatures [C]
+  double max_c = 0;
+  int iterations = 0;
+  bool converged = false;
+
+  double at(int layer, int x, int y) const { return t_c[static_cast<std::size_t>(layer)].at(x, y); }
+};
+
+ThermalField solve_steady_state(const ThermalMesh& mesh, const SolverOptions& opts = {});
+
+/// Transient heating from ambient with the mesh's power map applied at
+/// t = 0 (explicit finite-volume stepping; the step size is chosen
+/// automatically from the stability limit). Returns the temperature of the
+/// probed cell over time plus the final field.
+struct TransientThermalResult {
+  std::vector<double> time_s;
+  std::vector<double> probe_c;
+  ThermalField final_field;
+  /// Time for the probe to cover 63.2% of its total rise (the dominant
+  /// thermal time constant).
+  double tau_s = 0;
+};
+
+struct ThermalProbe {
+  int layer = 0;
+  int x = 0;
+  int y = 0;
+};
+
+TransientThermalResult solve_transient(const ThermalMesh& mesh, double t_stop_s,
+                                       const ThermalProbe& probe,
+                                       const SolverOptions& opts = {});
+
+}  // namespace gia::thermal

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "interposer/design.hpp"
+#include "pdn/impedance.hpp"
+#include "pdn/pdn_model.hpp"
+#include "signal/prbs.hpp"
+#include "signal/sparams.hpp"
+#include "tech/library.hpp"
+
+/// Coverage for the remaining public API surface: error paths and helpers
+/// that the mainline flows exercise only implicitly.
+
+namespace th = gia::tech;
+namespace ip = gia::interposer;
+namespace sg = gia::signal;
+
+TEST(ApiSurface, InsertionLossDb) {
+  gia::extract::Rlgc rlgc{.R = 43000, .L = 450e-9, .G = 0, .C = 160e-12};
+  std::vector<sg::Abcd> cascade;
+  for (double f : {1e8, 1e9, 5e9}) {
+    cascade.push_back(sg::line_abcd(rlgc, 5000.0, f));
+  }
+  const auto loss = sg::insertion_loss_db(cascade);
+  ASSERT_EQ(loss.size(), 3u);
+  // Lossy line: attenuation grows with frequency (more negative dB).
+  EXPECT_LT(loss[2], loss[0]);
+  EXPECT_LT(loss[0], 0.5);  // never gain
+}
+
+TEST(ApiSurface, FloorplanAccessors) {
+  const auto d = ip::build_interposer_design(th::TechnologyKind::Glass25D);
+  EXPECT_NO_THROW(d.floorplan.die(gia::netlist::ChipletSide::Logic, 1));
+  EXPECT_THROW(d.floorplan.die(gia::netlist::ChipletSide::Logic, 5), std::out_of_range);
+  const auto& die = d.floorplan.die(gia::netlist::ChipletSide::Memory, 0);
+  EXPECT_NO_THROW(die.bump_at(0));
+  EXPECT_THROW(die.bump_at(99999), std::out_of_range);
+  // Bump positions are absolute (inside the die outline).
+  const auto p = die.bump_at(0);
+  EXPECT_TRUE(die.outline.contains(p));
+}
+
+TEST(ApiSurface, PlaneDepthWithoutPlanes) {
+  // Silicon 3D has no interposer stackup: depth must degrade to zero.
+  const auto d = gia::pdn::power_plane_depth(th::make_technology(th::TechnologyKind::Silicon3D));
+  EXPECT_DOUBLE_EQ(d.depth_um, 0.0);
+  EXPECT_EQ(d.levels, 0);
+}
+
+TEST(ApiSurface, ImpedanceOptionsGrid) {
+  const auto design = ip::build_interposer_design(th::TechnologyKind::Glass3D);
+  const auto model = gia::pdn::build_pdn_model(design);
+  gia::pdn::ImpedanceOptions opts;
+  opts.f_start_hz = 1e7;
+  opts.f_stop_hz = 1e8;
+  opts.points_per_decade = 5;
+  const auto zp = gia::pdn::impedance_profile(model, opts);
+  EXPECT_NEAR(zp.freq_hz.front(), 1e7, 10);
+  EXPECT_NEAR(zp.freq_hz.back(), 1e8, 100);
+  EXPECT_GE(zp.freq_hz.size(), 6u);
+  // at() clamps outside the grid.
+  EXPECT_DOUBLE_EQ(zp.at(1e3), zp.z_ohm.front());
+  EXPECT_DOUBLE_EQ(zp.at(1e12), zp.z_ohm.back());
+}
+
+TEST(ApiSurface, PrbsRejectsBadLength) {
+  EXPECT_THROW(sg::prbs7(0), std::invalid_argument);
+  EXPECT_THROW(sg::clock_pattern(-1), std::invalid_argument);
+}
+
+TEST(ApiSurface, TableEngineeringEdges) {
+  using gia::core::Table;
+  EXPECT_EQ(Table::eng(-0.05, "V"), "-50.00 mV");
+  EXPECT_EQ(Table::eng(1.5e-15, "F"), "1.50 fF");
+  EXPECT_EQ(Table::eng(3e9, "Hz", 0), "3 GHz");
+}
+
+TEST(ApiSurface, TechnologyNames) {
+  for (auto k : th::table_order()) {
+    EXPECT_STRNE(th::to_string(k), "unknown");
+  }
+  EXPECT_STREQ(th::to_string(th::TechnologyKind::Monolithic2D), "2D Monolithic");
+}

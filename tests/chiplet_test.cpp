@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "chiplet/bump_plan.hpp"
+#include "chiplet/congestion.hpp"
+#include "chiplet/placer.hpp"
+#include "chiplet/pnr_flow.hpp"
+#include "chiplet/power.hpp"
+#include "chiplet/timing.hpp"
+#include "netlist/openpiton.hpp"
+#include "netlist/serdes.hpp"
+#include "partition/hierarchical.hpp"
+#include "tech/library.hpp"
+
+namespace ch = gia::chiplet;
+namespace nl = gia::netlist;
+namespace th = gia::tech;
+namespace pt = gia::partition;
+
+namespace {
+
+/// Shared, lazily built flow context: netlist + partition + chiplets.
+struct FlowContext {
+  nl::Netlist net;
+  pt::PartitionResult part;
+  nl::ChipletNetlist logic0, mem0;
+
+  FlowContext() {
+    net = nl::build_openpiton();
+    nl::apply_serdes(net);
+    part = pt::hierarchical_partition(net);
+    logic0 = nl::extract_chiplet(net, part.side, nl::ChipletSide::Logic, 0);
+    mem0 = nl::extract_chiplet(net, part.side, nl::ChipletSide::Memory, 0);
+  }
+};
+
+const FlowContext& ctx() {
+  static FlowContext c;
+  return c;
+}
+
+}  // namespace
+
+// --- Bump planning (Table II) ------------------------------------------------
+
+TEST(BumpPlan, GlassLogicMatchesTableII) {
+  const auto tech = th::make_technology(th::TechnologyKind::Glass25D);
+  const auto pair = ch::plan_chiplet_pair(299, 231, ctx().logic0.cell_area_um2,
+                                          ctx().mem0.cell_area_um2, tech);
+  EXPECT_EQ(pair.logic.signal_bumps, 299);
+  EXPECT_NEAR(pair.logic.pg_bumps, 165, 2);
+  EXPECT_NEAR(pair.logic.width_um, 820, 15);   // paper: 0.82 mm
+  EXPECT_NEAR(pair.memory.width_um, 770, 15);  // paper: 0.77 mm
+}
+
+TEST(BumpPlan, Glass3dStacksToSameWidth) {
+  const auto tech = th::make_technology(th::TechnologyKind::Glass3D);
+  const auto pair = ch::plan_chiplet_pair(299, 231, ctx().logic0.cell_area_um2,
+                                          ctx().mem0.cell_area_um2, tech);
+  EXPECT_DOUBLE_EQ(pair.memory.width_um, pair.logic.width_um);  // paper: both 0.82
+  EXPECT_NEAR(pair.memory.pg_bumps, 121, 2);
+}
+
+TEST(BumpPlan, SiliconMatchesTableII) {
+  const auto tech = th::make_technology(th::TechnologyKind::Silicon25D);
+  const auto pair = ch::plan_chiplet_pair(299, 231, ctx().logic0.cell_area_um2,
+                                          ctx().mem0.cell_area_um2, tech);
+  EXPECT_NEAR(pair.logic.width_um, 940, 15);
+  EXPECT_NEAR(pair.memory.width_um, 820, 15);
+  EXPECT_TRUE(pair.logic.bump_limited);  // 40um pitch dominates cell area
+}
+
+TEST(BumpPlan, Silicon3dMemoryCarriesLogicPg) {
+  const auto tech = th::make_technology(th::TechnologyKind::Silicon3D);
+  const auto pair = ch::plan_chiplet_pair(299, 231, ctx().logic0.cell_area_um2,
+                                          ctx().mem0.cell_area_um2, tech);
+  EXPECT_EQ(pair.memory.pg_bumps, pair.logic.pg_bumps);  // paper: 165/165
+  EXPECT_DOUBLE_EQ(pair.memory.width_um, pair.logic.width_um);
+}
+
+TEST(BumpPlan, ApxIsLargest) {
+  const auto apx = th::make_technology(th::TechnologyKind::APX);
+  const auto glass = th::make_technology(th::TechnologyKind::Glass25D);
+  const auto pa = ch::plan_chiplet_pair(299, 231, ctx().logic0.cell_area_um2,
+                                        ctx().mem0.cell_area_um2, apx);
+  const auto pg = ch::plan_chiplet_pair(299, 231, ctx().logic0.cell_area_um2,
+                                        ctx().mem0.cell_area_um2, glass);
+  EXPECT_GT(pa.logic.width_um, pg.logic.width_um);
+  EXPECT_NEAR(pa.logic.width_um, 1150, 40);  // paper: 1.15 mm
+  // Area ratio APX/glass logic ~ 1.97 (Table II).
+  const double ratio = pa.logic.area_mm2() / pg.logic.area_mm2();
+  EXPECT_NEAR(ratio, 1.97, 0.15);
+}
+
+TEST(BumpPlan, SitesMatchCountsAndFitDie) {
+  const auto tech = th::make_technology(th::TechnologyKind::Glass25D);
+  const auto pair = ch::plan_chiplet_pair(299, 231, ctx().logic0.cell_area_um2,
+                                          ctx().mem0.cell_area_um2, tech);
+  EXPECT_EQ(static_cast<int>(pair.logic.bump_sites.size()), pair.logic.total_bumps());
+  for (const auto& p : pair.logic.bump_sites) {
+    EXPECT_GE(p.x, 0);
+    EXPECT_LE(p.x, pair.logic.width_um);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LE(p.y, pair.logic.width_um);
+  }
+}
+
+TEST(BumpPlan, RejectsBadInput) {
+  const auto tech = th::make_technology(th::TechnologyKind::Glass25D);
+  EXPECT_THROW(ch::plan_bumps(0, 100.0, false, tech), std::invalid_argument);
+  EXPECT_THROW(ch::plan_bumps(10, -1.0, false, tech), std::invalid_argument);
+}
+
+// --- Placer ----------------------------------------------------------------------
+
+TEST(Placer, ImprovesOverRandomAndStaysInRegion) {
+  const auto& c = ctx();
+  const auto tech = th::make_technology(th::TechnologyKind::Glass25D);
+  const auto plan = ch::plan_bumps(231, c.mem0.cell_area_um2, true, tech);
+  const gia::geometry::Rect die{0, 0, plan.width_um, plan.width_um};
+  std::vector<int> nets = c.mem0.internal_net_ids;
+
+  ch::PlacerOptions fast;
+  fast.moves_per_cluster = 60;
+  const auto res = ch::place_clusters(c.net, c.mem0.instance_ids, nets, die, {}, fast);
+  ASSERT_EQ(res.positions.size(), c.mem0.instance_ids.size());
+  for (const auto& p : res.positions) {
+    EXPECT_TRUE(res.region.inflated(1.0).contains(p));
+  }
+  EXPECT_GT(res.total_hpwl_um, 0);
+}
+
+TEST(Placer, MoreEffortNoWorse) {
+  const auto& c = ctx();
+  const auto tech = th::make_technology(th::TechnologyKind::Glass25D);
+  const auto plan = ch::plan_bumps(231, c.mem0.cell_area_um2, true, tech);
+  const gia::geometry::Rect die{0, 0, plan.width_um, plan.width_um};
+  ch::PlacerOptions lo, hi;
+  lo.moves_per_cluster = 10;
+  hi.moves_per_cluster = 150;
+  const auto rl = ch::place_clusters(c.net, c.mem0.instance_ids, c.mem0.internal_net_ids, die, {}, lo);
+  const auto rh = ch::place_clusters(c.net, c.mem0.instance_ids, c.mem0.internal_net_ids, die, {}, hi);
+  EXPECT_LE(rh.total_hpwl_um, rl.total_hpwl_um * 1.10);
+}
+
+// --- Congestion / timing / power -----------------------------------------------
+
+TEST(Congestion, DetourGrowsWithDemand) {
+  ch::PlacementResult p;
+  p.region = {0, 0, 800, 800};
+  p.total_hpwl_um = 1e6;
+  const auto low = ch::evaluate_congestion(p, 0);
+  p.total_hpwl_um = 1e7;
+  const auto high = ch::evaluate_congestion(p, 0);
+  EXPECT_GE(high.detour_factor, low.detour_factor);
+  EXPECT_GE(low.detour_factor, 1.0);
+}
+
+TEST(Timing, FmaxDropsWithWire) {
+  const auto lib = nl::make_28nm_library();
+  const auto fast = ch::estimate_fmax(lib, 10.0, 72);
+  const auto slow = ch::estimate_fmax(lib, 60.0, 72);
+  EXPECT_GT(fast.fmax_hz, slow.fmax_hz);
+  EXPECT_THROW(ch::estimate_fmax(lib, -1.0, 72), std::invalid_argument);
+  EXPECT_THROW(ch::estimate_fmax(lib, 10.0, 0), std::invalid_argument);
+}
+
+TEST(Power, MatchesTableIIIScaleLogic) {
+  // Logic chiplet: 167,495 cells, ~5m wire at 700 MHz -> ~140 mW split
+  // roughly evenly between internal and switching, ~7 mW leakage.
+  const auto lib = nl::make_28nm_library();
+  const auto p = ch::estimate_power(lib, 167495, 0, 5.03e6, 700e6);
+  EXPECT_NEAR(p.total_w, 0.142, 0.015);
+  EXPECT_NEAR(p.internal_w, 0.068, 0.008);
+  EXPECT_NEAR(p.switching_w, 0.068, 0.010);
+  EXPECT_NEAR(p.leakage_w, 0.0069, 0.0008);
+  EXPECT_NEAR(p.pin_cap_f, 395e-12, 10e-12);
+  EXPECT_NEAR(p.wire_cap_f, 694e-12, 15e-12);
+}
+
+TEST(Power, MatchesTableIIIScaleMemory) {
+  // Memory chiplet: 37,091 cells (30k SRAM), 1.17m wire -> ~46 mW with
+  // internal ~26 mW, switching ~18.5 mW (Table III).
+  const auto lib = nl::make_28nm_library();
+  const auto p = ch::estimate_power(lib, 37091, 30000, 1.17e6, 700e6, lib.activity_memory);
+  EXPECT_NEAR(p.total_w, 0.046, 0.004);
+  EXPECT_NEAR(p.internal_w, 0.026, 0.003);
+  EXPECT_NEAR(p.switching_w, 0.0185, 0.003);
+}
+
+TEST(Power, RejectsBadInputs) {
+  const auto lib = nl::make_28nm_library();
+  EXPECT_THROW(ch::estimate_power(lib, -1, 0, 1e6, 7e8), std::invalid_argument);
+  EXPECT_THROW(ch::estimate_power(lib, 10, 20, 1e6, 7e8), std::invalid_argument);
+  EXPECT_THROW(ch::estimate_power(lib, 10, 0, 1e6, 0), std::invalid_argument);
+}
+
+// --- Full per-chiplet flow -------------------------------------------------------
+
+class PnrAllTechs : public ::testing::TestWithParam<th::TechnologyKind> {};
+
+TEST_P(PnrAllTechs, TableIIIShape) {
+  const auto& c = ctx();
+  const auto tech = th::make_technology(GetParam());
+  const auto pair = ch::plan_chiplet_pair(c.logic0.io_signals, c.mem0.io_signals,
+                                          c.logic0.cell_area_um2, c.mem0.cell_area_um2, tech);
+  ch::PnrOptions opts;
+  // default placer effort: Table III calibration holds at full effort
+  const auto logic = ch::run_chiplet_pnr(c.net, c.logic0, tech, pair.logic, opts);
+  const auto mem = ch::run_chiplet_pnr(c.net, c.mem0, tech, pair.memory, opts);
+
+  // All designs close near 700 MHz (Table III: 676-699 MHz).
+  EXPECT_GT(logic.fmax_hz, 0.6e9) << tech.name;
+  EXPECT_LT(logic.fmax_hz, 0.80e9) << tech.name;
+  EXPECT_GE(mem.fmax_hz, logic.fmax_hz * 0.98) << tech.name;
+
+  // Wirelength ~5m logic / ~1.2m memory.
+  EXPECT_NEAR(logic.wirelength_m, 5.0, 1.3) << tech.name;
+  EXPECT_NEAR(mem.wirelength_m, 1.17, 0.45) << tech.name;
+
+  // Power ~135-145 mW logic, ~44-48 mW memory.
+  EXPECT_NEAR(logic.power.total_w, 0.140, 0.02) << tech.name;
+  EXPECT_NEAR(mem.power.total_w, 0.046, 0.01) << tech.name;
+
+  // AIB overhead is small (a few percent area, <1% power).
+  EXPECT_LT(logic.aib_area_frac, 0.07) << tech.name;
+  EXPECT_LT(logic.aib_power_frac, 0.01) << tech.name;
+  EXPECT_NEAR(logic.aib_area_um2, 22507, 600) << tech.name;  // Table III
+  EXPECT_NEAR(mem.aib_area_um2, 17388, 600) << tech.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechs, PnrAllTechs,
+                         ::testing::Values(th::TechnologyKind::Glass25D,
+                                           th::TechnologyKind::Glass3D,
+                                           th::TechnologyKind::Silicon25D,
+                                           th::TechnologyKind::Silicon3D,
+                                           th::TechnologyKind::Shinko,
+                                           th::TechnologyKind::APX));
+
+TEST(PnrFlow, UtilizationOrderingMatchesTableIII) {
+  // Glass (smallest die) has the highest utilization; APX the lowest.
+  const auto& c = ctx();
+  ch::PnrOptions opts;
+  opts.placer.moves_per_cluster = 20;
+  auto util_of = [&](th::TechnologyKind k) {
+    const auto tech = th::make_technology(k);
+    const auto pair = ch::plan_chiplet_pair(c.logic0.io_signals, c.mem0.io_signals,
+                                            c.logic0.cell_area_um2, c.mem0.cell_area_um2, tech);
+    return ch::run_chiplet_pnr(c.net, c.logic0, tech, pair.logic, opts).utilization;
+  };
+  const double glass = util_of(th::TechnologyKind::Glass25D);
+  const double si = util_of(th::TechnologyKind::Silicon25D);
+  const double apx = util_of(th::TechnologyKind::APX);
+  EXPECT_GT(glass, si);
+  EXPECT_GT(si, apx);
+  EXPECT_NEAR(glass, 0.642, 0.05);  // Table III: 64.2%
+  EXPECT_NEAR(apx, 0.34, 0.06);     // Table III: 34.0%
+}

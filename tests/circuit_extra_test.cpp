@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/transient.hpp"
+#include "circuit/waveform.hpp"
+
+/// Deeper numerical properties of the MNA engine: superposition, energy
+/// conservation, phase behaviour, cascaded controlled sources -- the
+/// invariants that keep the downstream SI/PI numbers trustworthy.
+
+namespace ck = gia::circuit;
+
+TEST(DcProperties, SuperpositionHolds) {
+  // Two sources; response equals sum of individual responses.
+  auto build = [](double v1, double i2) {
+    ck::Circuit c;
+    auto n1 = c.add_node();
+    auto n2 = c.add_node();
+    c.add_vsource(n1, ck::kGround, ck::Stimulus::dc(v1));
+    c.add_resistor(n1, n2, 1000);
+    c.add_resistor(n2, ck::kGround, 2000);
+    c.add_isource(ck::kGround, n2, ck::Stimulus::dc(i2));
+    return ck::solve_dc(c).voltage(n2);
+  };
+  const double both = build(5.0, 1e-3);
+  const double v_only = build(5.0, 0.0);
+  const double i_only = build(0.0, 1e-3);
+  EXPECT_NEAR(both, v_only + i_only, 1e-9);
+}
+
+TEST(DcProperties, LinearInSource) {
+  auto out = [](double v) {
+    ck::Circuit c;
+    auto n1 = c.add_node();
+    auto n2 = c.add_node();
+    c.add_vsource(n1, ck::kGround, ck::Stimulus::dc(v));
+    c.add_resistor(n1, n2, 3300);
+    c.add_resistor(n2, ck::kGround, 4700);
+    return ck::solve_dc(c).voltage(n2);
+  };
+  EXPECT_NEAR(out(2.0), 2.0 * out(1.0), 1e-9);
+  EXPECT_NEAR(out(-1.0), -out(1.0), 1e-9);
+}
+
+TEST(TransientProperties, RcChargeEnergyBalance) {
+  // Charging C through R from a step: the source delivers C*V^2, half stays
+  // on the capacitor, half burns in the resistor -- a classic invariant the
+  // trapezoidal method must respect.
+  ck::Circuit c;
+  auto in = c.add_node();
+  auto out = c.add_node();
+  const double V = 1.0, R = 100.0, C = 10e-12;
+  c.add_vsource(in, ck::kGround, ck::Stimulus::pulse(0, V, 0, 1e-13, 1e-13, 1, 0), "v");
+  c.add_resistor(in, out, R);
+  c.add_capacitor(out, ck::kGround, C);
+  ck::TransientSpec tr;
+  tr.dt = 5e-12;
+  tr.t_stop = 10 * R * C;  // fully settled
+  tr.probes = {out};
+  tr.record_vsource_currents = true;
+  const auto res = ck::run_transient(c, tr);
+  // Source energy: integral of V * (-i) dt (MNA records current INTO the
+  // + terminal, so the delivered current is -i).
+  double e_in = 0;
+  for (std::size_t k = 1; k < res.vsrc_i[0].size(); ++k) {
+    e_in += -V * res.vsrc_i[0][k] * tr.dt;
+  }
+  const double e_cap = 0.5 * C * V * V;
+  EXPECT_NEAR(e_in, C * V * V, C * V * V * 0.05);
+  EXPECT_NEAR(res.node_v[0].final_value(), V, 1e-4);  // exp(-10) residual
+  EXPECT_NEAR(e_in - e_cap, e_cap, e_cap * 0.06);  // dissipated half
+}
+
+TEST(TransientProperties, TimeInvariance) {
+  // Delaying the stimulus delays the response identically.
+  auto run = [](double delay) {
+    ck::Circuit c;
+    auto in = c.add_node();
+    auto out = c.add_node();
+    c.add_vsource(in, ck::kGround, ck::Stimulus::pulse(0, 1, delay, 1e-11, 1e-11, 1, 0));
+    c.add_resistor(in, out, 500);
+    c.add_capacitor(out, ck::kGround, 2e-12);
+    ck::TransientSpec tr;
+    tr.dt = 1e-12;
+    tr.t_stop = 10e-9;
+    tr.probes = {out};
+    return ck::run_transient(c, tr).node_v[0];
+  };
+  const auto a = run(1e-9);
+  const auto b = run(3e-9);
+  const auto ta = a.crossing(0.5, 0, +1);
+  const auto tb = b.crossing(0.5, 0, +1);
+  ASSERT_TRUE(ta && tb);
+  EXPECT_NEAR(*tb - *ta, 2e-9, 5e-12);
+}
+
+TEST(AcProperties, PhaseLagOfRc) {
+  ck::Circuit c;
+  auto in = c.add_node();
+  auto out = c.add_node();
+  c.add_vsource(in, ck::kGround, ck::Stimulus::dc(0), "v", 1.0);
+  c.add_resistor(in, out, 1000);
+  c.add_capacitor(out, ck::kGround, 1e-9);
+  const double fc = 1.0 / (2 * M_PI * 1e-6);
+  auto res = ck::run_ac(c, {fc / 10, fc * 10}, {out});
+  // Below fc: small lag; above fc: approaching -90 degrees.
+  EXPECT_GT(std::arg(res.node_v[0][0]), -0.2);
+  EXPECT_LT(std::arg(res.node_v[0][1]), -1.3);
+}
+
+TEST(AcProperties, CascadedVcvsMultiplies) {
+  ck::Circuit c;
+  auto in = c.add_node();
+  auto mid = c.add_node();
+  auto out = c.add_node();
+  c.add_vsource(in, ck::kGround, ck::Stimulus::dc(0.01));
+  c.add_vcvs(mid, ck::kGround, in, ck::kGround, 10.0);
+  c.add_vcvs(out, ck::kGround, mid, ck::kGround, 5.0);
+  c.add_resistor(out, ck::kGround, 1e4);
+  c.add_resistor(mid, ck::kGround, 1e4);
+  const auto sol = ck::solve_dc(c);
+  EXPECT_NEAR(sol.voltage(out), 0.01 * 50.0, 1e-9);
+}
+
+TEST(WaveformExtra, DirectionalCrossings) {
+  std::vector<double> tri;
+  for (int i = 0; i <= 100; ++i) {
+    tri.push_back(i <= 50 ? i / 50.0 : (100 - i) / 50.0);  // up then down
+  }
+  ck::Waveform w(1e-9, tri);
+  EXPECT_EQ(w.crossings(0.5, 0, +1).size(), 1u);
+  EXPECT_EQ(w.crossings(0.5, 0, -1).size(), 1u);
+  EXPECT_EQ(w.crossings(0.5, 0, 0).size(), 2u);
+  EXPECT_TRUE(w.crossings(1.5, 0, 0).empty());
+}
+
+TEST(WaveformExtra, InterpolationAndClamping) {
+  ck::Waveform w(1.0, {0.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(w.at(-5), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(w.at(1.75), 17.5);
+  EXPECT_DOUBLE_EQ(w.at(99), 20.0);
+  EXPECT_DOUBLE_EQ(w.duration(), 2.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 10.0);
+}
+
+TEST(WaveformExtra, SettlingEdgeCases) {
+  ck::Waveform flat(1.0, std::vector<double>(100, 1.0));
+  auto ts = flat.settling_time(1.0, 0.01);
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_DOUBLE_EQ(*ts, 0.0);
+  ck::Waveform never(1.0, std::vector<double>(100, 5.0));
+  EXPECT_FALSE(never.settling_time(1.0, 0.01).has_value());
+  ck::Waveform empty;
+  EXPECT_FALSE(empty.settling_time(1.0, 0.01).has_value());
+}
+
+TEST(StimulusExtra, ZeroStartPwl) {
+  auto p = ck::Stimulus::pwl({{1.0, 3.0}});
+  EXPECT_DOUBLE_EQ(p.at(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(2.0), 3.0);
+  EXPECT_THROW(ck::Stimulus::pwl({}), std::invalid_argument);
+  EXPECT_THROW(ck::Stimulus::bits({}, 1e-9, 1e-10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ck::Stimulus::bits({1}, 1e-9, 2e-9, 0, 1), std::invalid_argument);
+}
+
+TEST(CircuitValidation, RejectsBadElements) {
+  ck::Circuit c;
+  auto n = c.add_node();
+  EXPECT_THROW(c.add_resistor(n, ck::kGround, -5.0), std::invalid_argument);
+  EXPECT_THROW(c.add_resistor(n, ck::kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_capacitor(n, ck::kGround, -1e-12), std::invalid_argument);
+  EXPECT_THROW(c.add_inductor(n, ck::kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_resistor(n, 99, 10.0), std::out_of_range);
+  const int l1 = c.add_inductor(n, ck::kGround, 1e-9);
+  EXPECT_THROW(c.add_coupling(l1, l1, 0.5), std::invalid_argument);
+  EXPECT_THROW(c.add_coupling(l1, 7, 0.5), std::invalid_argument);
+  const int l2 = c.add_inductor(n, ck::kGround, 1e-9);
+  EXPECT_THROW(c.add_coupling(l1, l2, 1.0), std::invalid_argument);
+}
+
+TEST(TransientValidation, RejectsBadSpec) {
+  ck::Circuit c;
+  auto n = c.add_node();
+  c.add_vsource(n, ck::kGround, ck::Stimulus::dc(1));
+  c.add_resistor(n, ck::kGround, 50);
+  ck::TransientSpec tr;
+  tr.dt = 0;
+  EXPECT_THROW(ck::run_transient(c, tr), std::invalid_argument);
+}

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cost/cost_model.hpp"
+#include "interposer/design.hpp"
+#include "tech/library.hpp"
+
+namespace cs = gia::cost;
+namespace th = gia::tech;
+
+namespace {
+
+cs::CostBreakdown cost_of(th::TechnologyKind k) {
+  static std::map<th::TechnologyKind, cs::CostBreakdown> cache;
+  auto it = cache.find(k);
+  if (it == cache.end()) {
+    it = cache.emplace(k, cs::system_cost(gia::interposer::build_interposer_design(k))).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+TEST(Yield, PoissonBasics) {
+  EXPECT_DOUBLE_EQ(cs::poisson_yield(0.0, 0.25), 1.0);
+  EXPECT_NEAR(cs::poisson_yield(100.0, 0.25), std::exp(-0.25), 1e-12);
+  EXPECT_GT(cs::poisson_yield(50.0, 0.25), cs::poisson_yield(100.0, 0.25));
+  EXPECT_THROW(cs::poisson_yield(-1.0, 0.25), std::invalid_argument);
+}
+
+TEST(Cost, ChipletCostDominates) {
+  // Four 28nm dies are the bulk of any variant's cost; packaging is the
+  // differentiator, not the majority.
+  for (auto k : th::table_order()) {
+    const auto c = cost_of(k);
+    EXPECT_GT(c.chiplets, 0.0) << th::to_string(k);
+    EXPECT_GT(c.total(), c.chiplets) << th::to_string(k);
+  }
+}
+
+TEST(Cost, GlassSubstrateCheaperThanSilicon) {
+  // The paper's core cost claim: glass panel processing beats silicon BEOL
+  // per interposer, despite the similar area.
+  EXPECT_LT(cost_of(th::TechnologyKind::Glass25D).substrate,
+            cost_of(th::TechnologyKind::Silicon25D).substrate);
+}
+
+TEST(Cost, Silicon3dMostExpensive) {
+  // Thinning, per-die TSV processing and stacked-bond yield make Si 3D the
+  // costliest option (the paper: "higher ... manufacturing costs").
+  const double si3d = cost_of(th::TechnologyKind::Silicon3D).total();
+  for (auto k : {th::TechnologyKind::Glass25D, th::TechnologyKind::Glass3D,
+                 th::TechnologyKind::Silicon25D, th::TechnologyKind::Shinko,
+                 th::TechnologyKind::APX}) {
+    EXPECT_GT(si3d, cost_of(k).total()) << th::to_string(k);
+  }
+}
+
+TEST(Cost, Glass3dIsCostEffective3d) {
+  // Glass 3D (the other 3D option) costs close to the 2.5D designs and far
+  // below Silicon 3D -- the paper's concluding claim.
+  const auto g3 = cost_of(th::TechnologyKind::Glass3D);
+  const auto g25 = cost_of(th::TechnologyKind::Glass25D);
+  const auto s3 = cost_of(th::TechnologyKind::Silicon3D);
+  EXPECT_LT(g3.total(), s3.total() * 0.8);
+  EXPECT_LT(g3.total(), g25.total() * 1.3);
+}
+
+TEST(Cost, AssemblyYieldWorseFor3d) {
+  EXPECT_LT(cost_of(th::TechnologyKind::Silicon3D).assembly_yield,
+            cost_of(th::TechnologyKind::Silicon25D).assembly_yield);
+}
+
+TEST(Cost, ScalesWithDefectDensity) {
+  const auto design = gia::interposer::build_interposer_design(th::TechnologyKind::Glass25D);
+  cs::CostParameters clean, dirty;
+  dirty.defect_density_per_cm2 = 1.0;
+  EXPECT_GT(cs::system_cost(design, dirty).chiplets, cs::system_cost(design, clean).chiplets);
+}
+
+TEST(Cost, BiggerInterposerCostsMore) {
+  // APX (9.4 mm^2, 8 layers) must out-cost Glass 3D's 1.9 mm^2 substrate.
+  EXPECT_GT(cost_of(th::TechnologyKind::APX).substrate,
+            cost_of(th::TechnologyKind::Glass3D).substrate);
+}

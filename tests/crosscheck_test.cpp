@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/ac.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/transient.hpp"
+#include "core/links.hpp"
+#include "extract/line_model.hpp"
+#include "signal/eye.hpp"
+#include "signal/link_sim.hpp"
+#include "signal/sparams.hpp"
+#include "tech/library.hpp"
+
+/// Cross-validation between independent engines: the frequency-domain ABCD
+/// channel algebra against the time-domain MNA pi-ladder, the SSO stress
+/// model, and end-to-end consistency properties. These tests catch modeling
+/// drift that no single-engine unit test would.
+
+namespace ck = gia::circuit;
+namespace ex = gia::extract;
+namespace sg = gia::signal;
+namespace th = gia::tech;
+
+// --- ABCD vs MNA AC -----------------------------------------------------------
+
+TEST(CrossCheck, AbcdMatchesMnaAcOnLadder) {
+  // Same line, two engines: |V(out)/V(in)| from the MNA AC sweep of the
+  // pi-ladder must track the ABCD two-port solution of the distributed line
+  // terminated identically (50-ohm source, open-ish end).
+  const ex::Rlgc rlgc{.R = 4300, .L = 430e-9, .G = 0, .C = 120e-12};
+  const double len_um = 3000.0;
+  const double f = 1e9;
+  const double z_src = 50.0;
+  const double c_load = 50e-15;
+
+  // Frequency-domain: source impedance, line, load as cascade; compute the
+  // transfer by solving the 2-port with terminations.
+  const auto line = sg::line_abcd(rlgc, len_um, f);
+  const std::complex<double> zl = 1.0 / std::complex<double>(0.0, 2 * M_PI * f * c_load);
+  // V_in = A*V_out + B*I_out; I_in = C*V_out + D*I_out; I_out = V_out/zl.
+  const std::complex<double> v_src_over_vout =
+      (line.A + line.B / zl) + z_src * (line.C + line.D / zl);
+  const double h_abcd = 1.0 / std::abs(v_src_over_vout);
+
+  // Time-domain engine's AC view of the same ladder.
+  ck::Circuit c;
+  const auto src = c.add_node("src");
+  const auto in = c.add_node("in");
+  c.add_vsource(src, ck::kGround, ck::Stimulus::dc(0), "v", 1.0);
+  c.add_resistor(src, in, z_src);
+  const auto out = ex::build_line(c, in, rlgc, len_um, 40, "l");
+  c.add_capacitor(out, ck::kGround, c_load);
+  const auto ac = ck::run_ac(c, {f}, {out});
+  const double h_mna = std::abs(ac.node_v[0][0]);
+
+  EXPECT_NEAR(h_mna, h_abcd, h_abcd * 0.05);
+}
+
+TEST(CrossCheck, AbcdMatchesMnaAcrossFrequencies) {
+  const ex::Rlgc rlgc{.R = 2150, .L = 450e-9, .G = 1e-4, .C = 150e-12};
+  const double len_um = 5000.0;
+  ck::Circuit c;
+  const auto src = c.add_node();
+  const auto in = c.add_node();
+  c.add_vsource(src, ck::kGround, ck::Stimulus::dc(0), "v", 1.0);
+  c.add_resistor(src, in, 47.4);
+  const auto out = ex::build_line(c, in, rlgc, len_um, 40, "l");
+  c.add_resistor(out, ck::kGround, 1e5);  // lightly loaded
+  const auto ac = ck::run_ac(c, {1e8, 5e8, 1e9}, {out});
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double f = ac.freq_hz[i];
+    const auto line = sg::line_abcd(rlgc, len_um, f);
+    const std::complex<double> zl = 1e5;
+    const std::complex<double> denom =
+        (line.A + line.B / zl) + 47.4 * (line.C + line.D / zl);
+    const double h_abcd = 1.0 / std::abs(denom);
+    EXPECT_NEAR(std::abs(ac.node_v[0][i]), h_abcd, h_abcd * 0.08) << "f=" << f;
+  }
+}
+
+// --- SSO stress model ---------------------------------------------------------
+
+namespace {
+
+sg::LinkSpec stressed_link(double l_ret, int lanes) {
+  const auto tech = th::make_technology(th::TechnologyKind::Silicon25D);
+  auto spec = gia::core::make_fixed_line_spec(tech, 2000.0);
+  spec.shared_return_l = l_ret;
+  spec.sso_lanes = lanes;
+  return spec;
+}
+
+}  // namespace
+
+TEST(Sso, ClosesTheEyeMonotonically) {
+  double prev_width = 2e-9;
+  for (double l : {0.0, 0.2e-9, 0.6e-9}) {
+    const auto eye = sg::simulate_eye(stressed_link(l, 32), 48);
+    EXPECT_LE(eye.width_s, prev_width + 0.05e-9) << l;
+    prev_width = eye.width_s;
+  }
+  // Strong SSO visibly degrades vs clean.
+  const auto clean = sg::simulate_eye(stressed_link(0.0, 1), 48);
+  const auto sso = sg::simulate_eye(stressed_link(0.6e-9, 32), 48);
+  EXPECT_LT(sso.width_s, clean.width_s - 0.05e-9);
+}
+
+TEST(Sso, MoreLanesMoreBounce) {
+  const auto few = sg::simulate_eye(stressed_link(0.4e-9, 4), 48);
+  const auto many = sg::simulate_eye(stressed_link(0.4e-9, 64), 48);
+  EXPECT_LE(many.width_s, few.width_s + 1e-12);
+}
+
+TEST(Sso, VerticalLinkIsRobust) {
+  // Glass 3D's stacked-via channel barely loads the shared return.
+  const auto g3 = th::make_technology(th::TechnologyKind::Glass3D);
+  sg::LinkSpec spec;
+  spec.pre_elements = {ex::stacked_rdl_via_model(g3.stacked_rdl_via, 3, 3.3)};
+  spec.shared_return_l = 0.6e-9;
+  spec.sso_lanes = 32;
+  const auto eye = sg::simulate_eye(spec, 48);
+  // The rail bounce rides common-mode onto the vertical link (height dips),
+  // but its timing stays essentially untouched -- unlike lateral links,
+  // whose width collapses under the same stress (see bench_ablation_sso).
+  EXPECT_GT(eye.width_ratio(), 0.95);
+  EXPECT_GT(eye.height_v, 0.6);
+  const auto lateral = sg::simulate_eye(stressed_link(0.6e-9, 32), 48);
+  EXPECT_GT(eye.width_s, lateral.width_s);
+}
+
+// --- End-to-end consistency -----------------------------------------------------
+
+TEST(Consistency, LinkPowerScalesWithRate) {
+  const auto tech = th::make_technology(th::TechnologyKind::Glass25D);
+  auto spec = gia::core::make_fixed_line_spec(tech, 2000.0);
+  const auto p1 = sg::simulate_link(spec);
+  spec.bit_rate_hz *= 2.0;
+  const auto p2 = sg::simulate_link(spec);
+  // Channel charging power is linear in bit rate (same energy per edge).
+  EXPECT_NEAR(p2.interconnect_power_w / p1.interconnect_power_w, 2.0, 0.1);
+}
+
+TEST(Consistency, DelayIndependentOfRate) {
+  const auto tech = th::make_technology(th::TechnologyKind::Shinko);
+  auto spec = gia::core::make_fixed_line_spec(tech, 3000.0);
+  const auto d1 = sg::simulate_link(spec);
+  spec.bit_rate_hz *= 4.0;
+  const auto d2 = sg::simulate_link(spec);
+  EXPECT_NEAR(d1.interconnect_delay_s, d2.interconnect_delay_s, 1.5e-12);
+}
+
+TEST(Consistency, EyeWidthNeverExceedsUi) {
+  for (auto k : {th::TechnologyKind::Glass25D, th::TechnologyKind::Silicon25D}) {
+    const auto spec = gia::core::make_fixed_line_spec(th::make_technology(k), 4000.0);
+    const auto eye = sg::simulate_eye(spec, 48);
+    EXPECT_LE(eye.width_s, eye.ui_s + 1e-15) << th::to_string(k);
+    EXPECT_LE(eye.height_v, 0.9 + 1e-9) << th::to_string(k);
+  }
+}

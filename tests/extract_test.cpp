@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dc.hpp"
+#include "circuit/transient.hpp"
+#include "extract/conductor.hpp"
+#include "extract/line_model.hpp"
+#include "extract/microstrip.hpp"
+#include "extract/via_models.hpp"
+#include "tech/library.hpp"
+
+namespace ex = gia::extract;
+namespace ck = gia::circuit;
+namespace th = gia::tech;
+
+// --- Conductor primitives ---------------------------------------------------
+
+TEST(Conductor, DcResistanceScalesInverselyWithArea) {
+  const double r1 = ex::trace_resistance_per_m(2.0, 4.0);
+  const double r2 = ex::trace_resistance_per_m(4.0, 4.0);
+  EXPECT_NEAR(r1 / r2, 2.0, 1e-12);
+  // Glass RDL trace: 2um x 4um copper -> 2150 ohm/m.
+  EXPECT_NEAR(r1, 1.72e-8 / (2e-6 * 4e-6), 1e-9);
+}
+
+TEST(Conductor, SkinDepthCopperAt1GHz) {
+  // Classic number: ~2.1 um at 1 GHz.
+  EXPECT_NEAR(ex::skin_depth_m(1e9) * 1e6, 2.09, 0.05);
+}
+
+TEST(Conductor, AcResistanceKicksInAboveCrossover) {
+  // 6um-thick APX trace: at low f, Rac == Rdc; at 10 GHz skin effect bites.
+  const double rdc = ex::trace_ac_resistance_per_m(6.0, 6.0, 1e6);
+  EXPECT_NEAR(rdc, ex::trace_resistance_per_m(6.0, 6.0), 1e-9);
+  const double rac = ex::trace_ac_resistance_per_m(6.0, 6.0, 10e9);
+  EXPECT_GT(rac, rdc * 2.0);
+}
+
+TEST(Conductor, ViaResistance) {
+  // 30um TGV through 155um glass: R = rho*h/(pi r^2) ~ 3.8 mohm.
+  const double r = ex::via_resistance(30.0, 155.0);
+  EXPECT_NEAR(r, 1.72e-8 * 155e-6 / (M_PI * 15e-6 * 15e-6), 1e-9);
+  EXPECT_THROW(ex::via_resistance(-1, 10), std::invalid_argument);
+}
+
+// --- Microstrip -------------------------------------------------------------
+
+TEST(Microstrip, Classic50OhmSanity) {
+  // Textbook: w/h ~ 2 on eps_r 4.4 gives Z0 near 50 ohm.
+  ex::TraceGeometry g{.width_um = 2.0, .space_um = 10, .thickness_um = 0.5,
+                      .height_um = 1.0, .eps_r = 4.4, .loss_tangent = 0.0};
+  EXPECT_NEAR(ex::char_impedance(g), 50.0, 7.0);
+}
+
+TEST(Microstrip, EpsEffBetweenOneAndBulk) {
+  for (const auto& tech : th::all_package_technologies()) {
+    if (!tech.has_interposer()) continue;
+    const auto g = ex::min_pitch_geometry(tech);
+    const double ee = ex::eps_effective(g);
+    EXPECT_GT(ee, 1.0) << tech.name;
+    EXPECT_LT(ee, g.eps_r) << tech.name;
+  }
+}
+
+TEST(Microstrip, TelegrapherIdentity) {
+  ex::TraceGeometry g{.width_um = 2.0, .space_um = 2.0, .thickness_um = 4.0,
+                      .height_um = 15.0, .eps_r = 3.3, .loss_tangent = 0.005};
+  const auto p = ex::microstrip_rlgc(g, 0.7e9);
+  const double z0 = ex::char_impedance(g);
+  EXPECT_NEAR(std::sqrt(p.L / p.C), z0, z0 * 1e-9);
+  const double v = 1.0 / std::sqrt(p.L * p.C);
+  EXPECT_NEAR(v, 2.99792458e8 / std::sqrt(ex::eps_effective(g)), 1e3);
+}
+
+TEST(Microstrip, CouplingDecreasesWithSpacing) {
+  ex::TraceGeometry tight{.width_um = 2, .space_um = 2, .thickness_um = 4,
+                          .height_um = 15, .eps_r = 3.3, .loss_tangent = 0.005};
+  ex::TraceGeometry loose = tight;
+  loose.space_um = 8.0;
+  const auto ct = ex::coupled_microstrip_rlgc(tight, 0.7e9);
+  const auto cl = ex::coupled_microstrip_rlgc(loose, 0.7e9);
+  EXPECT_GT(ct.Cm, cl.Cm);
+  EXPECT_GT(ct.Km, cl.Km);
+  EXPECT_LT(ct.Km, 1.0);
+}
+
+// Property sweep: RLGC monotonicity in geometry.
+class RlgcGeometrySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RlgcGeometrySweep, WiderIsLowerResistanceHigherCap) {
+  const double w = GetParam();
+  ex::TraceGeometry a{.width_um = w, .space_um = 2, .thickness_um = 4,
+                      .height_um = 15, .eps_r = 3.3, .loss_tangent = 0.005};
+  ex::TraceGeometry b = a;
+  b.width_um = w * 1.5;
+  const auto pa = ex::microstrip_rlgc(a, 0.7e9);
+  const auto pb = ex::microstrip_rlgc(b, 0.7e9);
+  EXPECT_GT(pa.R, pb.R);
+  EXPECT_LT(pa.C, pb.C);
+  EXPECT_GT(pa.L, pb.L);  // narrower trace = higher inductance
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RlgcGeometrySweep, ::testing::Values(0.4, 1.0, 2.0, 4.0, 6.0));
+
+TEST(Microstrip, TechnologyOrdering) {
+  // Per-unit-length R: APX (6x6um) < glass (2x4um) < silicon (0.4x0.4um).
+  const auto apx = ex::microstrip_rlgc(
+      ex::min_pitch_geometry(th::make_technology(th::TechnologyKind::APX)), 0.7e9);
+  const auto glass = ex::microstrip_rlgc(
+      ex::min_pitch_geometry(th::make_technology(th::TechnologyKind::Glass25D)), 0.7e9);
+  const auto si = ex::microstrip_rlgc(
+      ex::min_pitch_geometry(th::make_technology(th::TechnologyKind::Silicon25D)), 0.7e9);
+  EXPECT_LT(apx.R, glass.R);
+  EXPECT_LT(glass.R, si.R);
+}
+
+// --- Via models ---------------------------------------------------------------
+
+TEST(ViaModels, TsvHasMoreCapacitanceThanTgv) {
+  // The TSV's oxide-liner MOS cap dwarfs the TGV's glass coupling -- the
+  // paper's electrical argument for glass.
+  th::ViaSpec tsv{.diameter_um = 10, .height_um = 100, .pitch_um = 150, .liner_um = 0.5};
+  th::ViaSpec tgv{.diameter_um = 30, .height_um = 155, .pitch_um = 100, .liner_um = 0};
+  EXPECT_GT(ex::tsv_model(tsv).C, ex::tgv_model(tgv).C * 3.0);
+}
+
+TEST(ViaModels, MiniTsvSmallerThanRegularTsv) {
+  const auto s3 = th::make_technology(th::TechnologyKind::Silicon3D);
+  const auto s25 = th::make_technology(th::TechnologyKind::Silicon25D);
+  const auto mini = ex::tsv_model(s3.mini_tsv);
+  const auto full = ex::tsv_model(s25.through_via);
+  EXPECT_LT(mini.L, full.L);
+  EXPECT_LT(mini.C, full.C);
+}
+
+TEST(ViaModels, MicrobumpIsLowParasitic) {
+  const auto s3 = th::make_technology(th::TechnologyKind::Silicon3D);
+  const auto mb = ex::microbump_model(s3.microbump);
+  EXPECT_LT(mb.R, 0.1);       // milliohms
+  EXPECT_LT(mb.L, 30e-12);    // tens of pH
+  EXPECT_LT(mb.C, 50e-15);    // tens of fF
+}
+
+TEST(ViaModels, StackedRdlViaScalesWithLevels) {
+  const auto g3 = th::make_technology(th::TechnologyKind::Glass3D);
+  const auto one = ex::stacked_rdl_via_model(g3.stacked_rdl_via, 1, 3.3);
+  const auto three = ex::stacked_rdl_via_model(g3.stacked_rdl_via, 3, 3.3);
+  EXPECT_NEAR(three.R / one.R, 3.0, 1e-9);
+  EXPECT_GT(three.C, one.C);
+  EXPECT_THROW(ex::stacked_rdl_via_model(g3.stacked_rdl_via, 0, 3.3), std::invalid_argument);
+}
+
+TEST(ViaModels, CylinderInductanceGrowsWithHeight) {
+  EXPECT_GT(ex::cylinder_inductance(10, 200), ex::cylinder_inductance(10, 100));
+  EXPECT_GT(ex::cylinder_inductance(5, 100), ex::cylinder_inductance(20, 100));
+}
+
+// --- Line builders ----------------------------------------------------------
+
+TEST(LineModel, DcThroughLineIsTransparent) {
+  ck::Circuit c;
+  auto in = c.add_node();
+  c.add_vsource(in, ck::kGround, ck::Stimulus::dc(0.9));
+  const ex::Rlgc rlgc{.R = 2150, .L = 450e-9, .G = 0, .C = 120e-12};
+  auto out = ex::build_line(c, in, rlgc, 1000.0, 10, "t");
+  c.add_resistor(out, ck::kGround, 1e6);  // light load
+  auto sol = ck::solve_dc(c);
+  // 1mm at 2150 ohm/m = 2.15 ohm against 1Mohm load: essentially 0.9V.
+  EXPECT_NEAR(sol.voltage(out), 0.9, 1e-5);
+}
+
+TEST(LineModel, TimeOfFlightMatchesTelegrapher) {
+  // 10mm lossless-ish line: delay should approach sqrt(LC)*len.
+  ck::Circuit c;
+  auto src = c.add_node();
+  auto in = c.add_node();
+  c.add_vsource(src, ck::kGround, ck::Stimulus::pulse(0, 1, 0.05e-9, 20e-12, 20e-12, 1, 0));
+  c.add_resistor(src, in, 50.0);
+  const ex::Rlgc rlgc{.R = 100, .L = 400e-9, .G = 0, .C = 160e-12};  // Z0 = 50
+  auto out = ex::build_line(c, in, rlgc, 10000.0, 40, "t");
+  c.add_resistor(out, ck::kGround, 50.0);  // matched termination
+  ck::TransientSpec tr;
+  tr.dt = 1e-12;
+  tr.t_stop = 1.5e-9;
+  tr.probes = {in, out};
+  auto res = ck::run_transient(c, tr);
+  auto d = ck::propagation_delay(res.node_v[0], res.node_v[1], 0, 0.5);
+  ASSERT_TRUE(d.has_value());
+  const double tof = std::sqrt(400e-9 * 160e-12) * 0.01;  // 80 ps
+  EXPECT_NEAR(*d, tof, tof * 0.25);
+}
+
+TEST(LineModel, RecommendedSectionsClamped) {
+  const ex::Rlgc rlgc{.R = 2150, .L = 450e-9, .G = 0, .C = 120e-12};
+  EXPECT_GE(ex::recommended_sections(10.0, 0.7e9, rlgc), 3);
+  EXPECT_LE(ex::recommended_sections(100000.0, 10e9, rlgc), 40);
+}
+
+TEST(LineModel, LumpedBuilderTopology) {
+  ck::Circuit c;
+  auto in = c.add_node();
+  c.add_vsource(in, ck::kGround, ck::Stimulus::dc(1.0));
+  const ex::LumpedRlc via{.R = 0.05, .L = 20e-12, .C = 40e-15};
+  auto out = ex::build_lumped(c, in, via, "v");
+  c.add_resistor(out, ck::kGround, 1000.0);
+  auto sol = ck::solve_dc(c);
+  EXPECT_NEAR(sol.voltage(out), 1000.0 / 1000.05, 1e-6);
+}
+
+TEST(LineModel, CoupledLinesInduceCrosstalk) {
+  ck::Circuit c;
+  auto vsrc = c.add_node();
+  auto a1src = c.add_node();
+  c.add_vsource(vsrc, ck::kGround, ck::Stimulus::pulse(0, 0.9, 0.05e-9, 50e-12, 50e-12, 1, 0));
+  c.add_vsource(a1src, ck::kGround, ck::Stimulus::dc(0));
+  auto vin = c.add_node();
+  auto a1in = c.add_node();
+  auto a2in = c.add_node();
+  c.add_resistor(vsrc, vin, 47.4);
+  c.add_resistor(a1src, a1in, 47.4);
+  c.add_resistor(a1src, a2in, 47.4);
+
+  ex::TraceGeometry g{.width_um = 2, .space_um = 2, .thickness_um = 4,
+                      .height_um = 15, .eps_r = 3.3, .loss_tangent = 0.005};
+  const auto p = ex::coupled_microstrip_rlgc(g, 0.7e9);
+  auto ends = ex::build_coupled_lines(c, vin, a1in, a2in, p, 3000.0, 10, "c");
+  c.add_capacitor(ends.victim_out, ck::kGround, 6e-15, "rx");
+  c.add_capacitor(ends.agg1_out, ck::kGround, 6e-15, "rx1");
+  c.add_capacitor(ends.agg2_out, ck::kGround, 6e-15, "rx2");
+
+  ck::TransientSpec tr;
+  tr.dt = 2e-12;
+  tr.t_stop = 1e-9;
+  tr.probes = {ends.victim_out, ends.agg1_out};
+  auto res = ck::run_transient(c, tr);
+  // Victim switches fully; the quiet aggressor sees a nonzero bounded blip.
+  EXPECT_NEAR(res.node_v[0].final_value(), 0.9, 0.02);
+  const double xtalk = std::max(std::abs(res.node_v[1].max()), std::abs(res.node_v[1].min()));
+  EXPECT_GT(xtalk, 1e-3);
+  EXPECT_LT(xtalk, 0.45);
+}

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/grid.hpp"
+#include "geometry/point.hpp"
+#include "geometry/polyline.hpp"
+#include "geometry/rect.hpp"
+#include "geometry/units.hpp"
+
+namespace g = gia::geometry;
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(g::mm(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(g::um_to_m(1e6), 1.0);
+  EXPECT_DOUBLE_EQ(g::um2_to_mm2(1e6), 1.0);
+  EXPECT_DOUBLE_EQ(g::mm_to_um(2.2), 2200.0);
+}
+
+TEST(Point, Distances) {
+  g::Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(g::manhattan_distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(g::euclidean_distance(a, b), 5.0);
+  // Octilinear: 1 straight + 3*sqrt(2) diagonal.
+  EXPECT_NEAR(g::octilinear_distance(a, b), 1.0 + 3.0 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(Point, OctilinearNeverLongerThanManhattan) {
+  for (double dx = 0; dx < 50; dx += 7.3) {
+    for (double dy = 0; dy < 50; dy += 5.1) {
+      g::Point a{0, 0}, b{dx, dy};
+      EXPECT_LE(g::octilinear_distance(a, b), g::manhattan_distance(a, b) + 1e-12);
+      EXPECT_GE(g::octilinear_distance(a, b), g::euclidean_distance(a, b) - 1e-12);
+    }
+  }
+}
+
+TEST(Point, Arithmetic) {
+  g::Point a{1, 2}, b{3, -4};
+  EXPECT_EQ(a + b, (g::Point{4, -2}));
+  EXPECT_EQ(a - b, (g::Point{-2, 6}));
+  EXPECT_EQ(a * 2.0, (g::Point{2, 4}));
+}
+
+TEST(Rect, Basics) {
+  g::Rect r{0, 0, 10, 20};
+  EXPECT_DOUBLE_EQ(r.width(), 10);
+  EXPECT_DOUBLE_EQ(r.height(), 20);
+  EXPECT_DOUBLE_EQ(r.area(), 200);
+  EXPECT_EQ(r.center(), (g::Point{5, 10}));
+  EXPECT_TRUE(r.contains(g::Point{5, 5}));
+  EXPECT_FALSE(r.contains(g::Point{11, 5}));
+}
+
+TEST(Rect, FromCenter) {
+  auto r = g::Rect::from_center({10, 10}, 4, 6);
+  EXPECT_DOUBLE_EQ(r.lx, 8);
+  EXPECT_DOUBLE_EQ(r.uy, 13);
+}
+
+TEST(Rect, OverlapAndIntersection) {
+  g::Rect a{0, 0, 10, 10}, b{5, 5, 15, 15}, c{20, 20, 30, 30};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  auto i = a.intersected(b);
+  EXPECT_DOUBLE_EQ(i.area(), 25.0);
+  auto empty = a.intersected(c);
+  EXPECT_DOUBLE_EQ(empty.area(), 0.0);
+}
+
+TEST(Rect, UnitedAndInflated) {
+  g::Rect a{0, 0, 1, 1}, b{5, 5, 6, 6};
+  auto u = a.united(b);
+  EXPECT_DOUBLE_EQ(u.area(), 36.0);
+  auto inf = a.inflated(1.0);
+  EXPECT_DOUBLE_EQ(inf.width(), 3.0);
+  auto shrunk = a.inflated(-2.0);  // over-shrink collapses, stays valid
+  EXPECT_TRUE(shrunk.valid());
+  EXPECT_DOUBLE_EQ(shrunk.area(), 0.0);
+}
+
+TEST(Rect, Hpwl) {
+  g::Point pts[] = {{0, 0}, {10, 5}, {3, 20}};
+  EXPECT_DOUBLE_EQ(g::hpwl(pts, 3), 10 + 20);
+  EXPECT_DOUBLE_EQ(g::hpwl(pts, 1), 0.0);
+}
+
+TEST(Polyline, LengthAndVias) {
+  g::Polyline p;
+  p.append({0, 0}, 1);
+  p.append({10, 0}, 1);
+  p.append({10, 5}, 2);  // layer hop -> via
+  p.append({20, 5}, 2);
+  EXPECT_DOUBLE_EQ(p.length(), 25.0);
+  EXPECT_EQ(p.via_count(), 1);
+  auto [lo, hi] = p.layer_span();
+  EXPECT_EQ(lo, 1);
+  EXPECT_EQ(hi, 2);
+}
+
+TEST(Polyline, StackedViaCountsPerHop) {
+  g::Polyline p;
+  p.append({0, 0}, 0);
+  p.append({0, 0}, 3);  // stacked via through 3 layers
+  EXPECT_EQ(p.via_count(), 3);
+  EXPECT_DOUBLE_EQ(p.length(), 0.0);
+}
+
+TEST(Grid, Basics) {
+  g::Grid<int> grid(4, 3, 7);
+  EXPECT_EQ(grid.nx(), 4);
+  EXPECT_EQ(grid.ny(), 3);
+  EXPECT_EQ(grid.at(3, 2), 7);
+  grid.at(1, 1) = 42;
+  EXPECT_EQ(grid.at(1, 1), 42);
+  EXPECT_TRUE(grid.in_bounds(0, 0));
+  EXPECT_FALSE(grid.in_bounds(4, 0));
+  grid.fill(0);
+  EXPECT_EQ(grid.at(1, 1), 0);
+}

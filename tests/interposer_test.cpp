@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "interposer/design.hpp"
+#include "interposer/floorplan.hpp"
+#include "interposer/net_assign.hpp"
+#include "interposer/router.hpp"
+#include "tech/library.hpp"
+
+namespace ip = gia::interposer;
+namespace th = gia::tech;
+namespace nl = gia::netlist;
+
+namespace {
+
+const ip::InterposerDesign& design_of(th::TechnologyKind k) {
+  static std::map<th::TechnologyKind, ip::InterposerDesign> cache;
+  auto it = cache.find(k);
+  if (it == cache.end()) it = cache.emplace(k, ip::build_interposer_design(k)).first;
+  return it->second;
+}
+
+}  // namespace
+
+// --- Floorplan ---------------------------------------------------------------
+
+TEST(Floorplan, Glass3dMatchesTableIV) {
+  const auto& d = design_of(th::TechnologyKind::Glass3D);
+  // Paper: 1.84 x 1.02 mm.
+  EXPECT_NEAR(d.footprint_w_mm(), 1.84, 0.05);
+  EXPECT_NEAR(d.footprint_h_mm(), 1.02, 0.05);
+  // Embedded memory dies sit inside their logic die's outline.
+  for (int t = 0; t < 2; ++t) {
+    const auto& logic = d.floorplan.die(nl::ChipletSide::Logic, t);
+    const auto& mem = d.floorplan.die(nl::ChipletSide::Memory, t);
+    EXPECT_TRUE(mem.embedded);
+    EXPECT_TRUE(logic.outline.contains(mem.outline));
+  }
+}
+
+TEST(Floorplan, AreaOrderingMatchesTableIV) {
+  // Glass 3D < Glass 2.5D ~ Silicon 2.5D < Shinko < APX.
+  const double g3 = design_of(th::TechnologyKind::Glass3D).area_mm2();
+  const double g25 = design_of(th::TechnologyKind::Glass25D).area_mm2();
+  const double si = design_of(th::TechnologyKind::Silicon25D).area_mm2();
+  const double sh = design_of(th::TechnologyKind::Shinko).area_mm2();
+  const double apx = design_of(th::TechnologyKind::APX).area_mm2();
+  EXPECT_LT(g3, g25);
+  EXPECT_LT(g25, sh);
+  EXPECT_LT(sh, apx);
+  EXPECT_LT(g25, si * 1.05);  // glass ~ silicon, slightly smaller
+  // Headline: ~2.6X area reduction vs conventional interposers.
+  EXPECT_GT(g25 / g3, 2.0);
+  EXPECT_LT(g25 / g3, 3.2);
+}
+
+TEST(Floorplan, DiesDoNotOverlapIn25D) {
+  for (auto k : {th::TechnologyKind::Glass25D, th::TechnologyKind::Silicon25D,
+                 th::TechnologyKind::Shinko, th::TechnologyKind::APX}) {
+    const auto& fp = design_of(k).floorplan;
+    for (std::size_t i = 0; i < fp.dies.size(); ++i) {
+      EXPECT_TRUE(fp.outline.contains(fp.dies[i].outline)) << fp.dies[i].name;
+      for (std::size_t j = i + 1; j < fp.dies.size(); ++j) {
+        EXPECT_FALSE(fp.dies[i].outline.overlaps(fp.dies[j].outline))
+            << fp.dies[i].name << " vs " << fp.dies[j].name;
+      }
+    }
+  }
+}
+
+TEST(Floorplan, Silicon3dIsSingleFootprint) {
+  const auto& d = design_of(th::TechnologyKind::Silicon3D);
+  EXPECT_NEAR(d.footprint_w_mm(), 0.94, 0.03);  // Table IV: 0.94 x 0.94
+  EXPECT_NEAR(d.area_mm2(), 0.883, 0.06);
+  for (const auto& die : d.floorplan.dies) {
+    EXPECT_DOUBLE_EQ(die.outline.width(), d.floorplan.dies.front().outline.width());
+  }
+}
+
+TEST(Floorplan, MonolithicHasNoDesign) {
+  EXPECT_THROW(ip::build_interposer_design(th::TechnologyKind::Monolithic2D),
+               std::invalid_argument);
+}
+
+// --- Net assignment ----------------------------------------------------------
+
+TEST(NetAssign, CountsMatchPaper) {
+  const auto& d = design_of(th::TechnologyKind::Glass25D);
+  int l2m = 0, l2l = 0;
+  for (const auto& n : d.top_nets) {
+    (n.kind == ip::TopNetKind::LogicToMemory ? l2m : l2l)++;
+  }
+  EXPECT_EQ(l2m, 2 * 231);
+  EXPECT_EQ(l2l, 68);
+}
+
+TEST(NetAssign, Glass3dL2mIsVertical) {
+  const auto& d = design_of(th::TechnologyKind::Glass3D);
+  for (const auto& n : d.top_nets) {
+    if (n.kind == ip::TopNetKind::LogicToMemory) {
+      EXPECT_TRUE(n.vertical);
+    } else {
+      EXPECT_FALSE(n.vertical);  // L2L still routes laterally on glass 3D
+    }
+  }
+}
+
+TEST(NetAssign, Silicon3dAllVertical) {
+  const auto& d = design_of(th::TechnologyKind::Silicon3D);
+  for (const auto& n : d.top_nets) EXPECT_TRUE(n.vertical);
+}
+
+TEST(NetAssign, PairingDoesNotCross) {
+  // Facing-edge assignment: consecutive L2L nets must not cross (their
+  // endpoint order along the facing edge matches on both dies).
+  const auto& d = design_of(th::TechnologyKind::Glass25D);
+  const ip::TopNet* prev = nullptr;
+  for (const auto& n : d.top_nets) {
+    if (n.kind != ip::TopNetKind::LogicToLogic) continue;
+    if (prev != nullptr) {
+      // L2L runs vertically between stacked logic dies: x-order must agree.
+      const bool order_a = prev->a.x < n.a.x;
+      const bool order_b = prev->b.x < n.b.x;
+      if (prev->a.x != n.a.x && prev->b.x != n.b.x) {
+        EXPECT_EQ(order_a, order_b);
+      }
+    }
+    prev = &n;
+  }
+}
+
+TEST(NetAssign, BumpsInsideOwningDie) {
+  const auto& d = design_of(th::TechnologyKind::Silicon25D);
+  const auto& l0 = d.floorplan.die(nl::ChipletSide::Logic, 0);
+  const auto& m0 = d.floorplan.die(nl::ChipletSide::Memory, 0);
+  for (const auto& n : d.top_nets) {
+    if (n.kind == ip::TopNetKind::LogicToMemory && n.tile == 0) {
+      EXPECT_TRUE(l0.outline.contains(n.a));
+      EXPECT_TRUE(m0.outline.contains(n.b));
+    }
+  }
+}
+
+// --- Router --------------------------------------------------------------------
+
+TEST(Router, Glass3dMatchesTableIVWirelength) {
+  // Paper: total 29.69 mm, min 0.11, avg 0.43, max 0.67 over the 68 L2L
+  // nets; 1 signal layer; 924 stacked vias.
+  const auto& s = design_of(th::TechnologyKind::Glass3D).routes.stats;
+  EXPECT_NEAR(s.total_wl_um * 1e-3, 29.69, 8.0);
+  EXPECT_NEAR(s.avg_wl_um * 1e-3, 0.43, 0.12);
+  EXPECT_LT(s.max_wl_um * 1e-3, 1.0);
+  EXPECT_EQ(s.signal_layers_used, 1);
+  EXPECT_EQ(s.vertical_via_pairs, 924);
+  EXPECT_EQ(s.routed_nets, 68);
+}
+
+TEST(Router, HeadlineWirelengthReduction) {
+  // ~21X total wirelength reduction, Glass 3D vs Silicon 2.5D.
+  const double si = design_of(th::TechnologyKind::Silicon25D).routes.stats.total_wl_um;
+  const double g3 = design_of(th::TechnologyKind::Glass3D).routes.stats.total_wl_um;
+  EXPECT_GT(si / g3, 14.0);
+  EXPECT_LT(si / g3, 30.0);
+}
+
+TEST(Router, TotalsInTableIVBand) {
+  // Lateral designs land in the 450-950 mm band of Table IV, APX longest.
+  const double g25 = design_of(th::TechnologyKind::Glass25D).routes.stats.total_wl_um * 1e-3;
+  const double si = design_of(th::TechnologyKind::Silicon25D).routes.stats.total_wl_um * 1e-3;
+  const double sh = design_of(th::TechnologyKind::Shinko).routes.stats.total_wl_um * 1e-3;
+  const double apx = design_of(th::TechnologyKind::APX).routes.stats.total_wl_um * 1e-3;
+  for (double v : {g25, si, sh, apx}) {
+    EXPECT_GT(v, 400.0);
+    EXPECT_LT(v, 1000.0);
+  }
+  EXPECT_GT(apx, g25);
+  EXPECT_GT(apx, sh);
+  EXPECT_GE(g25, sh * 0.98);  // paper: glass 924 > shinko 803
+}
+
+TEST(Router, PathsConnectEndpoints) {
+  const auto& d = design_of(th::TechnologyKind::Silicon25D);
+  const double cell = d.floorplan.outline.width() / 96.0 * 1.5;  // grid quantization
+  for (const auto& n : d.top_nets) {
+    const auto& rn = d.routes.nets[static_cast<std::size_t>(n.id)];
+    ASSERT_EQ(rn.net_id, n.id);
+    if (rn.vertical) continue;
+    ASSERT_GE(rn.path.size(), 1u);
+    const auto& first = rn.path.points().front().p;
+    const auto& last = rn.path.points().back().p;
+    EXPECT_LT(gia::geometry::euclidean_distance(first, n.a), cell * 2) << n.name;
+    EXPECT_LT(gia::geometry::euclidean_distance(last, n.b), cell * 2) << n.name;
+  }
+}
+
+TEST(Router, ViaAccountingConsistent) {
+  const auto& d = design_of(th::TechnologyKind::Glass25D);
+  int sum = 0;
+  for (const auto& rn : d.routes.nets) sum += rn.vias;
+  EXPECT_EQ(sum, d.routes.stats.total_vias);
+  // Every lateral net needs at least entry + exit escape vias.
+  for (const auto& rn : d.routes.nets) {
+    if (!rn.vertical) {
+      EXPECT_GE(rn.vias, 2);
+    }
+  }
+}
+
+TEST(Router, LayerUsageWithinAvailable) {
+  for (auto k : th::table_order()) {
+    if (k == th::TechnologyKind::Silicon3D) continue;
+    const auto& s = design_of(k).routes.stats;
+    EXPECT_LE(s.signal_layers_used, s.signal_layers_available) << th::to_string(k);
+    EXPECT_GE(s.signal_layers_used, 1) << th::to_string(k);
+  }
+}
+
+TEST(Router, DiagonalRoutingShortensOrganicRoutes) {
+  // An octilinear route can't be longer than a Manhattan route of the same
+  // endpoints under equal congestion; verify via direct comparison of Shinko
+  // run with routing style flipped.
+  const auto& diag = design_of(th::TechnologyKind::Shinko);
+  auto tech = th::make_technology(th::TechnologyKind::Shinko);
+  ip::ChipletInputs inputs;
+  auto plans = gia::chiplet::plan_chiplet_pair(inputs.logic_signal_ios, inputs.memory_signal_ios,
+                                               inputs.logic_cell_area_um2,
+                                               inputs.memory_cell_area_um2, tech);
+  auto fp = ip::place_dies(tech, plans.logic, plans.memory);
+  auto nets = ip::assign_top_nets(tech, fp);
+  tech.routing = th::RoutingStyle::Manhattan;
+  const auto manh = ip::route_interposer(tech, fp, nets);
+  EXPECT_LT(diag.routes.stats.total_wl_um, manh.stats.total_wl_um * 1.02);
+}
+
+TEST(Router, WorstNetQueries) {
+  const auto& d = design_of(th::TechnologyKind::Glass25D);
+  const auto* w = d.worst_net(ip::TopNetKind::LogicToMemory);
+  ASSERT_NE(w, nullptr);
+  EXPECT_DOUBLE_EQ(w->length_um, d.max_wl_um(ip::TopNetKind::LogicToMemory));
+  EXPECT_GE(d.max_wl_um(ip::TopNetKind::LogicToMemory),
+            d.avg_wl_um(ip::TopNetKind::LogicToMemory));
+  // Glass 3D has no lateral L2M nets at all.
+  EXPECT_EQ(design_of(th::TechnologyKind::Glass3D).worst_net(ip::TopNetKind::LogicToMemory),
+            nullptr);
+}

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/io.hpp"
+#include "netlist/openpiton.hpp"
+#include "netlist/serdes.hpp"
+
+namespace nl = gia::netlist;
+
+TEST(NetlistIo, RoundTripSmall) {
+  nl::Netlist n;
+  const int a = n.add_instance({.name = "a", .cls = nl::ModuleClass::Core, .tile = 0,
+                                .cell_count = 100, .cell_area_um2 = 258.5});
+  const int b = n.add_instance({.name = "b", .cls = nl::ModuleClass::L3, .tile = 1,
+                                .cell_count = 64, .cell_area_um2 = 1017.6, .is_macro = true});
+  n.add_net({.name = "w", .bits = 16, .terminals = {a, b}, .inter_tile = true});
+
+  std::stringstream ss;
+  nl::write_netlist(ss, n);
+  const auto back = nl::read_netlist(ss);
+
+  ASSERT_EQ(back.instance_count(), 2);
+  ASSERT_EQ(back.net_count(), 1);
+  EXPECT_EQ(back.instance(0).name, "a");
+  EXPECT_EQ(back.instance(1).cls, nl::ModuleClass::L3);
+  EXPECT_TRUE(back.instance(1).is_macro);
+  EXPECT_NEAR(back.instance(1).cell_area_um2, 1017.6, 1e-6);
+  EXPECT_EQ(back.net(0).bits, 16);
+  EXPECT_TRUE(back.net(0).inter_tile);
+  EXPECT_EQ(back.net(0).terminals, (std::vector<int>{0, 1}));
+}
+
+TEST(NetlistIo, RoundTripFullOpenPiton) {
+  auto n = nl::build_openpiton();
+  nl::apply_serdes(n);
+  std::stringstream ss;
+  nl::write_netlist(ss, n);
+  const auto back = nl::read_netlist(ss);
+  ASSERT_EQ(back.instance_count(), n.instance_count());
+  ASSERT_EQ(back.net_count(), n.net_count());
+  EXPECT_EQ(back.total_cells(), n.total_cells());
+  EXPECT_EQ(back.total_wires(), n.total_wires());
+  EXPECT_NEAR(back.total_cell_area_um2(), n.total_cell_area_um2(), 1.0);
+  for (int i = 0; i < n.net_count(); i += 97) {  // spot-check
+    EXPECT_EQ(back.net(i).terminals, n.net(i).terminals) << i;
+  }
+}
+
+TEST(NetlistIo, CommentsAndBlanksIgnored) {
+  std::stringstream ss(
+      "# header\n\n"
+      "instance x core 0 10 25.8 0\n"
+      "instance y l3 0 5 79.5 1\n"
+      "# mid comment\n"
+      "net n0 8 0 0 1\n");
+  const auto n = nl::read_netlist(ss);
+  EXPECT_EQ(n.instance_count(), 2);
+  EXPECT_EQ(n.net_count(), 1);
+}
+
+TEST(NetlistIo, ErrorsCarryLineNumbers) {
+  {
+    std::stringstream ss("garbage here\n");
+    EXPECT_THROW(nl::read_netlist(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("instance x core 0 10\n");  // truncated
+    EXPECT_THROW(nl::read_netlist(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("instance x core 0 10 25.8 0\nnet n 0 0 0 0\n");  // bits 0
+    EXPECT_THROW(nl::read_netlist(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("instance x core 0 10 25.8 0\nnet n 4 0 0 7\n");  // bad terminal
+    EXPECT_THROW(nl::read_netlist(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("instance x bogus_class 0 10 25.8 0\n");
+    EXPECT_THROW(nl::read_netlist(ss), std::runtime_error);
+  }
+}
+
+TEST(NetlistIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gia_netlist_test.gnl";
+  auto n = nl::build_openpiton({.tiles = 2, .cluster_cells = 2000, .seed = 5});
+  nl::write_netlist_file(path, n);
+  const auto back = nl::read_netlist_file(path);
+  EXPECT_EQ(back.instance_count(), n.instance_count());
+  EXPECT_THROW(nl::read_netlist_file("/no/such/file.gnl"), std::runtime_error);
+}
+
+TEST(NetlistIo, ClassNamesRoundTrip) {
+  for (auto c : {nl::ModuleClass::Core, nl::ModuleClass::Fpu, nl::ModuleClass::Ccx,
+                 nl::ModuleClass::L1, nl::ModuleClass::L2, nl::ModuleClass::L3,
+                 nl::ModuleClass::L3Interface, nl::ModuleClass::NocRouter,
+                 nl::ModuleClass::SerDes, nl::ModuleClass::IoDriver, nl::ModuleClass::Other}) {
+    EXPECT_EQ(nl::module_class_from_string(nl::to_string(c)), c);
+  }
+}

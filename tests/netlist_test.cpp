@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/openpiton.hpp"
+#include "netlist/serdes.hpp"
+
+namespace nl = gia::netlist;
+
+TEST(CellLibrary, SwitchingPower) {
+  auto lib = nl::make_28nm_library();
+  // alpha * C * V^2 * f with C = 1 nF, f = 700 MHz.
+  const double p = nl::switching_power(lib, 1e-9, 700e6);
+  EXPECT_NEAR(p, lib.activity * 1e-9 * 0.81 * 700e6, 1e-12);
+}
+
+TEST(Netlist, AddAndQuery) {
+  nl::Netlist n;
+  const int a = n.add_instance({.name = "a", .cls = nl::ModuleClass::Core, .tile = 0,
+                                .cell_count = 100, .cell_area_um2 = 258.0});
+  const int b = n.add_instance({.name = "b", .cls = nl::ModuleClass::L3, .tile = 0,
+                                .cell_count = 50, .cell_area_um2 = 667.0, .is_macro = true});
+  n.add_net({.name = "x", .bits = 8, .terminals = {a, b}});
+  EXPECT_EQ(n.instance_count(), 2);
+  EXPECT_EQ(n.total_cells(), 150);
+  EXPECT_EQ(n.total_wires(), 8);
+  EXPECT_DOUBLE_EQ(n.total_cell_area_um2(), 925.0);
+}
+
+TEST(Netlist, RejectsBadNets) {
+  nl::Netlist n;
+  const int a = n.add_instance({.name = "a"});
+  EXPECT_THROW(n.add_net({.name = "one-pin", .bits = 1, .terminals = {a}}), std::invalid_argument);
+  EXPECT_THROW(n.add_net({.name = "oob", .bits = 1, .terminals = {a, 99}}), std::out_of_range);
+}
+
+TEST(Netlist, DefaultSides) {
+  EXPECT_EQ(nl::default_side(nl::ModuleClass::L3), nl::ChipletSide::Memory);
+  EXPECT_EQ(nl::default_side(nl::ModuleClass::L3Interface), nl::ChipletSide::Memory);
+  EXPECT_EQ(nl::default_side(nl::ModuleClass::Core), nl::ChipletSide::Logic);
+  EXPECT_EQ(nl::default_side(nl::ModuleClass::NocRouter), nl::ChipletSide::Logic);
+}
+
+// --- OpenPiton generator: calibrated to the paper's published statistics ---
+
+class OpenPitonFixture : public ::testing::Test {
+ protected:
+  nl::Netlist net = nl::build_openpiton();
+};
+
+TEST_F(OpenPitonFixture, PerTileCellBudget) {
+  nl::ModuleBudget b;
+  // Table III: 167,495 logic cells per tile = generator budget + the 1,200
+  // SerDes cells inserted per tile; 37,091 memory cells.
+  EXPECT_EQ(b.logic_total(), 166295);
+  EXPECT_EQ(b.memory_total(), 37091);
+  EXPECT_EQ(net.total_cells(), 2L * (b.logic_total() + b.memory_total()));
+
+  nl::Netlist with_serdes = nl::build_openpiton();
+  nl::apply_serdes(with_serdes);
+  std::vector<nl::ChipletSide> side;
+  for (int i = 0; i < with_serdes.instance_count(); ++i) {
+    side.push_back(nl::default_side(with_serdes.instance(i).cls));
+  }
+  const auto logic0 = nl::extract_chiplet(with_serdes, side, nl::ChipletSide::Logic, 0);
+  EXPECT_EQ(logic0.cells, 167495);  // the published Table III count
+}
+
+TEST_F(OpenPitonFixture, InterTileWiresBeforeSerdes) {
+  long inter = 0;
+  for (const auto& n : net.nets()) {
+    if (n.inter_tile) inter += n.bits;
+  }
+  EXPECT_EQ(inter, 6 * 64 + 20);  // Section IV-A
+}
+
+TEST_F(OpenPitonFixture, IntraTileCutIs231) {
+  // The logic<->memory boundary of one tile carries 231 signals.
+  std::vector<nl::ChipletSide> side;
+  for (int i = 0; i < net.instance_count(); ++i) {
+    side.push_back(nl::default_side(net.instance(i).cls));
+  }
+  const auto mem0 = nl::extract_chiplet(net, side, nl::ChipletSide::Memory, 0);
+  EXPECT_EQ(mem0.io_signals, 231);
+}
+
+TEST_F(OpenPitonFixture, ChipletExtraction) {
+  std::vector<nl::ChipletSide> side;
+  for (int i = 0; i < net.instance_count(); ++i) {
+    side.push_back(nl::default_side(net.instance(i).cls));
+  }
+  const auto logic0 = nl::extract_chiplet(net, side, nl::ChipletSide::Logic, 0);
+  const auto mem0 = nl::extract_chiplet(net, side, nl::ChipletSide::Memory, 0);
+  EXPECT_EQ(logic0.cells, 166295);  // pre-SerDes
+  EXPECT_EQ(mem0.cells, 37091);
+  // Memory cells are SRAM-dominated: higher area per cell.
+  EXPECT_GT(mem0.cell_area_um2 / static_cast<double>(mem0.cells),
+            logic0.cell_area_um2 / static_cast<double>(logic0.cells));
+}
+
+TEST_F(OpenPitonFixture, Deterministic) {
+  nl::Netlist again = nl::build_openpiton();
+  ASSERT_EQ(again.net_count(), net.net_count());
+  ASSERT_EQ(again.instance_count(), net.instance_count());
+  for (int i = 0; i < net.net_count(); ++i) {
+    EXPECT_EQ(again.net(i).terminals, net.net(i).terminals) << i;
+  }
+}
+
+// --- SerDes ---------------------------------------------------------------
+
+TEST_F(OpenPitonFixture, SerdesNarrowsInterTileTo68) {
+  auto rpt = nl::apply_serdes(net);
+  EXPECT_EQ(rpt.wires_before, 404);
+  EXPECT_EQ(rpt.wires_after, 68);  // 6*8 + 20 (Section IV-A)
+  EXPECT_EQ(rpt.buses_serialized, 6);
+  EXPECT_EQ(rpt.latency_cycles, 8);
+
+  long inter = 0;
+  for (const auto& n : net.nets()) {
+    if (n.inter_tile) inter += n.bits;
+  }
+  EXPECT_EQ(inter, 68);
+}
+
+TEST_F(OpenPitonFixture, SerdesAddsLogicSideCells) {
+  const long before = net.total_cells();
+  auto rpt = nl::apply_serdes(net);
+  EXPECT_EQ(net.total_cells(), before + rpt.added_cells);
+  // All SerDes blocks belong to the logic chiplet (NoC router side).
+  for (const auto& inst : net.instances()) {
+    if (inst.cls == nl::ModuleClass::SerDes) {
+      EXPECT_EQ(nl::default_side(inst.cls), nl::ChipletSide::Logic);
+    }
+  }
+}
+
+TEST_F(OpenPitonFixture, SerdesKeepsControlParallel) {
+  nl::apply_serdes(net);
+  int one_bit_inter = 0;
+  for (const auto& n : net.nets()) {
+    if (n.inter_tile && n.bits == 1) ++one_bit_inter;
+  }
+  EXPECT_EQ(one_bit_inter, 20);
+}
+
+TEST(Serdes, RatioOneIsIdentityOnWidth) {
+  auto net = nl::build_openpiton();
+  nl::SerDesConfig cfg;
+  cfg.ratio = 1;
+  auto rpt = nl::apply_serdes(net, cfg);
+  EXPECT_EQ(rpt.wires_after, rpt.wires_before);
+}

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/openpiton.hpp"
+#include "partition/fm.hpp"
+#include "partition/hierarchical.hpp"
+#include "partition/metrics.hpp"
+
+namespace nl = gia::netlist;
+namespace pt = gia::partition;
+
+TEST(Hierarchical, MatchesPaperCut) {
+  auto net = nl::build_openpiton();
+  auto res = pt::hierarchical_partition(net);
+  // Two tiles, each with a 231-signal logic<->memory boundary.
+  EXPECT_EQ(res.cut_wires, 2 * 231);
+  // Memory fraction = 37091 / 203386 per tile (pre-SerDes netlist).
+  EXPECT_NEAR(res.memory_fraction, 37091.0 / 203386.0, 1e-9);
+}
+
+TEST(Metrics, CutCountsBits) {
+  nl::Netlist n;
+  const int a = n.add_instance({.name = "a", .cls = nl::ModuleClass::Core, .cell_count = 10});
+  const int b = n.add_instance({.name = "b", .cls = nl::ModuleClass::L3, .cell_count = 10});
+  n.add_net({.name = "w", .bits = 16, .terminals = {a, b}});
+  pt::Assignment side{nl::ChipletSide::Logic, nl::ChipletSide::Memory};
+  EXPECT_EQ(pt::cut_wires(n, side), 16);
+  side[1] = nl::ChipletSide::Logic;
+  EXPECT_EQ(pt::cut_wires(n, side), 0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  nl::Netlist n;
+  n.add_instance({.name = "a"});
+  EXPECT_THROW(pt::cut_wires(n, {}), std::invalid_argument);
+  EXPECT_THROW(pt::memory_cell_fraction(n, {}), std::invalid_argument);
+}
+
+TEST(Fm, DoesNotWorsenHierarchicalCut) {
+  auto net = nl::build_openpiton();
+  auto hier = pt::hierarchical_partition(net);
+  pt::FmConfig cfg;
+  cfg.target_memory_fraction = hier.memory_fraction;
+  auto fm = pt::fm_partition(net, cfg, hier.side);
+  EXPECT_LE(fm.cut_wires, hier.cut_wires);
+}
+
+TEST(Fm, RespectsBalance) {
+  auto net = nl::build_openpiton();
+  pt::FmConfig cfg;
+  cfg.target_memory_fraction = 0.18;
+  cfg.balance_tolerance = 0.05;
+  auto fm = pt::fm_partition(net, cfg);
+  EXPECT_GE(fm.memory_fraction, 0.18 - 0.051);
+  EXPECT_LE(fm.memory_fraction, 0.18 + 0.051);
+}
+
+// Property sweep: on random graphs FM from a random start never ends worse
+// than it began and keeps balance.
+class FmRandomGraph : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FmRandomGraph, ImprovesOrMaintainsCut) {
+  std::mt19937 rng(GetParam());
+  nl::Netlist n;
+  const int n_nodes = 120;
+  for (int i = 0; i < n_nodes; ++i) {
+    n.add_instance({.name = "n" + std::to_string(i),
+                    .cls = nl::ModuleClass::Other,
+                    .tile = 0,
+                    .cell_count = 100});
+  }
+  std::uniform_int_distribution<int> pick(0, n_nodes - 1);
+  std::uniform_int_distribution<int> width(1, 32);
+  for (int e = 0; e < 400; ++e) {
+    int a = pick(rng), b = pick(rng);
+    if (a == b) continue;
+    n.add_net({.name = "e" + std::to_string(e), .bits = width(rng), .terminals = {a, b}});
+  }
+  // Random initial assignment near 50/50.
+  pt::Assignment init;
+  std::bernoulli_distribution coin(0.5);
+  for (int i = 0; i < n_nodes; ++i) {
+    init.push_back(coin(rng) ? nl::ChipletSide::Memory : nl::ChipletSide::Logic);
+  }
+  const int cut0 = pt::cut_wires(n, init);
+
+  pt::FmConfig cfg;
+  cfg.target_memory_fraction = 0.5;
+  cfg.balance_tolerance = 0.1;
+  cfg.seed = GetParam();
+  auto res = pt::fm_partition(n, cfg, init);
+  EXPECT_LE(res.cut_wires, cut0);
+  EXPECT_GE(res.memory_fraction, 0.39);
+  EXPECT_LE(res.memory_fraction, 0.61);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmRandomGraph, ::testing::Values(1u, 2u, 3u, 7u, 42u));

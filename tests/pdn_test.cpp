@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "interposer/design.hpp"
+#include "pdn/impedance.hpp"
+#include "pdn/ir_drop.hpp"
+#include "pdn/pdn_model.hpp"
+#include "pdn/settling.hpp"
+#include "tech/library.hpp"
+
+namespace pd = gia::pdn;
+namespace ip = gia::interposer;
+namespace th = gia::tech;
+
+namespace {
+
+const ip::InterposerDesign& design_of(th::TechnologyKind k) {
+  static std::map<th::TechnologyKind, ip::InterposerDesign> cache;
+  auto it = cache.find(k);
+  if (it == cache.end()) it = cache.emplace(k, ip::build_interposer_design(k)).first;
+  return it->second;
+}
+
+const pd::PdnModel& model_of(th::TechnologyKind k) {
+  static std::map<th::TechnologyKind, pd::PdnModel> cache;
+  auto it = cache.find(k);
+  if (it == cache.end()) it = cache.emplace(k, pd::build_pdn_model(design_of(k))).first;
+  return it->second;
+}
+
+}  // namespace
+
+// --- Model construction ------------------------------------------------------
+
+TEST(PdnModel, PlaneDepths) {
+  // Glass 3D: one signal layer above the planes; Glass 2.5D: five.
+  const auto g3 = pd::power_plane_depth(th::make_technology(th::TechnologyKind::Glass3D));
+  const auto g25 = pd::power_plane_depth(th::make_technology(th::TechnologyKind::Glass25D));
+  const auto si = pd::power_plane_depth(th::make_technology(th::TechnologyKind::Silicon25D));
+  EXPECT_EQ(g3.levels, 1);
+  EXPECT_EQ(g25.levels, 5);
+  EXPECT_EQ(si.levels, 0);  // planes at the top metals
+  EXPECT_LT(g3.depth_um, g25.depth_um);
+  EXPECT_DOUBLE_EQ(si.depth_um, 0.0);
+}
+
+TEST(PdnModel, FeedInductanceTracksDepth) {
+  EXPECT_LT(model_of(th::TechnologyKind::Glass3D).l_feed,
+            model_of(th::TechnologyKind::Glass25D).l_feed / 3.0);
+}
+
+TEST(PdnModel, SiliconCarriesSubstrateLoss) {
+  EXPECT_GT(model_of(th::TechnologyKind::Silicon25D).r_substrate_loss, 0.0);
+  EXPECT_DOUBLE_EQ(model_of(th::TechnologyKind::Glass3D).r_substrate_loss, 0.0);
+}
+
+TEST(PdnModel, OrganicEntryIsWorst) {
+  // 400um PTHs at 300um pitch: few parallel entries, long barrels.
+  EXPECT_GT(model_of(th::TechnologyKind::Shinko).l_entry,
+            model_of(th::TechnologyKind::Glass3D).l_entry * 5.0);
+}
+
+// --- Impedance profile (Fig 15) --------------------------------------------
+
+TEST(Impedance, ProfileShapeInductiveAtHighBand) {
+  // Above the plane-C region the profile rises ~linearly with f (feed L).
+  const auto zp = pd::impedance_profile(model_of(th::TechnologyKind::Glass25D));
+  const double z100m = zp.at(100e6);
+  const double z1g = zp.at(1e9);
+  EXPECT_GT(z1g, 3.0 * z100m);
+}
+
+TEST(Impedance, OrderingMatchesFig15) {
+  // Glass 3D < Silicon ~ Glass 2.5D << organics in the high band.
+  const double g3 = pd::impedance_profile(model_of(th::TechnologyKind::Glass3D)).high_band();
+  const double g25 = pd::impedance_profile(model_of(th::TechnologyKind::Glass25D)).high_band();
+  const double si = pd::impedance_profile(model_of(th::TechnologyKind::Silicon25D)).high_band();
+  const double sh = pd::impedance_profile(model_of(th::TechnologyKind::Shinko)).high_band();
+  const double apx = pd::impedance_profile(model_of(th::TechnologyKind::APX)).high_band();
+  EXPECT_LT(g3, si);
+  EXPECT_LT(g3, g25);
+  EXPECT_GT(sh, g25);
+  EXPECT_GT(apx, g25);
+}
+
+TEST(Impedance, HeadlinePowerIntegrityImprovement) {
+  // ~10X PI improvement of Glass 3D over conventional (organic) interposers.
+  const double g3 = pd::impedance_profile(model_of(th::TechnologyKind::Glass3D)).high_band();
+  const double sh = pd::impedance_profile(model_of(th::TechnologyKind::Shinko)).high_band();
+  EXPECT_GT(sh / g3, 8.0);
+}
+
+TEST(Impedance, InterpAndPeakHelpers) {
+  const auto zp = pd::impedance_profile(model_of(th::TechnologyKind::Glass3D));
+  EXPECT_GT(zp.peak(), 0.0);
+  EXPECT_GE(zp.peak(), zp.at(5e8) - 1e-12);
+  // Interpolation is monotone between grid points on a monotone profile.
+  EXPECT_GE(zp.at(9e8), zp.at(2e8));
+}
+
+// --- IR drop (Table IV) -----------------------------------------------------
+
+TEST(IrDrop, MatchesTableIVBand) {
+  // Paper: 17-27 mV across designs.
+  for (auto k : {th::TechnologyKind::Glass25D, th::TechnologyKind::Glass3D,
+                 th::TechnologyKind::Silicon25D, th::TechnologyKind::Shinko,
+                 th::TechnologyKind::APX}) {
+    const auto ir = pd::solve_ir_drop(design_of(k));
+    EXPECT_GT(ir.max_drop_v, 0.010) << th::to_string(k);
+    EXPECT_LT(ir.max_drop_v, 0.040) << th::to_string(k);
+    EXPECT_LE(ir.avg_drop_v, ir.max_drop_v) << th::to_string(k);
+  }
+}
+
+TEST(IrDrop, ThinSiliconPlanesDropMost) {
+  // Table IV: Silicon 27 mV worst; thick-metal glass/APX ~17 mV best.
+  const double si = pd::solve_ir_drop(design_of(th::TechnologyKind::Silicon25D)).max_drop_v;
+  const double g25 = pd::solve_ir_drop(design_of(th::TechnologyKind::Glass25D)).max_drop_v;
+  const double apx = pd::solve_ir_drop(design_of(th::TechnologyKind::APX)).max_drop_v;
+  const double sh = pd::solve_ir_drop(design_of(th::TechnologyKind::Shinko)).max_drop_v;
+  EXPECT_GT(si, sh);
+  EXPECT_GT(sh, g25);
+  EXPECT_GT(sh, apx);
+}
+
+TEST(IrDrop, VoltageMapSane) {
+  const auto ir = pd::solve_ir_drop(design_of(th::TechnologyKind::Glass25D));
+  for (int y = 0; y < ir.voltage.ny(); ++y) {
+    for (int x = 0; x < ir.voltage.nx(); ++x) {
+      EXPECT_LE(ir.voltage.at(x, y), 0.9 + 1e-9);
+      EXPECT_GT(ir.voltage.at(x, y), 0.85);
+    }
+  }
+  EXPECT_THROW(pd::solve_ir_drop(design_of(th::TechnologyKind::Silicon3D)),
+               std::invalid_argument);
+}
+
+TEST(IrDrop, MoreCurrentMoreDrop) {
+  pd::IrDropOptions lo, hi;
+  lo.total_current_a = 0.2;
+  hi.total_current_a = 0.8;
+  const auto& d = design_of(th::TechnologyKind::Glass25D);
+  EXPECT_LT(pd::solve_ir_drop(d, lo).max_drop_v, pd::solve_ir_drop(d, hi).max_drop_v);
+}
+
+// --- Settling (Table IV) -----------------------------------------------------
+
+TEST(Settling, MicrosecondScaleAndSettles) {
+  for (auto k : {th::TechnologyKind::Glass3D, th::TechnologyKind::Silicon25D,
+                 th::TechnologyKind::APX}) {
+    const auto st = pd::simulate_settling(model_of(k));
+    EXPECT_GT(st.settling_time_s, 0.1e-6) << th::to_string(k);
+    EXPECT_LT(st.settling_time_s, 8e-6) << th::to_string(k);
+    EXPECT_GT(st.worst_droop_v, 0.002) << th::to_string(k);
+    EXPECT_LT(st.worst_droop_v, 0.05) << th::to_string(k);
+  }
+}
+
+TEST(Settling, DroopOrderingFollowsPdnQuality) {
+  const double g3 = pd::simulate_settling(model_of(th::TechnologyKind::Glass3D)).worst_droop_v;
+  const double sh = pd::simulate_settling(model_of(th::TechnologyKind::Shinko)).worst_droop_v;
+  EXPECT_LT(g3, sh);
+}
+
+TEST(Settling, RailWaveformRecorded) {
+  const auto st = pd::simulate_settling(model_of(th::TechnologyKind::Glass3D));
+  EXPECT_GT(st.rail.size(), 1000u);
+  EXPECT_NEAR(st.rail.final_value(), 0.9, 0.05);
+}

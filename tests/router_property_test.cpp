@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "interposer/design.hpp"
+#include "interposer/router.hpp"
+#include "tech/library.hpp"
+
+/// Router invariants: determinism, lower bounds, capacity bookkeeping, and
+/// the effect of the rip-up/reroute pass.
+
+namespace ip = gia::interposer;
+namespace th = gia::tech;
+namespace g = gia::geometry;
+
+namespace {
+
+struct Fixture {
+  th::Technology tech;
+  gia::chiplet::ChipletPair plans;
+  ip::InterposerFloorplan fp;
+  std::vector<ip::TopNet> nets;
+
+  explicit Fixture(th::TechnologyKind k) : tech(th::make_technology(k)) {
+    ip::ChipletInputs inputs;
+    plans = gia::chiplet::plan_chiplet_pair(inputs.logic_signal_ios, inputs.memory_signal_ios,
+                                            inputs.logic_cell_area_um2,
+                                            inputs.memory_cell_area_um2, tech);
+    fp = ip::place_dies(tech, plans.logic, plans.memory);
+    nets = ip::assign_top_nets(tech, fp);
+  }
+};
+
+}  // namespace
+
+TEST(RouterProperty, Deterministic) {
+  Fixture f(th::TechnologyKind::Glass25D);
+  const auto a = ip::route_interposer(f.tech, f.fp, f.nets);
+  const auto b = ip::route_interposer(f.tech, f.fp, f.nets);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  EXPECT_DOUBLE_EQ(a.stats.total_wl_um, b.stats.total_wl_um);
+  EXPECT_EQ(a.stats.total_vias, b.stats.total_vias);
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.nets[i].length_um, b.nets[i].length_um) << i;
+  }
+}
+
+TEST(RouterProperty, LengthNeverBelowQuantizedLowerBound) {
+  // A routed net can't be shorter than its endpoints' straight-line
+  // distance minus the grid quantization slack.
+  Fixture f(th::TechnologyKind::Silicon25D);
+  const auto res = ip::route_interposer(f.tech, f.fp, f.nets);
+  const double cell = std::max(f.fp.outline.width(), f.fp.outline.height()) / 96.0;
+  for (const auto& n : f.nets) {
+    const auto& rn = res.nets[static_cast<std::size_t>(n.id)];
+    if (rn.vertical) continue;
+    const double lb = g::euclidean_distance(n.a, n.b) - 2.5 * cell;
+    EXPECT_GE(rn.length_um, std::max(0.0, lb)) << n.name;
+  }
+}
+
+TEST(RouterProperty, OctilinearBoundsManhattanLength) {
+  // For the SAME netlist, diagonal routing's total can't exceed Manhattan's
+  // by more than congestion noise.
+  Fixture f(th::TechnologyKind::APX);
+  const auto diag = ip::route_interposer(f.tech, f.fp, f.nets);
+  auto manh_tech = f.tech;
+  manh_tech.routing = th::RoutingStyle::Manhattan;
+  const auto manh = ip::route_interposer(manh_tech, f.fp, f.nets);
+  EXPECT_LT(diag.stats.total_wl_um, manh.stats.total_wl_um * 1.02);
+}
+
+TEST(RouterProperty, ReroutePassReducesOverflow) {
+  Fixture f(th::TechnologyKind::APX);  // the most congested design
+  ip::RouterOptions no_rr, rr;
+  no_rr.reroute_passes = 0;
+  rr.reroute_passes = 2;
+  const auto before = ip::route_interposer(f.tech, f.fp, f.nets, no_rr);
+  const auto after = ip::route_interposer(f.tech, f.fp, f.nets, rr);
+  EXPECT_LE(after.stats.overflowed_cells, before.stats.overflowed_cells);
+}
+
+TEST(RouterProperty, ViasAlwaysCoverEscapes) {
+  Fixture f(th::TechnologyKind::Shinko);
+  const auto res = ip::route_interposer(f.tech, f.fp, f.nets);
+  for (const auto& rn : res.nets) {
+    if (rn.vertical) {
+      EXPECT_EQ(rn.vias, 2);
+    } else {
+      EXPECT_GE(rn.vias, 2);  // at least entry + exit escape
+      const auto [lo, hi] = rn.path.layer_span();
+      EXPECT_GE(lo, 0);
+      EXPECT_LT(hi, res.stats.signal_layers_available);
+    }
+  }
+}
+
+TEST(RouterProperty, StatsAreInternallyConsistent) {
+  Fixture f(th::TechnologyKind::Glass25D);
+  const auto res = ip::route_interposer(f.tech, f.fp, f.nets);
+  double total = 0, mx = 0, mn = 1e18;
+  int cnt = 0;
+  for (const auto& rn : res.nets) {
+    if (rn.vertical) continue;
+    total += rn.length_um;
+    mx = std::max(mx, rn.length_um);
+    mn = std::min(mn, rn.length_um);
+    ++cnt;
+  }
+  EXPECT_EQ(cnt, res.stats.routed_nets);
+  EXPECT_NEAR(total, res.stats.total_wl_um, 1e-6);
+  EXPECT_NEAR(mx, res.stats.max_wl_um, 1e-6);
+  EXPECT_NEAR(mn, res.stats.min_wl_um, 1e-6);
+  EXPECT_NEAR(total / cnt, res.stats.avg_wl_um, 1e-6);
+}
+
+TEST(RouterProperty, CoarserGridStillRoutesEverything) {
+  Fixture f(th::TechnologyKind::Glass25D);
+  ip::RouterOptions coarse;
+  coarse.grid_nx = coarse.grid_ny = 40;
+  const auto res = ip::route_interposer(f.tech, f.fp, f.nets, coarse);
+  EXPECT_EQ(static_cast<std::size_t>(res.stats.routed_nets),
+            f.nets.size());  // all lateral on glass 2.5D
+  EXPECT_GT(res.stats.total_wl_um, 0);
+}

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "extract/microstrip.hpp"
+#include "signal/aib.hpp"
+#include "signal/eye.hpp"
+#include "signal/link_sim.hpp"
+#include "signal/prbs.hpp"
+#include "signal/sparams.hpp"
+#include "tech/library.hpp"
+
+namespace sg = gia::signal;
+namespace ex = gia::extract;
+namespace th = gia::tech;
+
+// --- PRBS -------------------------------------------------------------------
+
+TEST(Prbs, Period127) {
+  auto bits = sg::prbs7(254);
+  for (int i = 0; i < 127; ++i) {
+    EXPECT_EQ(bits[static_cast<std::size_t>(i)], bits[static_cast<std::size_t>(i + 127)]) << i;
+  }
+}
+
+TEST(Prbs, Balanced) {
+  auto bits = sg::prbs7(127);
+  const int ones = std::accumulate(bits.begin(), bits.end(), 0);
+  EXPECT_EQ(ones, 64);  // maximal-length LFSR property
+}
+
+TEST(Prbs, SeedsDiffer) {
+  EXPECT_NE(sg::prbs7(64, 0x5A), sg::prbs7(64, 0x13));
+}
+
+TEST(Prbs, Prbs15LongerPeriod) {
+  auto bits = sg::prbs15(1024);
+  // Should not repeat with period 127.
+  bool same = true;
+  for (int i = 0; i < 127 && same; ++i) same = bits[i] == bits[i + 127];
+  EXPECT_FALSE(same);
+}
+
+TEST(Prbs, ClockPattern) {
+  auto bits = sg::clock_pattern(6);
+  EXPECT_EQ(bits, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+// --- AIB driver model --------------------------------------------------------
+
+TEST(Aib, PowerMatchesTableIII) {
+  // Table III books the AIB lane power at ~26-27 uW at 700 Mbps.
+  sg::DriverModel tx;
+  const double p = sg::driver_internal_power(tx, sg::AibFootprint{}, 0.7e9);
+  EXPECT_GT(p, 20e-6);
+  EXPECT_LT(p, 32e-6);
+}
+
+TEST(Aib, StrengthScalesImpedance) {
+  sg::DriverModel tx;
+  EXPECT_NEAR(tx.r_out_at(128), 47.4, 1e-9);
+  EXPECT_NEAR(tx.r_out_at(64), 94.8, 1e-9);
+}
+
+// --- Link simulation ----------------------------------------------------------
+
+namespace {
+
+sg::LinkSpec lateral_link(th::TechnologyKind kind, double length_um) {
+  const auto tech = th::make_technology(kind);
+  sg::LinkSpec spec;
+  spec.line = ex::coupled_microstrip_rlgc(ex::min_pitch_geometry(tech), 0.7e9);
+  spec.length_um = length_um;
+  spec.pre_elements = {ex::microbump_model(tech.microbump)};
+  spec.post_elements = {ex::microbump_model(tech.microbump)};
+  return spec;
+}
+
+}  // namespace
+
+TEST(LinkSim, LongerLineMeansMoreDelayAndPower) {
+  auto a = lateral_link(th::TechnologyKind::Glass25D, 1000.0);
+  auto b = lateral_link(th::TechnologyKind::Glass25D, 5000.0);
+  const auto ra = sg::simulate_link(a);
+  const auto rb = sg::simulate_link(b);
+  EXPECT_GT(rb.interconnect_delay_s, ra.interconnect_delay_s);
+  EXPECT_GT(rb.interconnect_power_w, ra.interconnect_power_w);
+  EXPECT_GT(ra.total_delay_s, ra.driver_delay_s);
+}
+
+TEST(LinkSim, VerticalLinkIsFasterThanLateral) {
+  // Glass 3D logic->memory: stacked vias only, vs a 2 mm lateral line.
+  const auto g3 = th::make_technology(th::TechnologyKind::Glass3D);
+  sg::LinkSpec vertical;
+  vertical.pre_elements = {ex::stacked_rdl_via_model(g3.stacked_rdl_via, 3, 3.3)};
+  const auto rv = sg::simulate_link(vertical);
+  const auto rl = sg::simulate_link(lateral_link(th::TechnologyKind::Glass25D, 2000.0));
+  EXPECT_LT(rv.interconnect_delay_s, rl.interconnect_delay_s);
+  EXPECT_LT(rv.interconnect_power_w, rl.interconnect_power_w);
+}
+
+TEST(LinkSim, DelayDecompositionConsistent) {
+  const auto r = sg::simulate_link(lateral_link(th::TechnologyKind::Silicon25D, 1063.0));
+  EXPECT_NEAR(r.total_delay_s, r.driver_delay_s + r.interconnect_delay_s, 1e-15);
+  EXPECT_NEAR(r.total_power_w, r.driver_power_w + r.interconnect_power_w, 1e-12);
+  // Sanity: sub-ns delays, tens-to-hundreds of uW at 0.7 Gbps.
+  EXPECT_LT(r.total_delay_s, 1e-9);
+  EXPECT_GT(r.total_power_w, 1e-6);
+  EXPECT_LT(r.total_power_w, 1e-3);
+}
+
+// --- Eye diagrams ---------------------------------------------------------------
+
+TEST(Eye, CleanShortLinkNearFullEye) {
+  auto spec = lateral_link(th::TechnologyKind::Glass25D, 500.0);
+  const auto eye = sg::simulate_eye(spec, 64);
+  EXPECT_GT(eye.width_ratio(), 0.85);
+  EXPECT_GT(eye.height_v, 0.7);  // 0.9 V swing barely degraded
+}
+
+TEST(Eye, LongCongestedLinkDegrades) {
+  auto short_link = lateral_link(th::TechnologyKind::Silicon25D, 500.0);
+  auto long_link = lateral_link(th::TechnologyKind::Silicon25D, 6000.0);
+  const auto e_short = sg::simulate_eye(short_link, 64);
+  const auto e_long = sg::simulate_eye(long_link, 64);
+  EXPECT_LT(e_long.height_v, e_short.height_v);
+  EXPECT_LE(e_long.width_s, e_short.width_s + 1e-12);
+}
+
+TEST(Eye, TracesRetainedWhenRequested) {
+  auto spec = lateral_link(th::TechnologyKind::Glass25D, 500.0);
+  sg::EyeConfig cfg;
+  cfg.keep_traces = true;
+  const auto run = sg::run_prbs(spec, 32);
+  const auto eye = sg::measure_eye(run, cfg);
+  EXPECT_GT(eye.traces.size(), 10u);
+  EXPECT_GT(eye.traces.front().size(), 4u);
+}
+
+TEST(Eye, RejectsTooShortRun) {
+  auto spec = lateral_link(th::TechnologyKind::Glass25D, 500.0);
+  EXPECT_THROW(sg::run_prbs(spec, 4), std::invalid_argument);
+}
+
+// --- S-parameters ----------------------------------------------------------------
+
+TEST(Sparams, ThroughIsUnity) {
+  sg::Abcd ident;
+  const auto s = sg::to_sparams(ident);
+  EXPECT_NEAR(std::abs(s.s21), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(s.s11), 0.0, 1e-12);
+}
+
+TEST(Sparams, MatchedLineIsAllPass) {
+  // A 50-ohm lossless line at 50-ohm reference: |S21| = 1, |S11| = 0.
+  ex::Rlgc rlgc{.R = 0.001, .L = 400e-9, .G = 0, .C = 160e-12};
+  const auto m = sg::line_abcd(rlgc, 10000.0, 1e9);
+  const auto s = sg::to_sparams(m, 50.0);
+  EXPECT_NEAR(std::abs(s.s21), 1.0, 1e-3);
+  EXPECT_NEAR(std::abs(s.s11), 0.0, 1e-2);
+}
+
+TEST(Sparams, LossyLineAttenuates) {
+  ex::Rlgc rlgc{.R = 43000, .L = 450e-9, .G = 0, .C = 160e-12};  // 0.4um Si trace
+  const auto m = sg::line_abcd(rlgc, 10000.0, 1e9);
+  const auto s = sg::to_sparams(m, 50.0);
+  EXPECT_LT(std::abs(s.s21), 0.7);
+}
+
+TEST(Sparams, CascadeAssociativity) {
+  ex::Rlgc rlgc{.R = 2150, .L = 450e-9, .G = 1e-5, .C = 120e-12};
+  const auto a = sg::line_abcd(rlgc, 1000.0, 2e9);
+  const auto b = sg::series_abcd({5.0, 3.0});
+  const auto c = sg::shunt_abcd({0.0, 1e-3});
+  const auto left = a.then(b).then(c);
+  const auto right = a.then(b.then(c));
+  EXPECT_NEAR(std::abs(left.A - right.A), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(left.B - right.B), 0.0, 1e-12);
+}
+
+TEST(Sparams, TwoSegmentsEqualOneDoubleLength) {
+  ex::Rlgc rlgc{.R = 2150, .L = 450e-9, .G = 1e-5, .C = 120e-12};
+  const auto two = sg::line_abcd(rlgc, 1000.0, 2e9).then(sg::line_abcd(rlgc, 1000.0, 2e9));
+  const auto one = sg::line_abcd(rlgc, 2000.0, 2e9);
+  EXPECT_NEAR(std::abs(two.A - one.A), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(two.B - one.B), 0.0, 1e-6);
+}
+
+TEST(Sparams, ReciprocityOfLumpedVia) {
+  ex::LumpedRlc via{.R = 0.05, .L = 30e-12, .C = 50e-15};
+  const auto s = sg::to_sparams(sg::lumped_abcd(via, 1e9));
+  EXPECT_NEAR(std::abs(s.s12 - s.s21), 0.0, 1e-12);
+}

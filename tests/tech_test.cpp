@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "tech/library.hpp"
+#include "tech/material.hpp"
+#include "tech/stackup.hpp"
+#include "tech/technology.hpp"
+
+namespace t = gia::tech;
+
+TEST(Material, ConductorFlag) {
+  EXPECT_TRUE(t::materials::copper().is_conductor());
+  EXPECT_FALSE(t::materials::glass_substrate().is_conductor());
+}
+
+TEST(Material, GlassVsSiliconThermal) {
+  // The entire thermal story of the paper rests on this contrast.
+  EXPECT_LT(t::materials::glass_substrate().thermal_k, 2.0);
+  EXPECT_GT(t::materials::silicon_substrate().thermal_k, 100.0);
+}
+
+TEST(Material, GlassLowLoss) {
+  EXPECT_LT(t::materials::glass_substrate().loss_tangent,
+            t::materials::silicon_substrate().loss_tangent);
+}
+
+// --- Table I transcription checks ---------------------------------------
+
+TEST(TechnologyLibrary, TableIGlass) {
+  auto g25 = t::make_technology(t::TechnologyKind::Glass25D);
+  EXPECT_EQ(g25.rules.metal_layers, 7);
+  EXPECT_DOUBLE_EQ(g25.rules.metal_thickness_um, 4.0);
+  EXPECT_DOUBLE_EQ(g25.rules.dielectric_thickness_um, 15.0);
+  EXPECT_DOUBLE_EQ(g25.rules.dielectric_constant, 3.3);
+  EXPECT_DOUBLE_EQ(g25.rules.min_wire_width_um, 2.0);
+  EXPECT_DOUBLE_EQ(g25.rules.microbump_pitch_um, 35.0);
+
+  auto g3 = t::make_technology(t::TechnologyKind::Glass3D);
+  EXPECT_EQ(g3.rules.metal_layers, 3);
+  EXPECT_TRUE(g3.supports_die_embedding());
+  EXPECT_FALSE(g25.supports_die_embedding());
+}
+
+TEST(TechnologyLibrary, TableISilicon) {
+  auto si = t::make_technology(t::TechnologyKind::Silicon25D);
+  EXPECT_EQ(si.rules.metal_layers, 4);
+  EXPECT_DOUBLE_EQ(si.rules.min_wire_width_um, 0.4);
+  EXPECT_DOUBLE_EQ(si.rules.via_size_um, 0.7);
+  EXPECT_DOUBLE_EQ(si.rules.microbump_pitch_um, 40.0);
+  EXPECT_DOUBLE_EQ(si.rules.dielectric_constant, 3.9);
+}
+
+TEST(TechnologyLibrary, TableIOrganic) {
+  auto sh = t::make_technology(t::TechnologyKind::Shinko);
+  EXPECT_EQ(sh.rules.metal_layers, 7);
+  EXPECT_DOUBLE_EQ(sh.rules.min_wire_width_um, 2.0);
+  EXPECT_EQ(sh.routing, t::RoutingStyle::Diagonal);
+
+  auto apx = t::make_technology(t::TechnologyKind::APX);
+  EXPECT_EQ(apx.rules.metal_layers, 8);
+  EXPECT_DOUBLE_EQ(apx.rules.min_wire_width_um, 6.0);
+  EXPECT_DOUBLE_EQ(apx.rules.microbump_pitch_um, 50.0);
+  EXPECT_DOUBLE_EQ(apx.rules.die_to_die_spacing_um, 150.0);
+}
+
+TEST(TechnologyLibrary, Silicon3dInterconnects) {
+  auto s3 = t::make_technology(t::TechnologyKind::Silicon3D);
+  EXPECT_EQ(s3.integration, t::IntegrationStyle::TsvStack);
+  // Section VII-B: 2um mini-TSV at 10um pitch through a 20um substrate.
+  EXPECT_DOUBLE_EQ(s3.mini_tsv.diameter_um, 2.0);
+  EXPECT_DOUBLE_EQ(s3.mini_tsv.pitch_um, 10.0);
+  EXPECT_DOUBLE_EQ(s3.mini_tsv.height_um, 20.0);
+  EXPECT_TRUE(s3.is_3d());
+  EXPECT_FALSE(s3.has_interposer());
+}
+
+TEST(TechnologyLibrary, GlassPitchIsSmallest) {
+  const auto all = t::all_package_technologies();
+  const double glass_pitch = t::make_technology(t::TechnologyKind::Glass25D).rules.microbump_pitch_um;
+  for (const auto& tech : all) {
+    EXPECT_GE(tech.rules.microbump_pitch_um, glass_pitch) << tech.name;
+  }
+}
+
+TEST(TechnologyLibrary, TableOrderMatchesPaper) {
+  const auto order = t::table_order();
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order.front(), t::TechnologyKind::Glass25D);
+  EXPECT_EQ(order.back(), t::TechnologyKind::APX);
+}
+
+// --- Stackup geometry -----------------------------------------------------
+
+TEST(Stackup, MetalCountsMatchRules) {
+  for (const auto& tech : t::all_package_technologies()) {
+    if (!tech.has_interposer()) continue;
+    EXPECT_EQ(tech.stackup.metal_layer_count(), tech.rules.metal_layers) << tech.name;
+  }
+}
+
+TEST(Stackup, PdnPlanePairAssigned) {
+  for (const auto& tech : t::all_package_technologies()) {
+    if (!tech.has_interposer()) continue;
+    int pwr = 0, gnd = 0;
+    for (const auto& l : tech.stackup.layers()) {
+      pwr += (l.role == t::MetalRole::Power);
+      gnd += (l.role == t::MetalRole::Ground);
+    }
+    EXPECT_EQ(pwr, 1) << tech.name;
+    EXPECT_EQ(gnd, 1) << tech.name;
+  }
+}
+
+TEST(Stackup, ThicknessHelpers) {
+  t::Stackup s;
+  s.append({.name = "core", .kind = t::LayerKind::Substrate,
+            .material = t::materials::glass_substrate(), .thickness_um = 100});
+  s.append({.name = "d1", .kind = t::LayerKind::Dielectric,
+            .material = t::materials::polymer_rdl(), .thickness_um = 15});
+  s.append({.name = "m1", .kind = t::LayerKind::Metal, .material = t::materials::copper(),
+            .thickness_um = 4});
+  s.append({.name = "d2", .kind = t::LayerKind::Dielectric,
+            .material = t::materials::polymer_rdl(), .thickness_um = 15});
+  s.append({.name = "m2", .kind = t::LayerKind::Metal, .material = t::materials::copper(),
+            .thickness_um = 4});
+  EXPECT_DOUBLE_EQ(s.total_thickness_um(), 138);
+  EXPECT_EQ(s.metal_layer_count(), 2);
+  EXPECT_DOUBLE_EQ(s.dielectric_between_um(2, 4), 15);
+  EXPECT_DOUBLE_EQ(s.depth_from_top_um(4), 0);
+  EXPECT_DOUBLE_EQ(s.depth_from_top_um(2), 19);
+}
+
+TEST(Stackup, Glass3dPdnClosestToChiplet) {
+  // Section VII-D: Glass 2.5D impedance is higher than Glass 3D "due to the
+  // increased distance between the PDN and the chiplet" -- its five signal
+  // layers push the TGV-fed planes deep into the build-up. Silicon's planes
+  // commence at the top metals (Section VI-B).
+  auto depth_of_power = [](const t::Technology& tech) {
+    const auto metals = tech.stackup.metal_indices();
+    for (int mi : metals) {
+      if (tech.stackup.layers()[static_cast<std::size_t>(mi)].role == t::MetalRole::Power) {
+        return tech.stackup.depth_from_top_um(mi);
+      }
+    }
+    return -1.0;
+  };
+  const auto g3 = t::make_technology(t::TechnologyKind::Glass3D);
+  const auto g25 = t::make_technology(t::TechnologyKind::Glass25D);
+  const auto si = t::make_technology(t::TechnologyKind::Silicon25D);
+  EXPECT_LT(depth_of_power(g3), depth_of_power(g25));
+  EXPECT_DOUBLE_EQ(depth_of_power(si), 0.0);  // top metal is the power plane
+}

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "interposer/design.hpp"
+#include "tech/library.hpp"
+#include "thermal/analysis.hpp"
+#include "thermal/mesh.hpp"
+#include "thermal/power_map.hpp"
+#include "thermal/solver.hpp"
+
+namespace tml = gia::thermal;
+namespace ip = gia::interposer;
+namespace th = gia::tech;
+
+namespace {
+
+const ip::InterposerDesign& design_of(th::TechnologyKind k) {
+  static std::map<th::TechnologyKind, ip::InterposerDesign> cache;
+  auto it = cache.find(k);
+  if (it == cache.end()) it = cache.emplace(k, ip::build_interposer_design(k)).first;
+  return it->second;
+}
+
+const tml::ThermalReport& report_of(th::TechnologyKind k) {
+  static std::map<th::TechnologyKind, tml::ThermalReport> cache;
+  auto it = cache.find(k);
+  if (it == cache.end()) it = cache.emplace(k, tml::run_thermal(design_of(k))).first;
+  return it->second;
+}
+
+}  // namespace
+
+// --- Power maps -----------------------------------------------------------
+
+TEST(PowerMap, ConservesTotal) {
+  const auto map = tml::make_power_map(0.142);
+  double sum = 0;
+  for (double v : map.data()) sum += v;
+  EXPECT_NEAR(sum, 0.142, 1e-12);
+}
+
+TEST(PowerMap, NonuniformButBounded) {
+  const auto map = tml::make_power_map(0.64, {.tiles = 8, .nonuniformity = 0.35, .seed = 3});
+  const double mean = 0.64 / 64.0;
+  for (double v : map.data()) {
+    EXPECT_GT(v, mean * 0.5);
+    EXPECT_LT(v, mean * 1.5);
+  }
+}
+
+TEST(PowerMap, ResampleConservesTotal) {
+  const auto map = tml::make_power_map(0.1);
+  for (int n : {3, 8, 17, 40}) {
+    const auto r = tml::resample_power_map(map, n, n);
+    double sum = 0;
+    for (double v : r.data()) sum += v;
+    EXPECT_NEAR(sum, 0.1, 1e-9) << n;
+  }
+}
+
+TEST(PowerMap, RejectsBadInputs) {
+  EXPECT_THROW(tml::make_power_map(-1.0), std::invalid_argument);
+  EXPECT_THROW(tml::resample_power_map(tml::make_power_map(1.0), 0, 4), std::invalid_argument);
+}
+
+// --- Solver ground truths ----------------------------------------------------
+
+TEST(Solver, UniformSlabMatchesAnalytic) {
+  // One material, uniform heating in the top layer, adiabatic-ish sides:
+  // total power must flow out of the films; check the energy balance via
+  // the film temperature rise: P = h*A*(T_surface - T_amb) summed.
+  tml::ThermalMesh mesh;
+  mesh.nx = 16;
+  mesh.ny = 16;
+  mesh.cell_w_um = 100;
+  mesh.cell_h_um = 100;
+  mesh.ambient_c = 25.0;
+  mesh.h_top = 1000.0;
+  mesh.h_bottom = 1000.0;
+  mesh.h_side = 0.001;  // ~adiabatic sides
+  tml::ZLayer slab;
+  slab.name = "slab";
+  slab.thickness_um = 500;
+  slab.k = gia::geometry::Grid<double>(16, 16, 150.0);
+  slab.power = gia::geometry::Grid<double>(16, 16, 0.001);  // 1 mW/cell
+  mesh.layers.push_back(slab);
+
+  const auto field = tml::solve_steady_state(mesh);
+  ASSERT_TRUE(field.converged);
+  // Symmetric films top+bottom: effective h*A = 2 * 1000 * (1.6mm)^2.
+  const double area = 16 * 16 * 100e-6 * 100e-6;
+  const double p_total = 0.001 * 256;
+  const double expect_rise = p_total / (2 * 1000.0 * area);
+  double avg = 0;
+  for (double v : field.t_c[0].data()) avg += v;
+  avg /= 256.0;
+  EXPECT_NEAR(avg - 25.0, expect_rise, expect_rise * 0.05);
+}
+
+TEST(Solver, HeatFlowsFromHotToCold) {
+  // Two-layer stack, heat in the top layer: top must be hotter.
+  tml::ThermalMesh mesh;
+  mesh.nx = 8;
+  mesh.ny = 8;
+  mesh.cell_w_um = 200;
+  mesh.cell_h_um = 200;
+  mesh.h_top = 10.0;
+  mesh.h_bottom = 5000.0;
+  tml::ZLayer bot, top;
+  bot.name = "bot";
+  bot.thickness_um = 300;
+  bot.k = gia::geometry::Grid<double>(8, 8, 1.0);
+  bot.power = gia::geometry::Grid<double>(8, 8, 0.0);
+  top = bot;
+  top.name = "top";
+  top.power.fill(0.002);
+  mesh.layers = {bot, top};
+  const auto field = tml::solve_steady_state(mesh);
+  EXPECT_GT(field.t_c[1].at(4, 4), field.t_c[0].at(4, 4));
+  EXPECT_GT(field.t_c[0].at(4, 4), mesh.ambient_c);
+}
+
+TEST(Solver, ZeroPowerStaysAmbient) {
+  tml::ThermalMesh mesh;
+  mesh.nx = 6;
+  mesh.ny = 6;
+  mesh.cell_w_um = 100;
+  mesh.cell_h_um = 100;
+  tml::ZLayer l;
+  l.name = "l";
+  l.thickness_um = 100;
+  l.k = gia::geometry::Grid<double>(6, 6, 10.0);
+  l.power = gia::geometry::Grid<double>(6, 6, 0.0);
+  mesh.layers = {l};
+  const auto field = tml::solve_steady_state(mesh);
+  EXPECT_NEAR(field.max_c, mesh.ambient_c, 1e-6);
+}
+
+// Property sweep: refining the mesh should not change the hotspot much.
+class MeshRefinement : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshRefinement, HotspotStableUnderRefinement) {
+  tml::MeshOptions opts;
+  opts.nx = opts.ny = GetParam();
+  const auto rpt = tml::run_thermal(design_of(th::TechnologyKind::Glass25D), opts);
+  const auto ref = report_of(th::TechnologyKind::Glass25D);  // default 48
+  EXPECT_NEAR(rpt.hotspot("tile0/logic"), ref.hotspot("tile0/logic"), 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshRefinement, ::testing::Values(32, 40, 64));
+
+// --- Paper shape criteria (Figs 16-18) ---------------------------------------
+
+TEST(ThermalShape, AllDiesInPlausibleBand) {
+  for (auto k : th::table_order()) {
+    const auto& rpt = report_of(k);
+    for (const auto& [name, dt] : rpt.dies) {
+      EXPECT_GT(dt.hotspot_c, 24.0) << th::to_string(k) << " " << name;
+      EXPECT_LT(dt.hotspot_c, 60.0) << th::to_string(k) << " " << name;
+      EXPECT_LE(dt.average_c, dt.hotspot_c + 1e-9) << th::to_string(k) << " " << name;
+    }
+  }
+}
+
+TEST(ThermalShape, EmbeddedMemoryIsHottestMemory) {
+  // Fig 17: the Glass 3D memory chiplet runs hottest of all memory dies.
+  const double g3_mem = report_of(th::TechnologyKind::Glass3D).hotspot("tile0/mem");
+  for (auto k : {th::TechnologyKind::Glass25D, th::TechnologyKind::Silicon25D,
+                 th::TechnologyKind::Shinko, th::TechnologyKind::APX}) {
+    EXPECT_GT(g3_mem, report_of(k).hotspot("tile0/mem")) << th::to_string(k);
+  }
+}
+
+TEST(ThermalShape, HeadlineThermalIncrease) {
+  // ~35% higher peak temperature for Glass 3D vs conventional interposers.
+  const double g3 = report_of(th::TechnologyKind::Glass3D).hotspot("tile0/mem");
+  const double si = report_of(th::TechnologyKind::Silicon25D).hotspot("tile0/mem");
+  EXPECT_GT(g3 / si, 1.15);
+  EXPECT_LT(g3 / si, 1.7);
+}
+
+TEST(ThermalShape, GlassHotspotsMoreConcentratedThanSilicon) {
+  // Fig 18: insulating glass traps heat near the chiplets; conductive
+  // silicon spreads it across the substrate. Organics also concentrate.
+  // (Glass 3D's "substrate" is mostly embedded silicon die, so the 2.5D
+  // materials are the meaningful comparison, as in Fig 18.)
+  EXPECT_LT(report_of(th::TechnologyKind::Glass25D).hotspot_spread,
+            report_of(th::TechnologyKind::Silicon25D).hotspot_spread);
+  EXPECT_LT(report_of(th::TechnologyKind::Shinko).hotspot_spread,
+            report_of(th::TechnologyKind::Silicon25D).hotspot_spread);
+}
+
+TEST(ThermalShape, Silicon3dRunsHottest) {
+  // Conclusion section: Silicon 3D "suffers from higher thermal dissipation".
+  const double si3d = report_of(th::TechnologyKind::Silicon3D).hotspot("tile0/logic");
+  for (auto k : {th::TechnologyKind::Glass25D, th::TechnologyKind::Glass3D,
+                 th::TechnologyKind::Silicon25D}) {
+    EXPECT_GT(si3d, report_of(k).hotspot("tile0/logic")) << th::to_string(k);
+  }
+}
+
+TEST(ThermalShape, SiliconInterposerCoolest25D) {
+  // The conductive substrate gives silicon the best 2.5D thermals.
+  const double si = report_of(th::TechnologyKind::Silicon25D).hotspot("tile0/logic");
+  EXPECT_LT(si, report_of(th::TechnologyKind::Glass25D).hotspot("tile0/logic"));
+  EXPECT_LT(si, report_of(th::TechnologyKind::Shinko).hotspot("tile0/logic"));
+}
+
+TEST(ThermalShape, ReportAccessors) {
+  const auto& rpt = report_of(th::TechnologyKind::Glass25D);
+  EXPECT_EQ(rpt.dies.size(), 4u);
+  EXPECT_THROW(rpt.hotspot("nonexistent"), std::out_of_range);
+  EXPECT_GT(rpt.interposer_hotspot_c, rpt.ambient_c);
+  EXPECT_GT(rpt.hotspot_spread, 0.0);
+  EXPECT_LT(rpt.hotspot_spread, 1.0);
+}

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/mesh.hpp"
+#include "thermal/solver.hpp"
+
+namespace tml = gia::thermal;
+
+namespace {
+
+/// Uniform slab with symmetric films: lumped-RC behaviour with
+/// tau = (cvol * V) / (h_total * A) per cell, exactly solvable.
+tml::ThermalMesh uniform_slab(int n, double cvol, double h_film, double power_per_cell) {
+  tml::ThermalMesh mesh;
+  mesh.nx = n;
+  mesh.ny = n;
+  mesh.cell_w_um = 100;
+  mesh.cell_h_um = 100;
+  mesh.ambient_c = 25.0;
+  mesh.h_top = h_film;
+  mesh.h_bottom = h_film;
+  mesh.h_side = 1e-6;
+  tml::ZLayer slab;
+  slab.name = "slab";
+  slab.thickness_um = 500;
+  slab.cvol = cvol;
+  slab.k = gia::geometry::Grid<double>(n, n, 150.0);
+  slab.power = gia::geometry::Grid<double>(n, n, power_per_cell);
+  mesh.layers.push_back(slab);
+  return mesh;
+}
+
+}  // namespace
+
+TEST(TransientThermal, TimeConstantMatchesLumpedRc) {
+  const double cvol = 1.7e6, h_film = 1000.0;
+  const auto mesh = uniform_slab(8, cvol, h_film, 0.001);
+  // Per cell: C = cvol * (100um)^2 * 500um; G = 2 * h * (100um)^2 (films
+  // dominate; the half-cell conduction resistance adds ~0.2%).
+  const double c_cell = cvol * 1e-4 * 1e-4 * 500e-6;
+  const double g_cell = 2.0 * h_film * 1e-8;
+  const double tau = c_cell / g_cell;
+
+  const auto res = tml::solve_transient(mesh, 3.0 * tau, {0, 4, 4});
+  EXPECT_NEAR(res.tau_s, tau, tau * 0.1);
+  // Final value approaches the steady state P/G rise.
+  const double expect_rise = 0.001 / g_cell;
+  EXPECT_NEAR(res.probe_c.back() - 25.0, expect_rise, expect_rise * 0.06);
+}
+
+TEST(TransientThermal, MonotoneRiseFromAmbient) {
+  const auto mesh = uniform_slab(6, 1.7e6, 2000.0, 0.002);
+  const auto res = tml::solve_transient(mesh, 0.2, {0, 3, 3});
+  ASSERT_GE(res.probe_c.size(), 10u);
+  EXPECT_NEAR(res.probe_c.front(), 25.0, 1e-9);
+  for (std::size_t i = 1; i < res.probe_c.size(); ++i) {
+    EXPECT_GE(res.probe_c[i], res.probe_c[i - 1] - 1e-6) << i;
+  }
+}
+
+TEST(TransientThermal, ApproachesSteadyStateField) {
+  const auto mesh = uniform_slab(6, 1.0e5, 1500.0, 0.001);  // low capacity: fast
+  const auto steady = tml::solve_steady_state(mesh);
+  const auto trans = tml::solve_transient(mesh, 1.0, {0, 3, 3});
+  EXPECT_NEAR(trans.final_field.at(0, 3, 3), steady.at(0, 3, 3), 0.15);
+}
+
+TEST(TransientThermal, HigherCapacityIsSlower) {
+  const auto fast = tml::solve_transient(uniform_slab(6, 0.5e6, 1000.0, 0.001), 2.0, {0, 3, 3});
+  const auto slow = tml::solve_transient(uniform_slab(6, 2.0e6, 1000.0, 0.001), 2.0, {0, 3, 3});
+  EXPECT_LT(fast.tau_s, slow.tau_s);
+}
+
+TEST(TransientThermal, RejectsBadProbe) {
+  const auto mesh = uniform_slab(4, 1.7e6, 1000.0, 0.001);
+  EXPECT_THROW(tml::solve_transient(mesh, 0.1, {5, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(tml::solve_transient(mesh, 0.1, {0, 9, 0}), std::invalid_argument);
+}

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "core/links.hpp"
+#include "signal/eye.hpp"
+#include "signal/variation.hpp"
+#include "tech/library.hpp"
+
+namespace sg = gia::signal;
+namespace th = gia::tech;
+
+namespace {
+
+sg::LinkSpec nominal_link() {
+  return gia::core::make_fixed_line_spec(th::make_technology(th::TechnologyKind::Silicon25D),
+                                         2500.0);
+}
+
+}  // namespace
+
+TEST(Variation, MeanTracksNominal) {
+  sg::VariationSpec var;
+  var.samples = 24;
+  const auto res = sg::monte_carlo_delay(nominal_link(), var);
+  EXPECT_NEAR(res.mean_delay_s, res.nominal_delay_s, res.nominal_delay_s * 0.15);
+  EXPECT_GE(res.worst_delay_s, res.mean_delay_s);
+  EXPECT_EQ(res.samples_s.size(), 24u);
+}
+
+TEST(Variation, SpreadGrowsWithSigma) {
+  sg::VariationSpec tight, loose;
+  tight.samples = loose.samples = 24;
+  tight.sigma_r = tight.sigma_c = 0.02;
+  loose.sigma_r = loose.sigma_c = 0.20;
+  const auto a = sg::monte_carlo_delay(nominal_link(), tight);
+  const auto b = sg::monte_carlo_delay(nominal_link(), loose);
+  EXPECT_LT(a.sigma_delay_s, b.sigma_delay_s);
+  EXPECT_GE(b.delay_3sigma_s(), b.mean_delay_s);
+}
+
+TEST(Variation, DeterministicForSeed) {
+  sg::VariationSpec var;
+  var.samples = 12;
+  const auto a = sg::monte_carlo_delay(nominal_link(), var);
+  const auto b = sg::monte_carlo_delay(nominal_link(), var);
+  EXPECT_EQ(a.samples_s, b.samples_s);
+  var.seed = 7;
+  const auto c = sg::monte_carlo_delay(nominal_link(), var);
+  EXPECT_NE(a.samples_s, c.samples_s);
+}
+
+TEST(Variation, RejectsTooFewSamples) {
+  sg::VariationSpec var;
+  var.samples = 1;
+  EXPECT_THROW(sg::monte_carlo_delay(nominal_link(), var), std::invalid_argument);
+}
+
+TEST(QFactor, CleanEyeHasHugeQ) {
+  const auto eye = sg::simulate_eye(
+      gia::core::make_fixed_line_spec(th::make_technology(th::TechnologyKind::Glass25D), 400.0),
+      48);
+  EXPECT_GT(eye.q_factor(), 7.0);           // BER < 1e-12 class
+  EXPECT_LT(eye.ber_estimate(), 1e-10);
+  EXPECT_GT(eye.mean_high_v, eye.mean_low_v);
+}
+
+TEST(QFactor, SsoStressDegradesQ) {
+  auto clean = gia::core::make_fixed_line_spec(
+      th::make_technology(th::TechnologyKind::Silicon25D), 3000.0);
+  auto stressed = clean;
+  stressed.shared_return_l = 0.6e-9;
+  stressed.sso_lanes = 32;
+  const auto eq = sg::simulate_eye(clean, 48);
+  const auto sq = sg::simulate_eye(stressed, 48);
+  EXPECT_LT(sq.q_factor(), eq.q_factor());
+  EXPECT_GE(sq.ber_estimate(), eq.ber_estimate());
+}
