@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_3dstack.dir/bench_ablation_3dstack.cpp.o"
+  "CMakeFiles/bench_ablation_3dstack.dir/bench_ablation_3dstack.cpp.o.d"
+  "bench_ablation_3dstack"
+  "bench_ablation_3dstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_3dstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

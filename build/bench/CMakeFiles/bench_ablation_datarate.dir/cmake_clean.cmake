@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_datarate.dir/bench_ablation_datarate.cpp.o"
+  "CMakeFiles/bench_ablation_datarate.dir/bench_ablation_datarate.cpp.o.d"
+  "bench_ablation_datarate"
+  "bench_ablation_datarate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_datarate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_serdes.dir/bench_ablation_serdes.cpp.o"
+  "CMakeFiles/bench_ablation_serdes.dir/bench_ablation_serdes.cpp.o.d"
+  "bench_ablation_serdes"
+  "bench_ablation_serdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_serdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

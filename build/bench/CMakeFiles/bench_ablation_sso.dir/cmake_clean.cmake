@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sso.dir/bench_ablation_sso.cpp.o"
+  "CMakeFiles/bench_ablation_sso.dir/bench_ablation_sso.cpp.o.d"
+  "bench_ablation_sso"
+  "bench_ablation_sso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

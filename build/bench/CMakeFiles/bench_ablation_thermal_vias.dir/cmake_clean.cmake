@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_thermal_vias.dir/bench_ablation_thermal_vias.cpp.o"
+  "CMakeFiles/bench_ablation_thermal_vias.dir/bench_ablation_thermal_vias.cpp.o.d"
+  "bench_ablation_thermal_vias"
+  "bench_ablation_thermal_vias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_thermal_vias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

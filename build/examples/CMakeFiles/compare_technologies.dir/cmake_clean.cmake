@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_technologies.dir/compare_technologies.cpp.o"
+  "CMakeFiles/compare_technologies.dir/compare_technologies.cpp.o.d"
+  "compare_technologies"
+  "compare_technologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_technologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

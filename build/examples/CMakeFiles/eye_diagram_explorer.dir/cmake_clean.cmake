@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eye_diagram_explorer.dir/eye_diagram_explorer.cpp.o"
+  "CMakeFiles/eye_diagram_explorer.dir/eye_diagram_explorer.cpp.o.d"
+  "eye_diagram_explorer"
+  "eye_diagram_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eye_diagram_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giaflow.dir/giaflow.cpp.o"
+  "CMakeFiles/giaflow.dir/giaflow.cpp.o.d"
+  "giaflow"
+  "giaflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giaflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_export.dir/layout_export.cpp.o"
+  "CMakeFiles/layout_export.dir/layout_export.cpp.o.d"
+  "layout_export"
+  "layout_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_study.dir/pareto_study.cpp.o"
+  "CMakeFiles/pareto_study.dir/pareto_study.cpp.o.d"
+  "pareto_study"
+  "pareto_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

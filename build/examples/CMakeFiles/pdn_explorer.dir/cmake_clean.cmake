@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdn_explorer.dir/pdn_explorer.cpp.o"
+  "CMakeFiles/pdn_explorer.dir/pdn_explorer.cpp.o.d"
+  "pdn_explorer"
+  "pdn_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdn_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

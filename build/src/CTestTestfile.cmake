@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geometry")
+subdirs("tech")
+subdirs("netlist")
+subdirs("partition")
+subdirs("circuit")
+subdirs("extract")
+subdirs("signal")
+subdirs("chiplet")
+subdirs("interposer")
+subdirs("pdn")
+subdirs("thermal")
+subdirs("cost")
+subdirs("core")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chiplet/bump_plan.cpp" "src/chiplet/CMakeFiles/gia_chiplet.dir/bump_plan.cpp.o" "gcc" "src/chiplet/CMakeFiles/gia_chiplet.dir/bump_plan.cpp.o.d"
+  "/root/repo/src/chiplet/congestion.cpp" "src/chiplet/CMakeFiles/gia_chiplet.dir/congestion.cpp.o" "gcc" "src/chiplet/CMakeFiles/gia_chiplet.dir/congestion.cpp.o.d"
+  "/root/repo/src/chiplet/placer.cpp" "src/chiplet/CMakeFiles/gia_chiplet.dir/placer.cpp.o" "gcc" "src/chiplet/CMakeFiles/gia_chiplet.dir/placer.cpp.o.d"
+  "/root/repo/src/chiplet/pnr_flow.cpp" "src/chiplet/CMakeFiles/gia_chiplet.dir/pnr_flow.cpp.o" "gcc" "src/chiplet/CMakeFiles/gia_chiplet.dir/pnr_flow.cpp.o.d"
+  "/root/repo/src/chiplet/power.cpp" "src/chiplet/CMakeFiles/gia_chiplet.dir/power.cpp.o" "gcc" "src/chiplet/CMakeFiles/gia_chiplet.dir/power.cpp.o.d"
+  "/root/repo/src/chiplet/timing.cpp" "src/chiplet/CMakeFiles/gia_chiplet.dir/timing.cpp.o" "gcc" "src/chiplet/CMakeFiles/gia_chiplet.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/gia_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/gia_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gia_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/gia_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/gia_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/gia_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/gia_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

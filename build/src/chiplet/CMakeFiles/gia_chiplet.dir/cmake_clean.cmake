@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_chiplet.dir/bump_plan.cpp.o"
+  "CMakeFiles/gia_chiplet.dir/bump_plan.cpp.o.d"
+  "CMakeFiles/gia_chiplet.dir/congestion.cpp.o"
+  "CMakeFiles/gia_chiplet.dir/congestion.cpp.o.d"
+  "CMakeFiles/gia_chiplet.dir/placer.cpp.o"
+  "CMakeFiles/gia_chiplet.dir/placer.cpp.o.d"
+  "CMakeFiles/gia_chiplet.dir/pnr_flow.cpp.o"
+  "CMakeFiles/gia_chiplet.dir/pnr_flow.cpp.o.d"
+  "CMakeFiles/gia_chiplet.dir/power.cpp.o"
+  "CMakeFiles/gia_chiplet.dir/power.cpp.o.d"
+  "CMakeFiles/gia_chiplet.dir/timing.cpp.o"
+  "CMakeFiles/gia_chiplet.dir/timing.cpp.o.d"
+  "libgia_chiplet.a"
+  "libgia_chiplet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_chiplet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cpp" "src/circuit/CMakeFiles/gia_circuit.dir/ac.cpp.o" "gcc" "src/circuit/CMakeFiles/gia_circuit.dir/ac.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/gia_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/gia_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/dc.cpp" "src/circuit/CMakeFiles/gia_circuit.dir/dc.cpp.o" "gcc" "src/circuit/CMakeFiles/gia_circuit.dir/dc.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/circuit/CMakeFiles/gia_circuit.dir/mna.cpp.o" "gcc" "src/circuit/CMakeFiles/gia_circuit.dir/mna.cpp.o.d"
+  "/root/repo/src/circuit/stimulus.cpp" "src/circuit/CMakeFiles/gia_circuit.dir/stimulus.cpp.o" "gcc" "src/circuit/CMakeFiles/gia_circuit.dir/stimulus.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/gia_circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/gia_circuit.dir/transient.cpp.o.d"
+  "/root/repo/src/circuit/waveform.cpp" "src/circuit/CMakeFiles/gia_circuit.dir/waveform.cpp.o" "gcc" "src/circuit/CMakeFiles/gia_circuit.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/gia_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_circuit.dir/ac.cpp.o"
+  "CMakeFiles/gia_circuit.dir/ac.cpp.o.d"
+  "CMakeFiles/gia_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/gia_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/gia_circuit.dir/dc.cpp.o"
+  "CMakeFiles/gia_circuit.dir/dc.cpp.o.d"
+  "CMakeFiles/gia_circuit.dir/mna.cpp.o"
+  "CMakeFiles/gia_circuit.dir/mna.cpp.o.d"
+  "CMakeFiles/gia_circuit.dir/stimulus.cpp.o"
+  "CMakeFiles/gia_circuit.dir/stimulus.cpp.o.d"
+  "CMakeFiles/gia_circuit.dir/transient.cpp.o"
+  "CMakeFiles/gia_circuit.dir/transient.cpp.o.d"
+  "CMakeFiles/gia_circuit.dir/waveform.cpp.o"
+  "CMakeFiles/gia_circuit.dir/waveform.cpp.o.d"
+  "libgia_circuit.a"
+  "libgia_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

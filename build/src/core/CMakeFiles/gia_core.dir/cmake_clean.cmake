@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_core.dir/flow.cpp.o"
+  "CMakeFiles/gia_core.dir/flow.cpp.o.d"
+  "CMakeFiles/gia_core.dir/headline.cpp.o"
+  "CMakeFiles/gia_core.dir/headline.cpp.o.d"
+  "CMakeFiles/gia_core.dir/links.cpp.o"
+  "CMakeFiles/gia_core.dir/links.cpp.o.d"
+  "CMakeFiles/gia_core.dir/report.cpp.o"
+  "CMakeFiles/gia_core.dir/report.cpp.o.d"
+  "CMakeFiles/gia_core.dir/svg_export.cpp.o"
+  "CMakeFiles/gia_core.dir/svg_export.cpp.o.d"
+  "CMakeFiles/gia_core.dir/sweep.cpp.o"
+  "CMakeFiles/gia_core.dir/sweep.cpp.o.d"
+  "libgia_core.a"
+  "libgia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/gia_cost.dir/cost_model.cpp.o.d"
+  "libgia_cost.a"
+  "libgia_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

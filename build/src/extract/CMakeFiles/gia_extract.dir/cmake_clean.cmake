@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_extract.dir/conductor.cpp.o"
+  "CMakeFiles/gia_extract.dir/conductor.cpp.o.d"
+  "CMakeFiles/gia_extract.dir/line_model.cpp.o"
+  "CMakeFiles/gia_extract.dir/line_model.cpp.o.d"
+  "CMakeFiles/gia_extract.dir/microstrip.cpp.o"
+  "CMakeFiles/gia_extract.dir/microstrip.cpp.o.d"
+  "CMakeFiles/gia_extract.dir/via_models.cpp.o"
+  "CMakeFiles/gia_extract.dir/via_models.cpp.o.d"
+  "libgia_extract.a"
+  "libgia_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

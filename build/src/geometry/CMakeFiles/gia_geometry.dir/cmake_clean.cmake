@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_geometry.dir/polyline.cpp.o"
+  "CMakeFiles/gia_geometry.dir/polyline.cpp.o.d"
+  "CMakeFiles/gia_geometry.dir/rect.cpp.o"
+  "CMakeFiles/gia_geometry.dir/rect.cpp.o.d"
+  "libgia_geometry.a"
+  "libgia_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_interposer.dir/design.cpp.o"
+  "CMakeFiles/gia_interposer.dir/design.cpp.o.d"
+  "CMakeFiles/gia_interposer.dir/floorplan.cpp.o"
+  "CMakeFiles/gia_interposer.dir/floorplan.cpp.o.d"
+  "CMakeFiles/gia_interposer.dir/net_assign.cpp.o"
+  "CMakeFiles/gia_interposer.dir/net_assign.cpp.o.d"
+  "CMakeFiles/gia_interposer.dir/router.cpp.o"
+  "CMakeFiles/gia_interposer.dir/router.cpp.o.d"
+  "libgia_interposer.a"
+  "libgia_interposer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_interposer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/cell_library.cpp" "src/netlist/CMakeFiles/gia_netlist.dir/cell_library.cpp.o" "gcc" "src/netlist/CMakeFiles/gia_netlist.dir/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/io.cpp" "src/netlist/CMakeFiles/gia_netlist.dir/io.cpp.o" "gcc" "src/netlist/CMakeFiles/gia_netlist.dir/io.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/gia_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/gia_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/openpiton.cpp" "src/netlist/CMakeFiles/gia_netlist.dir/openpiton.cpp.o" "gcc" "src/netlist/CMakeFiles/gia_netlist.dir/openpiton.cpp.o.d"
+  "/root/repo/src/netlist/serdes.cpp" "src/netlist/CMakeFiles/gia_netlist.dir/serdes.cpp.o" "gcc" "src/netlist/CMakeFiles/gia_netlist.dir/serdes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/gia_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/gia_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/netlist/CMakeFiles/gia_netlist.dir/cell_library.cpp.o: \
+ /root/repo/src/netlist/cell_library.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/netlist/cell_library.hpp

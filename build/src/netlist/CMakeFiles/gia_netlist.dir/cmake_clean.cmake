@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_netlist.dir/cell_library.cpp.o"
+  "CMakeFiles/gia_netlist.dir/cell_library.cpp.o.d"
+  "CMakeFiles/gia_netlist.dir/io.cpp.o"
+  "CMakeFiles/gia_netlist.dir/io.cpp.o.d"
+  "CMakeFiles/gia_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/gia_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/gia_netlist.dir/openpiton.cpp.o"
+  "CMakeFiles/gia_netlist.dir/openpiton.cpp.o.d"
+  "CMakeFiles/gia_netlist.dir/serdes.cpp.o"
+  "CMakeFiles/gia_netlist.dir/serdes.cpp.o.d"
+  "libgia_netlist.a"
+  "libgia_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_partition.dir/fm.cpp.o"
+  "CMakeFiles/gia_partition.dir/fm.cpp.o.d"
+  "CMakeFiles/gia_partition.dir/hierarchical.cpp.o"
+  "CMakeFiles/gia_partition.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/gia_partition.dir/metrics.cpp.o"
+  "CMakeFiles/gia_partition.dir/metrics.cpp.o.d"
+  "libgia_partition.a"
+  "libgia_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_pdn.dir/impedance.cpp.o"
+  "CMakeFiles/gia_pdn.dir/impedance.cpp.o.d"
+  "CMakeFiles/gia_pdn.dir/ir_drop.cpp.o"
+  "CMakeFiles/gia_pdn.dir/ir_drop.cpp.o.d"
+  "CMakeFiles/gia_pdn.dir/pdn_model.cpp.o"
+  "CMakeFiles/gia_pdn.dir/pdn_model.cpp.o.d"
+  "CMakeFiles/gia_pdn.dir/settling.cpp.o"
+  "CMakeFiles/gia_pdn.dir/settling.cpp.o.d"
+  "libgia_pdn.a"
+  "libgia_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/aib.cpp" "src/signal/CMakeFiles/gia_signal.dir/aib.cpp.o" "gcc" "src/signal/CMakeFiles/gia_signal.dir/aib.cpp.o.d"
+  "/root/repo/src/signal/eye.cpp" "src/signal/CMakeFiles/gia_signal.dir/eye.cpp.o" "gcc" "src/signal/CMakeFiles/gia_signal.dir/eye.cpp.o.d"
+  "/root/repo/src/signal/link_sim.cpp" "src/signal/CMakeFiles/gia_signal.dir/link_sim.cpp.o" "gcc" "src/signal/CMakeFiles/gia_signal.dir/link_sim.cpp.o.d"
+  "/root/repo/src/signal/prbs.cpp" "src/signal/CMakeFiles/gia_signal.dir/prbs.cpp.o" "gcc" "src/signal/CMakeFiles/gia_signal.dir/prbs.cpp.o.d"
+  "/root/repo/src/signal/sparams.cpp" "src/signal/CMakeFiles/gia_signal.dir/sparams.cpp.o" "gcc" "src/signal/CMakeFiles/gia_signal.dir/sparams.cpp.o.d"
+  "/root/repo/src/signal/variation.cpp" "src/signal/CMakeFiles/gia_signal.dir/variation.cpp.o" "gcc" "src/signal/CMakeFiles/gia_signal.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/gia_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/gia_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/gia_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/gia_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/signal/CMakeFiles/gia_signal.dir/aib.cpp.o: \
+ /root/repo/src/signal/aib.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/signal/aib.hpp

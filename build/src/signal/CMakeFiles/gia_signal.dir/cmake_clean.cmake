@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_signal.dir/aib.cpp.o"
+  "CMakeFiles/gia_signal.dir/aib.cpp.o.d"
+  "CMakeFiles/gia_signal.dir/eye.cpp.o"
+  "CMakeFiles/gia_signal.dir/eye.cpp.o.d"
+  "CMakeFiles/gia_signal.dir/link_sim.cpp.o"
+  "CMakeFiles/gia_signal.dir/link_sim.cpp.o.d"
+  "CMakeFiles/gia_signal.dir/prbs.cpp.o"
+  "CMakeFiles/gia_signal.dir/prbs.cpp.o.d"
+  "CMakeFiles/gia_signal.dir/sparams.cpp.o"
+  "CMakeFiles/gia_signal.dir/sparams.cpp.o.d"
+  "CMakeFiles/gia_signal.dir/variation.cpp.o"
+  "CMakeFiles/gia_signal.dir/variation.cpp.o.d"
+  "libgia_signal.a"
+  "libgia_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgia_signal.a"
+)

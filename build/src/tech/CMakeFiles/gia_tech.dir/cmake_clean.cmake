@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_tech.dir/library.cpp.o"
+  "CMakeFiles/gia_tech.dir/library.cpp.o.d"
+  "CMakeFiles/gia_tech.dir/material.cpp.o"
+  "CMakeFiles/gia_tech.dir/material.cpp.o.d"
+  "CMakeFiles/gia_tech.dir/stackup.cpp.o"
+  "CMakeFiles/gia_tech.dir/stackup.cpp.o.d"
+  "CMakeFiles/gia_tech.dir/technology.cpp.o"
+  "CMakeFiles/gia_tech.dir/technology.cpp.o.d"
+  "libgia_tech.a"
+  "libgia_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

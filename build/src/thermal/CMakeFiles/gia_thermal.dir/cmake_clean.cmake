@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gia_thermal.dir/analysis.cpp.o"
+  "CMakeFiles/gia_thermal.dir/analysis.cpp.o.d"
+  "CMakeFiles/gia_thermal.dir/mesh.cpp.o"
+  "CMakeFiles/gia_thermal.dir/mesh.cpp.o.d"
+  "CMakeFiles/gia_thermal.dir/power_map.cpp.o"
+  "CMakeFiles/gia_thermal.dir/power_map.cpp.o.d"
+  "CMakeFiles/gia_thermal.dir/solver.cpp.o"
+  "CMakeFiles/gia_thermal.dir/solver.cpp.o.d"
+  "libgia_thermal.a"
+  "libgia_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gia_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interposer_test.cpp" "tests/CMakeFiles/interposer_test.dir/interposer_test.cpp.o" "gcc" "tests/CMakeFiles/interposer_test.dir/interposer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interposer/CMakeFiles/gia_interposer.dir/DependInfo.cmake"
+  "/root/repo/build/src/chiplet/CMakeFiles/gia_chiplet.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gia_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/gia_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/gia_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/gia_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/gia_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/gia_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/gia_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

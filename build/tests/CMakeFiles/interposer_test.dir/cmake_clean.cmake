@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interposer_test.dir/interposer_test.cpp.o"
+  "CMakeFiles/interposer_test.dir/interposer_test.cpp.o.d"
+  "interposer_test"
+  "interposer_test.pdb"
+  "interposer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interposer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

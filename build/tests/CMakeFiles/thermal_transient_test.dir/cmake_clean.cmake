@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_transient_test.dir/thermal_transient_test.cpp.o"
+  "CMakeFiles/thermal_transient_test.dir/thermal_transient_test.cpp.o.d"
+  "thermal_transient_test"
+  "thermal_transient_test.pdb"
+  "thermal_transient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
