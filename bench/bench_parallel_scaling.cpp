@@ -1,0 +1,108 @@
+/// bench_parallel_scaling: wall-clock scaling of the two heaviest parallel
+/// kernels -- SOR thermal steady state and Monte Carlo variation -- at 1, 2,
+/// and 4 threads. Prints one JSON line per (kernel, thread-count) pair plus
+/// a speedup summary, and cross-checks that every thread count produced
+/// byte-identical metrics (the determinism contract of core/parallel.hpp).
+///
+/// Note: reported speedup is bounded by the machine's core count; on a
+/// single-core runner all configurations legitimately time the same.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/links.hpp"
+#include "core/parallel.hpp"
+#include "interposer/design.hpp"
+#include "signal/variation.hpp"
+#include "tech/library.hpp"
+#include "thermal/mesh.hpp"
+#include "thermal/solver.hpp"
+
+using namespace gia;
+
+namespace {
+
+double now_run(const std::function<std::vector<double>()>& kernel,
+               std::vector<double>& metrics_out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  metrics_out = kernel();
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
+struct ScalingRow {
+  int threads = 0;
+  double wall_s = 0;
+  std::vector<double> metrics;
+};
+
+void report(const char* kernel, const std::vector<ScalingRow>& rows) {
+  const double base = rows.front().wall_s;
+  bool identical = true;
+  for (const auto& r : rows) identical &= (r.metrics == rows.front().metrics);
+  for (const auto& r : rows) {
+    std::printf(
+        "{\"bench\":\"bench_parallel_scaling\",\"kernel\":\"%s\",\"threads\":%d,"
+        "\"wall_s\":%.6f,\"speedup\":%.3f,\"identical\":%s}\n",
+        kernel, r.threads, r.wall_s, base / r.wall_s, identical ? "true" : "false");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> thread_counts = {1, 2, 4};
+
+  // --- Thermal steady state (red-black SOR) on the full Glass 2.5D stack.
+  {
+    const auto design = interposer::build_interposer_design(tech::TechnologyKind::Glass25D);
+    const auto mesh = thermal::build_thermal_mesh(design);
+    std::vector<ScalingRow> rows;
+    for (int n : thread_counts) {
+      core::set_thread_count(n);
+      ScalingRow row;
+      row.threads = n;
+      row.wall_s = now_run(
+          [&] {
+            const auto field = thermal::solve_steady_state(mesh);
+            std::vector<double> metrics{field.max_c, static_cast<double>(field.iterations)};
+            for (const auto& layer : field.t_c) {
+              metrics.insert(metrics.end(), layer.data().begin(), layer.data().end());
+            }
+            return metrics;
+          },
+          row.metrics);
+      rows.push_back(std::move(row));
+    }
+    report("thermal_steady_state", rows);
+  }
+
+  // --- Monte Carlo variation on a mid-length silicon-interposer link.
+  {
+    const auto link = core::make_fixed_line_spec(
+        tech::make_technology(tech::TechnologyKind::Silicon25D), 2500.0);
+    signal::VariationSpec var;
+    var.samples = 24;
+    std::vector<ScalingRow> rows;
+    for (int n : thread_counts) {
+      core::set_thread_count(n);
+      ScalingRow row;
+      row.threads = n;
+      row.wall_s = now_run(
+          [&] {
+            const auto res = signal::monte_carlo_delay(link, var);
+            std::vector<double> metrics{res.mean_delay_s, res.sigma_delay_s, res.worst_delay_s};
+            metrics.insert(metrics.end(), res.samples_s.begin(), res.samples_s.end());
+            return metrics;
+          },
+          row.metrics);
+      rows.push_back(std::move(row));
+    }
+    report("variation_monte_carlo", rows);
+  }
+
+  core::set_thread_count(0);
+  return 0;
+}

@@ -2,10 +2,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "core/flow.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "tech/library.hpp"
 
@@ -40,15 +43,30 @@ inline const core::TechnologyResult& flow_of(tech::TechnologyKind k, bool eyes =
 
 inline const char* short_name(tech::TechnologyKind k) { return tech::to_string(k); }
 
+/// Emit one machine-readable line per bench run (BENCH_*.json-compatible):
+/// binary name, wall-clock seconds, and the parallel layer's thread count.
+/// CI scrapes stdout for lines starting with {"bench".
+inline void print_json_line(const char* bench_path, double wall_s) {
+  const char* name = bench_path;
+  if (const char* slash = std::strrchr(bench_path, '/')) name = slash + 1;
+  std::printf("{\"bench\":\"%s\",\"wall_s\":%.6f,\"threads\":%d}\n", name, wall_s,
+              core::thread_count());
+}
+
 }  // namespace gia::bench
 
-/// Print the reproduction table, then hand over to google-benchmark.
+/// Print the reproduction table, then hand over to google-benchmark; close
+/// with the JSON wall-time/thread-count line for CI scraping.
 #define GIA_BENCH_MAIN(print_fn)                        \
   int main(int argc, char** argv) {                     \
+    const auto gia_bench_t0 = std::chrono::steady_clock::now(); \
     print_fn();                                         \
     ::benchmark::Initialize(&argc, argv);               \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();              \
     ::benchmark::Shutdown();                            \
+    const std::chrono::duration<double> gia_bench_dt =  \
+        std::chrono::steady_clock::now() - gia_bench_t0; \
+    gia::bench::print_json_line(argv[0], gia_bench_dt.count()); \
     return 0;                                           \
   }

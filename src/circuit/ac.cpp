@@ -4,6 +4,7 @@
 
 #include "circuit/dense_lu.hpp"
 #include "circuit/mna.hpp"
+#include "core/parallel.hpp"
 
 namespace gia::circuit {
 
@@ -19,7 +20,10 @@ AcResult run_ac(const Circuit& ckt, const std::vector<double>& freqs_hz,
   // Mutual inductances: precompute M = k * sqrt(L1 L2).
   const auto& ls = ckt.inductors();
 
-  for (std::size_t fi = 0; fi < freqs_hz.size(); ++fi) {
+  // Frequency points are independent systems: assemble and LU-solve them
+  // concurrently. Each point only writes its own out.node_v[...][fi] slot,
+  // so the sweep is byte-identical at any thread count.
+  core::parallel_for(freqs_hz.size(), [&](std::size_t fi) {
     const double w = 2.0 * 3.14159265358979323846 * freqs_hz[fi];
     const cplx jw(0.0, w);
 
@@ -60,7 +64,7 @@ AcResult run_ac(const Circuit& ckt, const std::vector<double>& freqs_hz,
       out.node_v[p][fi] =
           probes[p] == kGround ? cplx{} : x[static_cast<std::size_t>(node_row(probes[p]))];
     }
-  }
+  });
   return out;
 }
 

@@ -27,6 +27,10 @@ class DenseMatrix {
   int size() const { return n_; }
   T& at(int r, int c) { return a_[static_cast<std::size_t>(r) * n_ + c]; }
   const T& at(int r, int c) const { return a_[static_cast<std::size_t>(r) * n_ + c]; }
+  /// Contiguous row base pointer -- lets the LU inner loops index as row[c]
+  /// instead of recomputing r * n + c per element.
+  T* row(int r) { return a_.data() + static_cast<std::size_t>(r) * n_; }
+  const T* row(int r) const { return a_.data() + static_cast<std::size_t>(r) * n_; }
   void add(int r, int c, T v) { at(r, c) += v; }
   void clear() { a_.assign(a_.size(), T{}); }
 
@@ -52,12 +56,18 @@ class LuFactor {
     for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(piv_[static_cast<std::size_t>(i)])];
     // Forward substitution (L has unit diagonal).
     for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < i; ++j) x[static_cast<std::size_t>(i)] -= lu_.at(i, j) * x[static_cast<std::size_t>(j)];
+      const T* ri = lu_.row(i);
+      T acc = x[static_cast<std::size_t>(i)];
+      for (int j = 0; j < i; ++j) acc -= ri[j] * x[static_cast<std::size_t>(j)];
+      x[static_cast<std::size_t>(i)] = acc;
     }
-    // Back substitution.
+    // Back substitution, multiplying by the reciprocal pivots cached at
+    // factor time instead of dividing per row.
     for (int i = n - 1; i >= 0; --i) {
-      for (int j = i + 1; j < n; ++j) x[static_cast<std::size_t>(i)] -= lu_.at(i, j) * x[static_cast<std::size_t>(j)];
-      x[static_cast<std::size_t>(i)] /= lu_.at(i, i);
+      const T* ri = lu_.row(i);
+      T acc = x[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < n; ++j) acc -= ri[j] * x[static_cast<std::size_t>(j)];
+      x[static_cast<std::size_t>(i)] = acc * inv_diag_[static_cast<std::size_t>(i)];
     }
     return x;
   }
@@ -65,6 +75,7 @@ class LuFactor {
  private:
   void factor() {
     const int n = lu_.size();
+    inv_diag_.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) piv_[static_cast<std::size_t>(i)] = i;
     for (int k = 0; k < n; ++k) {
       // Pivot: largest magnitude in column k.
@@ -76,19 +87,28 @@ class LuFactor {
       }
       if (best < 1e-300) throw std::runtime_error("singular MNA matrix (floating node?)");
       if (p != k) {
-        for (int c = 0; c < n; ++c) std::swap(lu_.at(k, c), lu_.at(p, c));
+        T* rk = lu_.row(k);
+        T* rp = lu_.row(p);
+        for (int c = 0; c < n; ++c) std::swap(rk[c], rp[c]);
         std::swap(piv_[static_cast<std::size_t>(k)], piv_[static_cast<std::size_t>(p)]);
       }
+      const T* rk = lu_.row(k);
+      // U(k, k) is final after this step, so its reciprocal serves both the
+      // elimination below and later solves.
+      const T inv_piv = T{1} / rk[k];
+      inv_diag_[static_cast<std::size_t>(k)] = inv_piv;
       for (int r = k + 1; r < n; ++r) {
-        const T m = lu_.at(r, k) / lu_.at(k, k);
-        lu_.at(r, k) = m;
-        for (int c = k + 1; c < n; ++c) lu_.at(r, c) -= m * lu_.at(k, c);
+        T* rr = lu_.row(r);
+        const T m = rr[k] * inv_piv;
+        rr[k] = m;
+        for (int c = k + 1; c < n; ++c) rr[c] -= m * rk[c];
       }
     }
   }
 
   DenseMatrix<T> lu_;
   std::vector<int> piv_;
+  std::vector<T> inv_diag_;  ///< 1 / U(i, i), cached during factor()
 };
 
 using RealMatrix = DenseMatrix<double>;

@@ -1,0 +1,212 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace gia::core {
+
+namespace {
+
+/// True while the current thread is executing inside a parallel region
+/// (worker or participating caller); nested parallel calls run inline.
+thread_local bool t_in_parallel_region = false;
+
+/// One parallel_for invocation: a shared chunk queue claimed by atomic
+/// increment. `active` counts pool workers currently touching the job so
+/// the caller knows when the stack-allocated Job may be destroyed.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n_chunks = 0;
+  std::size_t chunk_size = 0;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> active{0};
+  std::atomic<bool> abort{false};
+  std::mutex err_mu;
+  std::exception_ptr eptr;
+
+  void run_chunks() {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks) return;
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(n, begin + chunk_size);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!eptr) eptr = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+class Pool {
+ public:
+  explicit Pool(int workers) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) threads_.emplace_back([this] { worker(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  void run(Job& job) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_ = &job;
+      ++gen_;
+    }
+    cv_.notify_all();
+
+    // The caller is a full participant; workers join as they wake.
+    t_in_parallel_region = true;
+    job.run_chunks();
+    t_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return job.active.load() == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || gen_ != seen; });
+        if (stop_) return;
+        seen = gen_;
+        job = job_;
+        // Register under the lock only while work remains: once all chunks
+        // are claimed the caller may wake and destroy the job, so a late
+        // worker must not touch it.
+        if (job == nullptr || job->next.load(std::memory_order_relaxed) >= job->n_chunks) {
+          continue;
+        }
+        job->active.fetch_add(1, std::memory_order_relaxed);
+      }
+      t_in_parallel_region = true;
+      job->run_chunks();
+      t_in_parallel_region = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        job->active.fetch_sub(1, std::memory_order_relaxed);
+      }
+      cv_done_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable cv_done_;
+  Job* job_ = nullptr;
+  std::uint64_t gen_ = 0;
+  bool stop_ = false;
+};
+
+int env_thread_count() {
+  if (const char* env = std::getenv("GIA_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(std::min<long>(v, 256));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(std::min<unsigned>(hw, 256u)) : 1;
+}
+
+struct PoolState {
+  std::mutex mu;
+  int desired = 0;  ///< 0 = not yet initialized from the environment
+  std::unique_ptr<Pool> pool;
+
+  int resolve_desired() {
+    if (desired == 0) desired = env_thread_count();
+    return desired;
+  }
+
+  /// Returns the pool to use (workers = desired - 1, the caller being the
+  /// remaining executor), or nullptr for serial execution.
+  Pool* acquire() {
+    std::lock_guard<std::mutex> lk(mu);
+    const int want = resolve_desired() - 1;
+    if (want <= 0) {
+      pool.reset();
+      return nullptr;
+    }
+    if (!pool || pool->workers() != want) pool = std::make_unique<Pool>(want);
+    return pool.get();
+  }
+};
+
+PoolState& state() {
+  static PoolState s;
+  return s;
+}
+
+}  // namespace
+
+int thread_count() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.resolve_desired();
+}
+
+void set_thread_count(int n) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (n <= 0) {
+    s.desired = env_thread_count();
+  } else {
+    s.desired = std::min(n, 256);
+  }
+  if (s.desired == 1) s.pool.reset();
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  Pool* pool = t_in_parallel_region ? nullptr : state().acquire();
+  if (pool == nullptr || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  const std::size_t ways = static_cast<std::size_t>(pool->workers()) + 1;
+  job.n_chunks = std::min(n, ways);
+  job.chunk_size = (n + job.n_chunks - 1) / job.n_chunks;
+  pool->run(job);
+  if (job.eptr) std::rethrow_exception(job.eptr);
+}
+
+void parallel_for_chunked(std::size_t n, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n_chunks = (n + grain - 1) / grain;
+  parallel_for(n_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    fn(begin, std::min(n, begin + grain));
+  });
+}
+
+}  // namespace gia::core

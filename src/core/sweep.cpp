@@ -1,14 +1,44 @@
 #include "core/sweep.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace gia::core {
 
+namespace {
+
+auto lower_bound_of(const std::vector<MetricMap::value_type>& entries, const std::string& name) {
+  return std::lower_bound(entries.begin(), entries.end(), name,
+                          [](const MetricMap::value_type& kv, const std::string& n) {
+                            return kv.first < n;
+                          });
+}
+
+}  // namespace
+
+void MetricMap::set(const std::string& name, double value) {
+  auto it = lower_bound_of(entries_, name);
+  if (it != entries_.end() && it->first == name) {
+    const auto idx = it - entries_.begin();
+    entries_[static_cast<std::size_t>(idx)].second = value;
+    return;
+  }
+  entries_.insert(it, {name, value});
+}
+
+const double* MetricMap::find(const std::string& name) const {
+  const auto it = lower_bound_of(entries_, name);
+  if (it == entries_.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
 double DesignPoint::metric(const std::string& name) const {
-  const auto it = metrics.find(name);
-  if (it == metrics.end()) throw std::out_of_range("no metric " + name + " on " + label);
-  return it->second;
+  const double* v = metrics.find(name);
+  if (v == nullptr) throw std::out_of_range("no metric " + name + " on " + label);
+  return *v;
 }
 
 bool dominates(const DesignPoint& a, const DesignPoint& b,
@@ -16,10 +46,10 @@ bool dominates(const DesignPoint& a, const DesignPoint& b,
   if (objectives.empty()) throw std::invalid_argument("need at least one objective");
   bool strictly_better = false;
   for (const auto& obj : objectives) {
-    if (!a.has(obj.metric) || !b.has(obj.metric)) return false;
-    const double va = a.metric(obj.metric);
-    const double vb = b.metric(obj.metric);
-    const double better = obj.direction == Direction::Minimize ? vb - va : va - vb;
+    const double* va = a.metrics.find(obj.metric);
+    const double* vb = b.metrics.find(obj.metric);
+    if (va == nullptr || vb == nullptr) return false;
+    const double better = obj.direction == Direction::Minimize ? *vb - *va : *va - *vb;
     if (better < 0) return false;  // a worse on this axis
     if (better > 0) strictly_better = true;
   }
@@ -43,16 +73,16 @@ std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points,
   return front;
 }
 
-std::vector<DesignPoint> sweep_1d(
-    const std::string& name, const std::vector<double>& values,
-    const std::function<std::map<std::string, double>(double)>& eval) {
-  std::vector<DesignPoint> out;
-  out.reserve(values.size());
-  for (double v : values) {
+std::vector<DesignPoint> sweep_1d(const std::string& name, const std::vector<double>& values,
+                                  const std::function<MetricMap(double)>& eval) {
+  std::vector<DesignPoint> out(values.size());
+  // Design points evaluate in parallel; each index fills only its own slot,
+  // so the output is ordered and byte-identical at any thread count.
+  parallel_for(values.size(), [&](std::size_t i) {
     std::ostringstream label;
-    label << name << "=" << v;
-    out.push_back({label.str(), eval(v)});
-  }
+    label << name << "=" << values[i];
+    out[i] = {label.str(), eval(values[i])};
+  });
   return out;
 }
 

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 /// \file sweep.hpp
@@ -14,13 +16,44 @@
 
 namespace gia::core {
 
+/// Flat sorted map of metric name -> value. Design points carry a handful
+/// of metrics, where a sorted vector beats a node-based std::map on both
+/// allocation count and lookup locality in large sweeps.
+class MetricMap {
+ public:
+  using value_type = std::pair<std::string, double>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  MetricMap() = default;
+  MetricMap(std::initializer_list<value_type> init) {
+    entries_.reserve(init.size());
+    for (const auto& kv : init) set(kv.first, kv.second);
+  }
+  MetricMap(const std::map<std::string, double>& m) : entries_(m.begin(), m.end()) {}
+
+  /// Insert or overwrite.
+  void set(const std::string& name, double value);
+  /// Pointer to the value, or nullptr when absent.
+  const double* find(const std::string& name) const;
+  bool contains(const std::string& name) const { return find(name) != nullptr; }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+ private:
+  std::vector<value_type> entries_;  ///< sorted by name
+};
+
 /// One evaluated design point: a label plus named metric values.
 struct DesignPoint {
   std::string label;
-  std::map<std::string, double> metrics;
+  MetricMap metrics;
 
   double metric(const std::string& name) const;
-  bool has(const std::string& name) const { return metrics.count(name) > 0; }
+  bool has(const std::string& name) const { return metrics.contains(name); }
 };
 
 /// Objective direction for Pareto dominance.
@@ -42,8 +75,10 @@ std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points,
                                       const std::vector<Objective>& objectives);
 
 /// Evaluate a 1-D parameter sweep: calls `eval(value)` per value and labels
-/// the points "<name>=<value>".
+/// the points "<name>=<value>". Design points are evaluated in parallel
+/// (see core/parallel.hpp) with output order preserved, so `eval` must be
+/// safe to call concurrently.
 std::vector<DesignPoint> sweep_1d(const std::string& name, const std::vector<double>& values,
-                                  const std::function<std::map<std::string, double>(double)>& eval);
+                                  const std::function<MetricMap(double)>& eval);
 
 }  // namespace gia::core

@@ -5,6 +5,7 @@
 
 #include "circuit/ac.hpp"
 #include "circuit/circuit.hpp"
+#include "core/parallel.hpp"
 
 namespace gia::pdn {
 
@@ -70,12 +71,15 @@ ImpedanceProfile impedance_profile(const PdnModel& model, const ImpedanceOptions
   ckt.add_vsource(ball, kGround, Stimulus::dc(0), "vboard", 0.0);
 
   const auto freqs = log_freq_grid(opts.f_start_hz, opts.f_stop_hz, opts.points_per_decade);
+  // run_ac factors and solves the independent frequency points in parallel
+  // (see circuit/ac.cpp); each |Z| slot below is likewise per-index.
   const auto ac = run_ac(ckt, freqs, {bump});
 
   ImpedanceProfile out;
   out.freq_hz = freqs;
-  out.z_ohm.reserve(freqs.size());
-  for (const auto& v : ac.node_v[0]) out.z_ohm.push_back(std::abs(v));
+  out.z_ohm.assign(freqs.size(), 0.0);
+  core::parallel_for(freqs.size(),
+                     [&](std::size_t i) { out.z_ohm[i] = std::abs(ac.node_v[0][i]); });
   return out;
 }
 

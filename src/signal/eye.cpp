@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace gia::signal {
 
 double EyeResult::q_factor() const {
@@ -16,105 +18,168 @@ double EyeResult::ber_estimate() const {
   return 0.5 * std::erfc(q_factor() / std::sqrt(2.0));
 }
 
-EyeResult measure_eye(const PrbsRun& run, const EyeConfig& cfg) {
-  const auto& w = run.rx;
-  const double ui = run.ui_s;
-  if (w.empty() || ui <= 0) throw std::invalid_argument("empty PRBS run");
+namespace {
+
+/// Accumulated level statistics at the sampling phase. Partials are folded
+/// in chunk order by ordered_reduce, so the merged sums are byte-identical
+/// at any thread count.
+struct LevelStats {
+  double min_high = 1e300, max_low = -1e300;
+  double sum_h = 0, sq_h = 0, sum_l = 0, sq_l = 0;
+  long n_h = 0, n_l = 0;
+};
+
+LevelStats merge(LevelStats a, const LevelStats& b) {
+  a.min_high = std::min(a.min_high, b.min_high);
+  a.max_low = std::max(a.max_low, b.max_low);
+  a.sum_h += b.sum_h;
+  a.sq_h += b.sq_h;
+  a.sum_l += b.sum_l;
+  a.sq_l += b.sq_l;
+  a.n_h += b.n_h;
+  a.n_l += b.n_l;
+  return a;
+}
+
+/// UIs per reduction chunk: fixed so the chunk grid (and therefore the
+/// floating-point accumulation grouping) never depends on the thread count.
+constexpr std::size_t kUiGrain = 32;
+
+EyeResult measure_eye_runs(const std::vector<const PrbsRun*>& runs, const EyeConfig& cfg) {
+  if (runs.empty()) throw std::invalid_argument("no PRBS runs");
+  const double ui = runs[0]->ui_s;
   const double t_start = cfg.skip_bits * ui;
-  if (w.duration() < t_start + 8 * ui) throw std::invalid_argument("PRBS run too short");
+  for (const PrbsRun* r : runs) {
+    if (r->rx.empty() || r->ui_s <= 0) throw std::invalid_argument("empty PRBS run");
+    if (r->ui_s != ui) throw std::invalid_argument("mismatched UI across segments");
+    if (r->rx.duration() < t_start + 8 * ui) throw std::invalid_argument("PRBS run too short");
+  }
 
   EyeResult out;
   out.ui_s = ui;
 
-  // --- Eye width: fold all threshold crossings into [0, UI) and find the
-  // largest circular gap between consecutive crossing phases.
-  const auto xs = w.crossings(cfg.threshold, t_start, 0);
-  if (xs.size() < 3) {
+  // --- Eye width: fold every segment's threshold crossings into [0, UI)
+  // and find the largest circular gap between consecutive crossing phases.
+  // Segments contribute in order, and the sort makes the set canonical, so
+  // the fold is deterministic. The gap center doubles as the sampling phase.
+  std::vector<double> phases;
+  for (const PrbsRun* r : runs) {
+    const auto xs = r->rx.crossings(cfg.threshold, t_start, 0);
+    phases.reserve(phases.size() + xs.size());
+    for (double t : xs) phases.push_back(std::fmod(t, ui));
+  }
+  double sample_phase = ui / 2.0;
+  if (phases.size() < 3) {
     // Degenerate: a stuck or rail-to-rail-clean channel. Width = full UI if
     // the signal actually toggles cleanly, 0 if it never crosses.
-    out.width_s = xs.empty() ? 0.0 : ui;
+    out.width_s = phases.empty() ? 0.0 : ui;
   } else {
-    std::vector<double> phases;
-    phases.reserve(xs.size());
-    for (double t : xs) phases.push_back(std::fmod(t, ui));
     std::sort(phases.begin(), phases.end());
-    double max_gap = ui - phases.back() + phases.front();  // circular wrap
+    double best_gap = ui - phases.back() + phases.front();  // circular wrap
+    double center = std::fmod(phases.back() + best_gap / 2.0, ui);
     for (std::size_t i = 1; i < phases.size(); ++i) {
-      max_gap = std::max(max_gap, phases[i] - phases[i - 1]);
-    }
-    out.width_s = max_gap;
-  }
-
-  // --- Eye height: sample at the center of the open region (crossing
-  // cluster center + UI/2), classify each UI by level, and take the worst
-  // separation.
-  // Sampling phase: middle of the largest gap found above shifted to the
-  // crossing-free center. Reuse the fold: find the gap center.
-  double sample_phase = ui / 2.0;
-  {
-    const auto cross = w.crossings(cfg.threshold, t_start, 0);
-    if (cross.size() >= 3) {
-      std::vector<double> phases;
-      for (double t : cross) phases.push_back(std::fmod(t, ui));
-      std::sort(phases.begin(), phases.end());
-      double best_gap = ui - phases.back() + phases.front();
-      double center = std::fmod(phases.back() + best_gap / 2.0, ui);
-      for (std::size_t i = 1; i < phases.size(); ++i) {
-        const double gap = phases[i] - phases[i - 1];
-        if (gap > best_gap) {
-          best_gap = gap;
-          center = phases[i - 1] + gap / 2.0;
-        }
+      const double gap = phases[i] - phases[i - 1];
+      if (gap > best_gap) {
+        best_gap = gap;
+        center = phases[i - 1] + gap / 2.0;
       }
-      sample_phase = center;
     }
+    out.width_s = best_gap;
+    sample_phase = center;
   }
 
-  double min_high = 1e300, max_low = -1e300;
-  double sum_h = 0, sq_h = 0, sum_l = 0, sq_l = 0;
-  int n_h = 0, n_l = 0;
+  // --- Eye height: sample every UI of every segment at the sampling phase,
+  // classify by level, and take the worst separation. The global UI index
+  // space [0, total_uis) spans the segments in order; the reduction chunks
+  // it with a fixed grain so the result is thread-count independent.
   const int first_ui = cfg.skip_bits;
-  const int last_ui = static_cast<int>(w.duration() / ui) - 1;
-  for (int k = first_ui; k < last_ui; ++k) {
-    const double v = w.at(k * ui + sample_phase);
-    if (v >= cfg.threshold) {
-      min_high = std::min(min_high, v);
-      sum_h += v;
-      sq_h += v * v;
-      ++n_h;
-    } else {
-      max_low = std::max(max_low, v);
-      sum_l += v;
-      sq_l += v * v;
-      ++n_l;
-    }
+  std::vector<std::size_t> seg_offset(runs.size() + 1, 0);
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    const int last_ui = static_cast<int>(runs[s]->rx.duration() / ui) - 1;
+    const int count = std::max(0, last_ui - first_ui);
+    seg_offset[s + 1] = seg_offset[s] + static_cast<std::size_t>(count);
   }
-  out.height_v = (n_h > 0 && n_l > 0) ? std::max(0.0, min_high - max_low) : 0.0;
-  if (n_h > 0) {
-    out.mean_high_v = sum_h / n_h;
-    out.sigma_high_v = std::sqrt(std::max(0.0, sq_h / n_h - out.mean_high_v * out.mean_high_v));
+  const std::size_t total_uis = seg_offset.back();
+
+  auto locate = [&](std::size_t gi) {
+    const auto it = std::upper_bound(seg_offset.begin(), seg_offset.end(), gi);
+    const std::size_t s = static_cast<std::size_t>(it - seg_offset.begin()) - 1;
+    const int k = first_ui + static_cast<int>(gi - seg_offset[s]);
+    return std::pair<std::size_t, int>(s, k);
+  };
+
+  const LevelStats stats = core::ordered_reduce(
+      total_uis, kUiGrain, LevelStats{},
+      [&](std::size_t begin, std::size_t end) {
+        LevelStats p;
+        for (std::size_t gi = begin; gi < end; ++gi) {
+          const auto [s, k] = locate(gi);
+          const double v = runs[s]->rx.at(k * ui + sample_phase);
+          if (v >= cfg.threshold) {
+            p.min_high = std::min(p.min_high, v);
+            p.sum_h += v;
+            p.sq_h += v * v;
+            ++p.n_h;
+          } else {
+            p.max_low = std::max(p.max_low, v);
+            p.sum_l += v;
+            p.sq_l += v * v;
+            ++p.n_l;
+          }
+        }
+        return p;
+      },
+      [](LevelStats acc, LevelStats p) { return merge(std::move(acc), p); });
+
+  out.height_v =
+      (stats.n_h > 0 && stats.n_l > 0) ? std::max(0.0, stats.min_high - stats.max_low) : 0.0;
+  if (stats.n_h > 0) {
+    out.mean_high_v = stats.sum_h / static_cast<double>(stats.n_h);
+    out.sigma_high_v = std::sqrt(std::max(
+        0.0, stats.sq_h / static_cast<double>(stats.n_h) - out.mean_high_v * out.mean_high_v));
   }
-  if (n_l > 0) {
-    out.mean_low_v = sum_l / n_l;
-    out.sigma_low_v = std::sqrt(std::max(0.0, sq_l / n_l - out.mean_low_v * out.mean_low_v));
+  if (stats.n_l > 0) {
+    out.mean_low_v = stats.sum_l / static_cast<double>(stats.n_l);
+    out.sigma_low_v = std::sqrt(std::max(
+        0.0, stats.sq_l / static_cast<double>(stats.n_l) - out.mean_low_v * out.mean_low_v));
   }
 
   if (cfg.keep_traces) {
-    const int samples_per_ui = std::max(4, static_cast<int>(std::lround(ui / w.dt())));
-    for (int k = first_ui; k < last_ui; ++k) {
-      std::vector<double> trace;
+    const int samples_per_ui =
+        std::max(4, static_cast<int>(std::lround(ui / runs[0]->rx.dt())));
+    out.traces.assign(total_uis, {});
+    core::parallel_for(total_uis, [&](std::size_t gi) {
+      const auto [s, k] = locate(gi);
+      auto& trace = out.traces[gi];
       trace.reserve(static_cast<std::size_t>(samples_per_ui));
-      for (int s = 0; s < samples_per_ui; ++s) {
-        trace.push_back(w.at(k * ui + s * ui / samples_per_ui));
+      for (int i = 0; i < samples_per_ui; ++i) {
+        trace.push_back(runs[s]->rx.at(k * ui + i * ui / samples_per_ui));
       }
-      out.traces.push_back(std::move(trace));
-    }
+    });
   }
   return out;
 }
 
+}  // namespace
+
+EyeResult measure_eye(const PrbsRun& run, const EyeConfig& cfg) {
+  return measure_eye_runs({&run}, cfg);
+}
+
+EyeResult measure_eye_ensemble(const std::vector<PrbsRun>& runs, const EyeConfig& cfg) {
+  std::vector<const PrbsRun*> ptrs;
+  ptrs.reserve(runs.size());
+  for (const auto& r : runs) ptrs.push_back(&r);
+  return measure_eye_runs(ptrs, cfg);
+}
+
 EyeResult simulate_eye(const LinkSpec& spec, int n_bits, const EyeConfig& cfg) {
   return measure_eye(run_prbs(spec, n_bits), cfg);
+}
+
+EyeResult simulate_eye_ensemble(const LinkSpec& spec, int n_bits_per_segment, int n_segments,
+                                const EyeConfig& cfg) {
+  return measure_eye_ensemble(run_prbs_segments(spec, n_bits_per_segment, n_segments), cfg);
 }
 
 }  // namespace gia::signal

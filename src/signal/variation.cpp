@@ -4,6 +4,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace gia::signal {
 
 VariationResult monte_carlo_delay(const LinkSpec& nominal, const VariationSpec& var) {
@@ -11,15 +13,17 @@ VariationResult monte_carlo_delay(const LinkSpec& nominal, const VariationSpec& 
   VariationResult out;
   out.nominal_delay_s = simulate_link(nominal).interconnect_delay_s;
 
-  std::mt19937 rng(var.seed);
-  std::normal_distribution<double> gauss(0.0, 1.0);
-  // Relative factors floor at 0.5 to keep element values physical even in
-  // extreme tails.
-  auto factor = [&](double sigma) { return std::max(0.5, 1.0 + sigma * gauss(rng)); };
+  // Per-trial RNG seeded as seed + trial_index: every trial draws from its
+  // own stream, so the fan-out is bit-identical at any thread count and a
+  // trial's corner does not depend on how many trials ran before it.
+  out.samples_s.assign(static_cast<std::size_t>(var.samples), 0.0);
+  core::parallel_for(static_cast<std::size_t>(var.samples), [&](std::size_t s) {
+    std::mt19937 rng(var.seed + static_cast<unsigned>(s));
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    // Relative factors floor at 0.5 to keep element values physical even in
+    // extreme tails.
+    auto factor = [&](double sigma) { return std::max(0.5, 1.0 + sigma * gauss(rng)); };
 
-  out.samples_s.reserve(static_cast<std::size_t>(var.samples));
-  double sum = 0, sum_sq = 0;
-  for (int s = 0; s < var.samples; ++s) {
     LinkSpec trial = nominal;
     const double fr = factor(var.sigma_r);
     const double fc = factor(var.sigma_c);
@@ -37,8 +41,13 @@ VariationResult monte_carlo_delay(const LinkSpec& nominal, const VariationSpec& 
       e.C *= fl;
       e.L *= fl;
     }
-    const double d = simulate_link(trial).interconnect_delay_s;
-    out.samples_s.push_back(d);
+    out.samples_s[s] = simulate_link(trial).interconnect_delay_s;
+  });
+
+  // Reduce serially in trial order so the statistics are byte-identical to
+  // the single-thread path.
+  double sum = 0, sum_sq = 0;
+  for (double d : out.samples_s) {
     sum += d;
     sum_sq += d * d;
     out.worst_delay_s = std::max(out.worst_delay_s, d);

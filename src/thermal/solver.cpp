@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace gia::thermal {
 
 namespace {
@@ -36,71 +38,89 @@ ThermalField solve_steady_state(const ThermalMesh& mesh, const SolverOptions& op
 
   auto k_at = [&](int z, int x, int y) { return mesh.layers[static_cast<std::size_t>(z)].k.at(x, y); };
 
-  for (int iter = 0; iter < opts.max_iters; ++iter) {
-    double max_dt = 0;
-    for (int z = 0; z < nz; ++z) {
-      auto& t = field.t_c[static_cast<std::size_t>(z)];
-      const auto& layer = mesh.layers[static_cast<std::size_t>(z)];
-      for (int y = 0; y < ny; ++y) {
-        for (int x = 0; x < nx; ++x) {
-          const double k_c = k_at(z, x, y);
-          double g_sum = 0, rhs = layer.power.at(x, y);
+  // Red-black SOR: cells are colored by (x + y + z) parity, so the 7-point
+  // stencil of any cell only reads the opposite color. Each color sweep is
+  // then embarrassingly parallel over (z, y) rows with byte-identical
+  // results at any thread count -- within a sweep every update reads state
+  // frozen by the previous sweep, regardless of execution order.
+  const std::size_t n_rows = static_cast<std::size_t>(nz) * static_cast<std::size_t>(ny);
+  std::vector<double> row_max_dt(n_rows);
 
-          // Lateral neighbors (or side convection at the rim).
-          const double a_x = h * dz[static_cast<std::size_t>(z)];
-          const double a_y = w * dz[static_cast<std::size_t>(z)];
-          const int dxs[] = {1, -1, 0, 0};
-          const int dys[] = {0, 0, 1, -1};
-          for (int n = 0; n < 4; ++n) {
-            const int x2 = x + dxs[n], y2 = y + dys[n];
-            const double area = dxs[n] != 0 ? a_x : a_y;
-            const double half = dxs[n] != 0 ? w / 2 : h / 2;
-            if (t.in_bounds(x2, y2)) {
-              const double g = series_g(k_c, k_at(z, x2, y2), area, half, half);
-              g_sum += g;
-              rhs += g * t.at(x2, y2);
-            } else {
-              // Side film: half-cell conduction in series with convection.
-              const double g =
-                  1.0 / (half / (k_c * area) + 1.0 / (mesh.h_side * area));
-              g_sum += g;
-              rhs += g * mesh.ambient_c;
-            }
-          }
+  auto sweep_row_color = [&](std::size_t r, int color) {
+    const int z = static_cast<int>(r) / ny;
+    const int y = static_cast<int>(r) % ny;
+    auto& t = field.t_c[static_cast<std::size_t>(z)];
+    const auto& layer = mesh.layers[static_cast<std::size_t>(z)];
+    double local_max = row_max_dt[r];
+    for (int x = (color + y + z) & 1; x < nx; x += 2) {
+      const double k_c = k_at(z, x, y);
+      double g_sum = 0, rhs = layer.power.at(x, y);
 
-          // Vertical neighbors / top and bottom films.
-          const double a_z = w * h;
-          if (z + 1 < nz) {
-            const double g = series_g(k_c, k_at(z + 1, x, y), a_z,
-                                      dz[static_cast<std::size_t>(z)] / 2,
-                                      dz[static_cast<std::size_t>(z + 1)] / 2);
-            g_sum += g;
-            rhs += g * field.t_c[static_cast<std::size_t>(z + 1)].at(x, y);
-          } else {
-            const double g = 1.0 / (dz[static_cast<std::size_t>(z)] / 2 / (k_c * a_z) +
-                                    1.0 / (mesh.h_top * a_z));
-            g_sum += g;
-            rhs += g * mesh.ambient_c;
-          }
-          if (z > 0) {
-            const double g = series_g(k_c, k_at(z - 1, x, y), a_z,
-                                      dz[static_cast<std::size_t>(z)] / 2,
-                                      dz[static_cast<std::size_t>(z - 1)] / 2);
-            g_sum += g;
-            rhs += g * field.t_c[static_cast<std::size_t>(z - 1)].at(x, y);
-          } else {
-            const double g = 1.0 / (dz[0] / 2 / (k_c * a_z) + 1.0 / (mesh.h_bottom * a_z));
-            g_sum += g;
-            rhs += g * mesh.ambient_c;
-          }
-
-          const double t_new = rhs / g_sum;
-          const double dt = t_new - t.at(x, y);
-          t.at(x, y) += opts.sor_omega * dt;
-          max_dt = std::max(max_dt, std::abs(dt));
+      // Lateral neighbors (or side convection at the rim).
+      const double a_x = h * dz[static_cast<std::size_t>(z)];
+      const double a_y = w * dz[static_cast<std::size_t>(z)];
+      const int dxs[] = {1, -1, 0, 0};
+      const int dys[] = {0, 0, 1, -1};
+      for (int n = 0; n < 4; ++n) {
+        const int x2 = x + dxs[n], y2 = y + dys[n];
+        const double area = dxs[n] != 0 ? a_x : a_y;
+        const double half = dxs[n] != 0 ? w / 2 : h / 2;
+        if (t.in_bounds(x2, y2)) {
+          const double g = series_g(k_c, k_at(z, x2, y2), area, half, half);
+          g_sum += g;
+          rhs += g * t.at(x2, y2);
+        } else {
+          // Side film: half-cell conduction in series with convection.
+          const double g =
+              1.0 / (half / (k_c * area) + 1.0 / (mesh.h_side * area));
+          g_sum += g;
+          rhs += g * mesh.ambient_c;
         }
       }
+
+      // Vertical neighbors / top and bottom films.
+      const double a_z = w * h;
+      if (z + 1 < nz) {
+        const double g = series_g(k_c, k_at(z + 1, x, y), a_z,
+                                  dz[static_cast<std::size_t>(z)] / 2,
+                                  dz[static_cast<std::size_t>(z + 1)] / 2);
+        g_sum += g;
+        rhs += g * field.t_c[static_cast<std::size_t>(z + 1)].at(x, y);
+      } else {
+        const double g = 1.0 / (dz[static_cast<std::size_t>(z)] / 2 / (k_c * a_z) +
+                                1.0 / (mesh.h_top * a_z));
+        g_sum += g;
+        rhs += g * mesh.ambient_c;
+      }
+      if (z > 0) {
+        const double g = series_g(k_c, k_at(z - 1, x, y), a_z,
+                                  dz[static_cast<std::size_t>(z)] / 2,
+                                  dz[static_cast<std::size_t>(z - 1)] / 2);
+        g_sum += g;
+        rhs += g * field.t_c[static_cast<std::size_t>(z - 1)].at(x, y);
+      } else {
+        const double g = 1.0 / (dz[0] / 2 / (k_c * a_z) + 1.0 / (mesh.h_bottom * a_z));
+        g_sum += g;
+        rhs += g * mesh.ambient_c;
+      }
+
+      const double t_new = rhs / g_sum;
+      const double dt = t_new - t.at(x, y);
+      t.at(x, y) += opts.sor_omega * dt;
+      local_max = std::max(local_max, std::abs(dt));
     }
+    row_max_dt[r] = local_max;
+  };
+
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    std::fill(row_max_dt.begin(), row_max_dt.end(), 0.0);
+    for (int color = 0; color < 2; ++color) {
+      core::parallel_for(n_rows, [&](std::size_t r) { sweep_row_color(r, color); });
+    }
+    // max is exact under any accumulation order, so this reduction is
+    // deterministic by construction.
+    double max_dt = 0;
+    for (double v : row_max_dt) max_dt = std::max(max_dt, v);
     if (max_dt < opts.tol_k) {
       field.converged = true;
       field.iterations = iter + 1;
@@ -157,6 +177,59 @@ TransientThermalResult solve_transient(const ThermalMesh& mesh, double t_stop_s,
                                         geometry::Grid<double>(nx, ny, mesh.ambient_c));
   std::vector<geometry::Grid<double>> t_next = t;
 
+  // Explicit stepping reads only the previous field, so each (layer, row)
+  // updates independently: parallel over rows, deterministic at any thread
+  // count because every cell writes its own t_next slot.
+  const std::size_t n_rows = static_cast<std::size_t>(nz) * static_cast<std::size_t>(ny);
+  auto step_row = [&](std::size_t r) {
+    const int z = static_cast<int>(r) / ny;
+    const int y = static_cast<int>(r) % ny;
+    const auto& layer = mesh.layers[static_cast<std::size_t>(z)];
+    for (int x = 0; x < nx; ++x) {
+      const double k_c = k_at(z, x, y);
+      const double t_c = t[static_cast<std::size_t>(z)].at(x, y);
+      double q = layer.power.at(x, y);
+      const double a_x = h * dz[static_cast<std::size_t>(z)];
+      const double a_y = w * dz[static_cast<std::size_t>(z)];
+      const int dxs[] = {1, -1, 0, 0};
+      const int dys[] = {0, 0, 1, -1};
+      for (int n2 = 0; n2 < 4; ++n2) {
+        const int x2 = x + dxs[n2], y2 = y + dys[n2];
+        const double area = dxs[n2] != 0 ? a_x : a_y;
+        const double half = dxs[n2] != 0 ? w / 2 : h / 2;
+        if (t[static_cast<std::size_t>(z)].in_bounds(x2, y2)) {
+          const double g = series_g(k_c, k_at(z, x2, y2), area, half, half);
+          q += g * (t[static_cast<std::size_t>(z)].at(x2, y2) - t_c);
+        } else {
+          const double g = 1.0 / (half / (k_c * area) + 1.0 / (mesh.h_side * area));
+          q += g * (mesh.ambient_c - t_c);
+        }
+      }
+      const double a_z = w * h;
+      if (z + 1 < nz) {
+        const double g = series_g(k_c, k_at(z + 1, x, y), a_z,
+                                  dz[static_cast<std::size_t>(z)] / 2,
+                                  dz[static_cast<std::size_t>(z + 1)] / 2);
+        q += g * (t[static_cast<std::size_t>(z + 1)].at(x, y) - t_c);
+      } else {
+        const double g = 1.0 / (dz[static_cast<std::size_t>(z)] / 2 / (k_c * a_z) +
+                                1.0 / (mesh.h_top * a_z));
+        q += g * (mesh.ambient_c - t_c);
+      }
+      if (z > 0) {
+        const double g = series_g(k_c, k_at(z - 1, x, y), a_z,
+                                  dz[static_cast<std::size_t>(z)] / 2,
+                                  dz[static_cast<std::size_t>(z - 1)] / 2);
+        q += g * (t[static_cast<std::size_t>(z - 1)].at(x, y) - t_c);
+      } else {
+        const double g = 1.0 / (dz[0] / 2 / (k_c * a_z) + 1.0 / (mesh.h_bottom * a_z));
+        q += g * (mesh.ambient_c - t_c);
+      }
+      const double cap = std::max(layer.cvol, 1e4) * w * h * dz[static_cast<std::size_t>(z)];
+      t_next[static_cast<std::size_t>(z)].at(x, y) = t_c + dt * q / cap;
+    }
+  };
+
   TransientThermalResult out;
   const auto n_steps = static_cast<long>(std::ceil(t_stop_s / dt));
   const long record_every = std::max(1L, n_steps / 400);
@@ -166,54 +239,7 @@ TransientThermalResult solve_transient(const ThermalMesh& mesh, double t_stop_s,
       out.probe_c.push_back(
           t[static_cast<std::size_t>(probe.layer)].at(probe.x, probe.y));
     }
-    for (int z = 0; z < nz; ++z) {
-      const auto& layer = mesh.layers[static_cast<std::size_t>(z)];
-      for (int y = 0; y < ny; ++y) {
-        for (int x = 0; x < nx; ++x) {
-          const double k_c = k_at(z, x, y);
-          const double t_c = t[static_cast<std::size_t>(z)].at(x, y);
-          double q = layer.power.at(x, y);
-          const double a_x = h * dz[static_cast<std::size_t>(z)];
-          const double a_y = w * dz[static_cast<std::size_t>(z)];
-          const int dxs[] = {1, -1, 0, 0};
-          const int dys[] = {0, 0, 1, -1};
-          for (int n2 = 0; n2 < 4; ++n2) {
-            const int x2 = x + dxs[n2], y2 = y + dys[n2];
-            const double area = dxs[n2] != 0 ? a_x : a_y;
-            const double half = dxs[n2] != 0 ? w / 2 : h / 2;
-            if (t[static_cast<std::size_t>(z)].in_bounds(x2, y2)) {
-              const double g = series_g(k_c, k_at(z, x2, y2), area, half, half);
-              q += g * (t[static_cast<std::size_t>(z)].at(x2, y2) - t_c);
-            } else {
-              const double g = 1.0 / (half / (k_c * area) + 1.0 / (mesh.h_side * area));
-              q += g * (mesh.ambient_c - t_c);
-            }
-          }
-          const double a_z = w * h;
-          if (z + 1 < nz) {
-            const double g = series_g(k_c, k_at(z + 1, x, y), a_z,
-                                      dz[static_cast<std::size_t>(z)] / 2,
-                                      dz[static_cast<std::size_t>(z + 1)] / 2);
-            q += g * (t[static_cast<std::size_t>(z + 1)].at(x, y) - t_c);
-          } else {
-            const double g = 1.0 / (dz[static_cast<std::size_t>(z)] / 2 / (k_c * a_z) +
-                                    1.0 / (mesh.h_top * a_z));
-            q += g * (mesh.ambient_c - t_c);
-          }
-          if (z > 0) {
-            const double g = series_g(k_c, k_at(z - 1, x, y), a_z,
-                                      dz[static_cast<std::size_t>(z)] / 2,
-                                      dz[static_cast<std::size_t>(z - 1)] / 2);
-            q += g * (t[static_cast<std::size_t>(z - 1)].at(x, y) - t_c);
-          } else {
-            const double g = 1.0 / (dz[0] / 2 / (k_c * a_z) + 1.0 / (mesh.h_bottom * a_z));
-            q += g * (mesh.ambient_c - t_c);
-          }
-          const double cap = std::max(layer.cvol, 1e4) * w * h * dz[static_cast<std::size_t>(z)];
-          t_next[static_cast<std::size_t>(z)].at(x, y) = t_c + dt * q / cap;
-        }
-      }
-    }
+    core::parallel_for(n_rows, step_row);
     std::swap(t, t_next);
   }
 
