@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/instrument.hpp"
 #include "core/links.hpp"
 #include "core/parallel.hpp"
 #include "interposer/design.hpp"
@@ -104,5 +105,6 @@ int main() {
   }
 
   core::set_thread_count(0);
+  core::instrument::emit_report();
   return 0;
 }

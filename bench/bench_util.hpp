@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <string>
 
 #include "core/flow.hpp"
+#include "core/instrument.hpp"
 #include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "tech/library.hpp"
@@ -45,18 +47,36 @@ inline const char* short_name(tech::TechnologyKind k) { return tech::to_string(k
 
 /// Emit one machine-readable line per bench run (BENCH_*.json-compatible):
 /// binary name, wall-clock seconds, and the parallel layer's thread count.
-/// CI scrapes stdout for lines starting with {"bench".
+/// When `GIA_TRACE` is on, the line additionally embeds the instrumentation
+/// span tree and counters so BENCH_*.json trajectories carry per-stage
+/// breakdowns; with tracing off the line is byte-identical to the
+/// pre-instrumentation format. CI scrapes stdout for lines starting with
+/// {"bench".
 inline void print_json_line(const char* bench_path, double wall_s) {
   const char* name = bench_path;
   if (const char* slash = std::strrchr(bench_path, '/')) name = slash + 1;
-  std::printf("{\"bench\":\"%s\",\"wall_s\":%.6f,\"threads\":%d}\n", name, wall_s,
-              core::thread_count());
+  std::string breakdown;
+  if (core::instrument::enabled()) {
+    const auto rep = core::instrument::RunReport::capture();
+    breakdown = ",\"spans\":" + core::instrument::span_tree_json(rep.root) + ",\"counters\":{";
+    bool first = true;
+    for (const auto& [cname, v] : rep.counters) {
+      if (!first) breakdown += ",";
+      first = false;
+      breakdown += "\"" + cname + "\":" + std::to_string(v);
+    }
+    breakdown += "}";
+  }
+  std::printf("{\"bench\":\"%s\",\"wall_s\":%.6f,\"threads\":%d%s}\n", name, wall_s,
+              core::thread_count(), breakdown.c_str());
 }
 
 }  // namespace gia::bench
 
 /// Print the reproduction table, then hand over to google-benchmark; close
-/// with the JSON wall-time/thread-count line for CI scraping.
+/// with the JSON wall-time/thread-count line for CI scraping and, when
+/// `GIA_TRACE` is on, the full instrumentation run report (JSON to stdout or
+/// `GIA_TRACE_FILE`, text tree with GIA_TRACE=text).
 #define GIA_BENCH_MAIN(print_fn)                        \
   int main(int argc, char** argv) {                     \
     const auto gia_bench_t0 = std::chrono::steady_clock::now(); \
@@ -68,5 +88,6 @@ inline void print_json_line(const char* bench_path, double wall_s) {
     const std::chrono::duration<double> gia_bench_dt =  \
         std::chrono::steady_clock::now() - gia_bench_t0; \
     gia::bench::print_json_line(argv[0], gia_bench_dt.count()); \
+    gia::core::instrument::emit_report();               \
     return 0;                                           \
   }

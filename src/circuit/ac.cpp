@@ -4,12 +4,15 @@
 
 #include "circuit/dense_lu.hpp"
 #include "circuit/mna.hpp"
+#include "core/instrument.hpp"
 #include "core/parallel.hpp"
 
 namespace gia::circuit {
 
 AcResult run_ac(const Circuit& ckt, const std::vector<double>& freqs_hz,
                 const std::vector<NodeId>& probes) {
+  GIA_SPAN("circuit/ac");
+  core::instrument::counter_add(core::instrument::Counter::AcPoints, freqs_hz.size());
   using cplx = std::complex<double>;
   const int m = ckt.unknown_count();
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/instrument.hpp"
+
 /// \file dense_lu.hpp
 /// Dense LU factorization with partial pivoting, templated on the scalar so
 /// the same code serves real (DC/transient) and complex (AC) MNA systems.
@@ -45,11 +47,13 @@ template <typename T>
 class LuFactor {
  public:
   explicit LuFactor(DenseMatrix<T> m) : lu_(std::move(m)), piv_(static_cast<std::size_t>(lu_.size())) {
+    core::instrument::counter_add(core::instrument::Counter::LuFactorizations);
     factor();
   }
 
   /// Solve A x = b; returns x.
   std::vector<T> solve(const std::vector<T>& b) const {
+    core::instrument::counter_add(core::instrument::Counter::LuSolves);
     const int n = lu_.size();
     if (static_cast<int>(b.size()) != n) throw std::invalid_argument("rhs size mismatch");
     std::vector<T> x(static_cast<std::size_t>(n));

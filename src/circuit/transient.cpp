@@ -6,10 +6,12 @@
 #include "circuit/dc.hpp"
 #include "circuit/dense_lu.hpp"
 #include "circuit/mna.hpp"
+#include "core/instrument.hpp"
 
 namespace gia::circuit {
 
 TransientResult run_transient(const Circuit& ckt, const TransientSpec& spec) {
+  GIA_SPAN("circuit/transient");
   if (spec.dt <= 0 || spec.t_stop <= 0) throw std::invalid_argument("bad transient spec");
   const int m = ckt.unknown_count();
   const auto& caps = ckt.capacitors();
@@ -55,6 +57,7 @@ TransientResult run_transient(const Circuit& ckt, const TransientSpec& spec) {
   std::vector<double> icap(caps.size(), 0.0);
 
   const auto n_steps = static_cast<std::size_t>(std::ceil(spec.t_stop / dt));
+  core::instrument::counter_add(core::instrument::Counter::TransientSteps, n_steps);
   TransientResult out;
   out.dt = dt;
   std::vector<std::vector<double>> probe_data(spec.probes.size());

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/instrument.hpp"
 #include "core/links.hpp"
 #include "netlist/cell_library.hpp"
 #include "partition/hierarchical.hpp"
@@ -15,53 +16,73 @@ TechnologyResult run_full_flow(tech::TechnologyKind kind, const FlowOptions& opt
   if (kind == tech::TechnologyKind::Monolithic2D) {
     throw std::invalid_argument("use run_monolithic_reference for the 2D reference");
   }
+  GIA_SPAN("flow/full_flow");
+  instrument::counter_add(instrument::Counter::FlowRuns);
   TechnologyResult r;
   r.technology = tech::make_technology(kind);
 
   // --- Architecture netlist + SerDes + partitioning (Fig 4, top).
-  netlist::Netlist net = netlist::build_openpiton(opts.openpiton);
-  r.serdes = netlist::apply_serdes(net, opts.serdes);
-  r.partition = opts.partition_mode == PartitionMode::Hierarchical
-                    ? partition::hierarchical_partition(net)
-                    : partition::fm_partition(net, opts.fm);
-  const auto logic_nl = netlist::extract_chiplet(net, r.partition.side, ChipletSide::Logic, 0);
-  const auto mem_nl = netlist::extract_chiplet(net, r.partition.side, ChipletSide::Memory, 0);
+  netlist::Netlist net;
+  netlist::ChipletNetlist logic_nl, mem_nl;
+  {
+    GIA_SPAN("flow/netlist_partition");
+    net = netlist::build_openpiton(opts.openpiton);
+    r.serdes = netlist::apply_serdes(net, opts.serdes);
+    r.partition = opts.partition_mode == PartitionMode::Hierarchical
+                      ? partition::hierarchical_partition(net)
+                      : partition::fm_partition(net, opts.fm);
+    logic_nl = netlist::extract_chiplet(net, r.partition.side, ChipletSide::Logic, 0);
+    mem_nl = netlist::extract_chiplet(net, r.partition.side, ChipletSide::Memory, 0);
+  }
 
   // --- Chiplet implementation (Table II / III).
-  r.plans = chiplet::plan_chiplet_pair(logic_nl.io_signals, mem_nl.io_signals,
-                                       logic_nl.cell_area_um2, mem_nl.cell_area_um2,
-                                       r.technology);
-  r.logic = chiplet::run_chiplet_pnr(net, logic_nl, r.technology, r.plans.logic, opts.pnr);
-  r.memory = chiplet::run_chiplet_pnr(net, mem_nl, r.technology, r.plans.memory, opts.pnr);
+  {
+    GIA_SPAN("flow/chiplet_pnr");
+    r.plans = chiplet::plan_chiplet_pair(logic_nl.io_signals, mem_nl.io_signals,
+                                         logic_nl.cell_area_um2, mem_nl.cell_area_um2,
+                                         r.technology);
+    r.logic = chiplet::run_chiplet_pnr(net, logic_nl, r.technology, r.plans.logic, opts.pnr);
+    r.memory = chiplet::run_chiplet_pnr(net, mem_nl, r.technology, r.plans.memory, opts.pnr);
+  }
 
   // --- Interposer design (Table IV layout half).
-  interposer::ChipletInputs inputs;
-  inputs.logic_signal_ios = logic_nl.io_signals;
-  inputs.memory_signal_ios = mem_nl.io_signals;
-  inputs.logic_cell_area_um2 = logic_nl.cell_area_um2;
-  inputs.memory_cell_area_um2 = mem_nl.cell_area_um2;
-  r.interposer = interposer::build_interposer_design(kind, inputs, opts.router);
+  {
+    GIA_SPAN("flow/interposer");
+    interposer::ChipletInputs inputs;
+    inputs.logic_signal_ios = logic_nl.io_signals;
+    inputs.memory_signal_ios = mem_nl.io_signals;
+    inputs.logic_cell_area_um2 = logic_nl.cell_area_um2;
+    inputs.memory_cell_area_um2 = mem_nl.cell_area_um2;
+    r.interposer = interposer::build_interposer_design(kind, inputs, opts.router);
+  }
 
   // --- Worst-net links (Table V) and optional eye diagrams (Fig 14).
-  r.l2m.spec = make_link_spec(r.interposer, interposer::TopNetKind::LogicToMemory);
-  r.l2l.spec = make_link_spec(r.interposer, interposer::TopNetKind::LogicToLogic);
-  r.l2m.result = signal::simulate_link(r.l2m.spec);
-  r.l2l.result = signal::simulate_link(r.l2l.spec);
-  if (opts.with_eyes) {
-    r.l2m.eye = signal::simulate_eye(r.l2m.spec, opts.eye_bits);
-    r.l2l.eye = signal::simulate_eye(r.l2l.spec, opts.eye_bits);
+  {
+    GIA_SPAN("flow/links");
+    r.l2m.spec = make_link_spec(r.interposer, interposer::TopNetKind::LogicToMemory);
+    r.l2l.spec = make_link_spec(r.interposer, interposer::TopNetKind::LogicToLogic);
+    r.l2m.result = signal::simulate_link(r.l2m.spec);
+    r.l2l.result = signal::simulate_link(r.l2l.spec);
+    if (opts.with_eyes) {
+      r.l2m.eye = signal::simulate_eye(r.l2m.spec, opts.eye_bits);
+      r.l2l.eye = signal::simulate_eye(r.l2l.spec, opts.eye_bits);
+    }
   }
 
   // --- Power integrity (Fig 15 / Table IV).
-  r.pdn_model = pdn::build_pdn_model(r.interposer);
-  r.pdn_impedance = pdn::impedance_profile(r.pdn_model);
-  if (r.technology.has_interposer()) {
-    r.ir_drop = pdn::solve_ir_drop(r.interposer);
+  {
+    GIA_SPAN("flow/pdn");
+    r.pdn_model = pdn::build_pdn_model(r.interposer);
+    r.pdn_impedance = pdn::impedance_profile(r.pdn_model);
+    if (r.technology.has_interposer()) {
+      r.ir_drop = pdn::solve_ir_drop(r.interposer);
+    }
+    r.settling = pdn::simulate_settling(r.pdn_model);
   }
-  r.settling = pdn::simulate_settling(r.pdn_model);
 
   // --- Thermal (Figs 16-18), optional.
   if (opts.with_thermal) {
+    GIA_SPAN("flow/thermal");
     r.thermal = thermal::run_thermal(r.interposer, opts.thermal_mesh);
   }
 

@@ -2,12 +2,15 @@
 
 #include <stdexcept>
 
+#include "core/instrument.hpp"
+
 namespace gia::core {
 
 HeadlineMetrics compute_headlines(const TechnologyResult& glass3d,
                                   const TechnologyResult& glass25d,
                                   const TechnologyResult& si25d,
                                   const TechnologyResult& organic) {
+  GIA_SPAN("flow/headlines");
   HeadlineMetrics h;
   h.area_reduction_x = glass25d.interposer.area_mm2() / glass3d.interposer.area_mm2();
   h.wirelength_reduction_x =

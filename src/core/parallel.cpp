@@ -1,6 +1,8 @@
 #include "core/parallel.hpp"
 
 #include <atomic>
+
+#include "core/instrument.hpp"
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -21,6 +23,9 @@ thread_local bool t_in_parallel_region = false;
 /// the caller knows when the stack-allocated Job may be destroyed.
 struct Job {
   const std::function<void(std::size_t)>* fn = nullptr;
+  /// Submitting thread's open instrumentation span: workers adopt it so
+  /// spans opened inside the body nest under the caller's span.
+  void* span_ctx = nullptr;
   std::size_t n_chunks = 0;
   std::size_t chunk_size = 0;
   std::size_t n = 0;
@@ -104,7 +109,10 @@ class Pool {
         job->active.fetch_add(1, std::memory_order_relaxed);
       }
       t_in_parallel_region = true;
-      job->run_chunks();
+      {
+        instrument::ContextScope span_ctx(job->span_ctx);
+        job->run_chunks();
+      }
       t_in_parallel_region = false;
       {
         std::lock_guard<std::mutex> lk(mu_);
@@ -190,6 +198,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
 
   Job job;
   job.fn = &fn;
+  job.span_ctx = instrument::current_context();
   job.n = n;
   const std::size_t ways = static_cast<std::size_t>(pool->workers()) + 1;
   job.n_chunks = std::min(n, ways);

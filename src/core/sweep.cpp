@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/instrument.hpp"
 #include "core/parallel.hpp"
 
 namespace gia::core {
@@ -75,6 +76,8 @@ std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points,
 
 std::vector<DesignPoint> sweep_1d(const std::string& name, const std::vector<double>& values,
                                   const std::function<MetricMap(double)>& eval) {
+  GIA_SPAN("core/sweep_1d");
+  instrument::counter_add(instrument::Counter::SweepPoints, values.size());
   std::vector<DesignPoint> out(values.size());
   // Design points evaluate in parallel; each index fills only its own slot,
   // so the output is ordered and byte-identical at any thread count.

@@ -5,6 +5,7 @@
 
 #include "circuit/ac.hpp"
 #include "circuit/circuit.hpp"
+#include "core/instrument.hpp"
 #include "core/parallel.hpp"
 
 namespace gia::pdn {
@@ -40,6 +41,7 @@ circuit::NodeId series_rl(circuit::Circuit& ckt, circuit::NodeId from, double r,
 }  // namespace
 
 ImpedanceProfile impedance_profile(const PdnModel& model, const ImpedanceOptions& opts) {
+  GIA_SPAN("pdn/impedance");
   using namespace circuit;
   Circuit ckt;
   const NodeId bump = ckt.add_node("bump");

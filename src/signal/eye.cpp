@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/instrument.hpp"
 #include "core/parallel.hpp"
 
 namespace gia::signal {
@@ -46,6 +47,7 @@ LevelStats merge(LevelStats a, const LevelStats& b) {
 constexpr std::size_t kUiGrain = 32;
 
 EyeResult measure_eye_runs(const std::vector<const PrbsRun*>& runs, const EyeConfig& cfg) {
+  GIA_SPAN("signal/eye_measure");
   if (runs.empty()) throw std::invalid_argument("no PRBS runs");
   const double ui = runs[0]->ui_s;
   const double t_start = cfg.skip_bits * ui;
@@ -100,6 +102,7 @@ EyeResult measure_eye_runs(const std::vector<const PrbsRun*>& runs, const EyeCon
     seg_offset[s + 1] = seg_offset[s] + static_cast<std::size_t>(count);
   }
   const std::size_t total_uis = seg_offset.back();
+  core::instrument::counter_add(core::instrument::Counter::EyeUis, total_uis);
 
   auto locate = [&](std::size_t gi) {
     const auto it = std::upper_bound(seg_offset.begin(), seg_offset.end(), gi);

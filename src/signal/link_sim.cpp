@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "circuit/transient.hpp"
+#include "core/instrument.hpp"
 #include "core/parallel.hpp"
 #include "signal/prbs.hpp"
 
@@ -71,6 +72,7 @@ Stimulus bit_stimulus(const LinkSpec& s, const std::vector<int>& bits) {
 }  // namespace
 
 LinkResult simulate_link(const LinkSpec& spec) {
+  GIA_SPAN("signal/link_sim");
   Circuit ckt;
   // Single rising edge, delayed so the line is quiet first.
   const double t0 = 0.1e-9;
@@ -215,7 +217,10 @@ PrbsRun run_prbs(const LinkSpec& spec, int n_bits, unsigned seed) {
 
 std::vector<PrbsRun> run_prbs_segments(const LinkSpec& spec, int n_bits_per_segment,
                                        int n_segments, unsigned base_seed) {
+  GIA_SPAN("signal/prbs_segments");
   if (n_segments < 1) throw std::invalid_argument("need >= 1 segment");
+  core::instrument::counter_add(core::instrument::Counter::PrbsSegments,
+                                static_cast<std::uint64_t>(n_segments));
   std::vector<PrbsRun> out(static_cast<std::size_t>(n_segments));
   core::parallel_for(static_cast<std::size_t>(n_segments), [&](std::size_t s) {
     out[s] = run_prbs(spec, n_bits_per_segment, base_seed + static_cast<unsigned>(s));

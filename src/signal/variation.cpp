@@ -4,12 +4,16 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/instrument.hpp"
 #include "core/parallel.hpp"
 
 namespace gia::signal {
 
 VariationResult monte_carlo_delay(const LinkSpec& nominal, const VariationSpec& var) {
+  GIA_SPAN("signal/variation_mc");
   if (var.samples < 2) throw std::invalid_argument("need >= 2 samples");
+  core::instrument::counter_add(core::instrument::Counter::McTrials,
+                                static_cast<std::uint64_t>(var.samples));
   VariationResult out;
   out.nominal_delay_s = simulate_link(nominal).interconnect_delay_s;
 

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/instrument.hpp"
 #include "core/parallel.hpp"
 
 namespace gia::thermal {
+
+namespace instrument = core::instrument;
 
 namespace {
 
@@ -22,6 +25,7 @@ double series_g(double ka, double kb, double area, double da, double db) {
 }  // namespace
 
 ThermalField solve_steady_state(const ThermalMesh& mesh, const SolverOptions& opts) {
+  GIA_SPAN("thermal/steady_state");
   const int nx = mesh.nx, ny = mesh.ny;
   const int nz = static_cast<int>(mesh.layers.size());
   if (nx < 1 || ny < 1 || nz < 1) throw std::invalid_argument("empty mesh");
@@ -132,11 +136,18 @@ ThermalField solve_steady_state(const ThermalMesh& mesh, const SolverOptions& op
   for (const auto& layer : field.t_c) {
     for (double v : layer.data()) field.max_c = std::max(field.max_c, v);
   }
+  instrument::counter_add(instrument::Counter::SorIterations,
+                          static_cast<std::uint64_t>(field.iterations));
+  if (instrument::enabled()) {
+    instrument::gauge_set("thermal.steady.max_c", field.max_c);
+    instrument::gauge_set("thermal.steady.converged", field.converged ? 1.0 : 0.0);
+  }
   return field;
 }
 
 TransientThermalResult solve_transient(const ThermalMesh& mesh, double t_stop_s,
                                        const ThermalProbe& probe, const SolverOptions& opts) {
+  GIA_SPAN("thermal/transient");
   const int nx = mesh.nx, ny = mesh.ny;
   const int nz = static_cast<int>(mesh.layers.size());
   if (nx < 1 || ny < 1 || nz < 1) throw std::invalid_argument("empty mesh");
@@ -242,6 +253,8 @@ TransientThermalResult solve_transient(const ThermalMesh& mesh, double t_stop_s,
     core::parallel_for(n_rows, step_row);
     std::swap(t, t_next);
   }
+  instrument::counter_add(instrument::Counter::ThermalTransientSteps,
+                          static_cast<std::uint64_t>(n_steps + 1));
 
   out.final_field.nx = nx;
   out.final_field.ny = ny;

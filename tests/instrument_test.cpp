@@ -1,0 +1,176 @@
+/// Tests for the observability layer (core/instrument.{hpp,cpp}): span
+/// nesting and aggregation, cross-pool parent propagation, counter atomicity
+/// under parallel_for, disabled-mode no-op behaviour, and the JSON
+/// round-trip of a RunReport.
+
+#include "core/instrument.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/parallel.hpp"
+#include "core/sweep.hpp"
+
+namespace ins = gia::core::instrument;
+
+namespace {
+
+class InstrumentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ins::set_enabled(true);
+    ins::reset();
+  }
+  void TearDown() override {
+    ins::reset();
+    ins::set_enabled(false);
+    gia::core::set_thread_count(0);
+  }
+};
+
+TEST_F(InstrumentTest, SpanNestingAndAggregation) {
+  for (int i = 0; i < 3; ++i) {
+    GIA_SPAN("outer");
+    { GIA_SPAN("inner"); }
+    { GIA_SPAN("inner"); }
+    { GIA_SPAN("other"); }
+  }
+  const auto rep = ins::RunReport::capture();
+  ASSERT_EQ(rep.root.children.size(), 1u);
+  const auto& outer = rep.root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 3u);
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0].name, "inner");
+  EXPECT_EQ(outer.children[0].count, 6u);
+  EXPECT_EQ(outer.children[1].name, "other");
+  EXPECT_EQ(outer.children[1].count, 3u);
+  EXPECT_LE(outer.children[0].min_ns, outer.children[0].max_ns);
+  EXPECT_GE(outer.children[0].total_ns, outer.children[0].max_ns);
+}
+
+TEST_F(InstrumentTest, SameNameDifferentParentsAreDistinctSpans) {
+  {
+    GIA_SPAN("a");
+    { GIA_SPAN("leaf"); }
+  }
+  {
+    GIA_SPAN("b");
+    { GIA_SPAN("leaf"); }
+    { GIA_SPAN("leaf"); }
+  }
+  const auto rep = ins::RunReport::capture();
+  ASSERT_EQ(rep.root.children.size(), 2u);
+  ASSERT_EQ(rep.root.children[0].children.size(), 1u);
+  EXPECT_EQ(rep.root.children[0].children[0].count, 1u);
+  ASSERT_EQ(rep.root.children[1].children.size(), 1u);
+  EXPECT_EQ(rep.root.children[1].children[0].count, 2u);
+}
+
+TEST_F(InstrumentTest, CountersAreExactUnderParallelFor) {
+  gia::core::set_thread_count(4);
+  constexpr std::size_t kN = 20000;
+  gia::core::parallel_for(kN, [](std::size_t) {
+    ins::counter_add(ins::Counter::McTrials);
+    ins::counter_add(ins::Counter::LuSolves, 3);
+  });
+  EXPECT_EQ(ins::counter_value(ins::Counter::McTrials), kN);
+  EXPECT_EQ(ins::counter_value(ins::Counter::LuSolves), 3 * kN);
+}
+
+TEST_F(InstrumentTest, SpanParentPropagatesAcrossThePool) {
+  gia::core::set_thread_count(4);
+  {
+    GIA_SPAN("outer");
+    gia::core::parallel_for(64, [](std::size_t) { GIA_SPAN("body"); });
+  }
+  const auto rep = ins::RunReport::capture();
+  ASSERT_EQ(rep.root.children.size(), 1u);
+  const auto& outer = rep.root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children[0].name, "body");
+  EXPECT_EQ(outer.children[0].count, 64u);
+}
+
+TEST_F(InstrumentTest, DisabledModeIsANoOp) {
+  ins::set_enabled(false);
+  {
+    GIA_SPAN("invisible");
+    ins::counter_add(ins::Counter::SorIterations, 99);
+    ins::gauge_set("ghost", 1.0);
+  }
+  ins::set_enabled(true);
+  const auto rep = ins::RunReport::capture();
+  EXPECT_TRUE(rep.root.children.empty());
+  EXPECT_EQ(ins::counter_value(ins::Counter::SorIterations), 0u);
+  EXPECT_TRUE(rep.gauges.empty());
+}
+
+TEST_F(InstrumentTest, GaugesOverwriteByName) {
+  ins::gauge_set("x", 1.0);
+  ins::gauge_set("y", 2.0);
+  ins::gauge_set("x", 3.0);
+  const auto rep = ins::RunReport::capture();
+  ASSERT_EQ(rep.gauges.size(), 2u);
+  EXPECT_EQ(rep.gauges[0].first, "x");
+  EXPECT_DOUBLE_EQ(rep.gauges[0].second, 3.0);
+}
+
+TEST_F(InstrumentTest, JsonRoundTrip) {
+  {
+    GIA_SPAN("a");
+    { GIA_SPAN("b"); }
+  }
+  ins::counter_add(ins::Counter::LuSolves, 7);
+  ins::counter_add(ins::Counter::FlowRuns, 1);
+  ins::gauge_set("thermal.max_c", 88.25);
+  ins::gauge_set("weird\"name\\with\nescapes", -1.5e-300);
+  const auto rep = ins::RunReport::capture();
+  const std::string j = rep.to_json();
+  const auto rep2 = ins::RunReport::from_json(j);
+  EXPECT_EQ(rep2.to_json(), j);
+  EXPECT_EQ(rep2.compiler, rep.compiler);
+  EXPECT_EQ(rep2.threads, rep.threads);
+  ASSERT_EQ(rep2.root.children.size(), 1u);
+  EXPECT_EQ(rep2.root.children[0].name, "a");
+  ASSERT_EQ(rep2.root.children[0].children.size(), 1u);
+  EXPECT_EQ(rep2.root.children[0].children[0].name, "b");
+  ASSERT_EQ(rep2.gauges.size(), 2u);
+  EXPECT_EQ(rep2.gauges[1].first, "weird\"name\\with\nescapes");
+  EXPECT_DOUBLE_EQ(rep2.gauges[1].second, -1.5e-300);
+  bool found = false;
+  for (const auto& [name, v] : rep2.counters) {
+    if (name == std::string(ins::counter_name(ins::Counter::LuSolves))) {
+      EXPECT_EQ(v, 7u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InstrumentTest, FromJsonRejectsMalformedInput) {
+  EXPECT_THROW(ins::RunReport::from_json("{\"nope\":1}"), std::runtime_error);
+  EXPECT_THROW(ins::RunReport::from_json("{"), std::runtime_error);
+  EXPECT_THROW(ins::RunReport::from_json("[1,2"), std::runtime_error);
+}
+
+TEST_F(InstrumentTest, InstrumentedSweepRecordsSpanAndCounter) {
+  gia::core::sweep_1d("x", {1.0, 2.0, 3.0}, [](double v) {
+    gia::core::MetricMap m;
+    m.set("y", 2.0 * v);
+    return m;
+  });
+  EXPECT_EQ(ins::counter_value(ins::Counter::SweepPoints), 3u);
+  const auto rep = ins::RunReport::capture();
+  ASSERT_EQ(rep.root.children.size(), 1u);
+  EXPECT_EQ(rep.root.children[0].name, "core/sweep_1d");
+  EXPECT_EQ(rep.root.children[0].count, 1u);
+
+  const std::string text = rep.to_text();
+  EXPECT_NE(text.find("core/sweep_1d"), std::string::npos);
+  EXPECT_NE(text.find("sweep_points = 3"), std::string::npos);
+}
+
+}  // namespace
