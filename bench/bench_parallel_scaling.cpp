@@ -7,6 +7,8 @@
 /// Note: reported speedup is bounded by the machine's core count; on a
 /// single-core runner all configurations legitimately time the same.
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -39,6 +41,11 @@ struct ScalingRow {
   std::vector<double> metrics;
 };
 
+long max_rss_kb() {
+  struct rusage ru;
+  return getrusage(RUSAGE_SELF, &ru) == 0 ? ru.ru_maxrss : 0;
+}
+
 void report(const char* kernel, const std::vector<ScalingRow>& rows) {
   const double base = rows.front().wall_s;
   bool identical = true;
@@ -46,8 +53,9 @@ void report(const char* kernel, const std::vector<ScalingRow>& rows) {
   for (const auto& r : rows) {
     std::printf(
         "{\"bench\":\"bench_parallel_scaling\",\"kernel\":\"%s\",\"threads\":%d,"
-        "\"wall_s\":%.6f,\"speedup\":%.3f,\"identical\":%s}\n",
-        kernel, r.threads, r.wall_s, base / r.wall_s, identical ? "true" : "false");
+        "\"wall_s\":%.6f,\"speedup\":%.3f,\"identical\":%s,\"max_rss_kb\":%ld}\n",
+        kernel, r.threads, r.wall_s, base / r.wall_s, identical ? "true" : "false",
+        max_rss_kb());
   }
 }
 

@@ -1,0 +1,180 @@
+/// bench_serve: load generator for the giad serving layer. Boots an
+/// in-process server on an ephemeral loopback port, then drives three phases
+/// over real TCP connections:
+///
+///   1. cold  -- distinct requests, every one a cache miss (full flow runs)
+///   2. hot   -- the same requests repeated, every one a memory cache hit
+///   3. burst -- N concurrent identical requests on N connections: exactly
+///               one flow run, the other N-1 coalesce onto it
+///
+/// Reports cold/hot p50/p99 latency, the cold/hot speedup (the serving
+/// layer's contract is >= 10x for repeated requests), hot throughput and hit
+/// rate, and the coalescing counters. Exits non-zero when the cache or
+/// coalescing contract is violated, so CI can gate on it.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/daemon.hpp"
+#include "serve/request.hpp"
+
+using namespace gia;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (static_cast<double>(v.size()) - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// One protocol line: a full flow_request (seed varies the content address)
+/// with result:false so response size doesn't dominate the latency numbers.
+std::string flow_line(int seed, bool heavy) {
+  serve::FlowRequest req;
+  req.options.openpiton.seed = seed;
+  req.options.with_thermal = heavy;
+  std::string line = serve::request_to_json(req);
+  line.pop_back();  // strip the closing '}' of the wrapper object
+  line += ",\"result\":false}";
+  return line;
+}
+
+int fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "bench_serve: %s (%s)\n", what, detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  const auto t0 = Clock::now();
+
+  serve::ServerOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.connection_workers = 10;
+  opts.scheduler_workers = 2;
+  opts.cache_capacity = 64;
+  opts.cache_dir = "-";  // memory only: measure the cache, not the disk
+  serve::Server server(opts);
+  std::string err;
+  if (!server.start(&err)) return fail("server start failed", err);
+  const int port = server.port();
+
+  const int kDistinct = 3;
+  const int kHotRounds = 10;
+  const int kBurst = 8;
+
+  serve::Client client;
+  std::string resp;
+  if (!client.connect(port, &err)) return fail("connect failed", err);
+
+  // --- Phase 1: cold misses.
+  std::vector<double> cold_us;
+  for (int i = 0; i < kDistinct; ++i) {
+    const std::string line = flow_line(1000 + i, /*heavy=*/false);
+    const auto t = Clock::now();
+    if (!client.roundtrip(line, &resp, &err)) return fail("cold roundtrip failed", err);
+    cold_us.push_back(us_since(t));
+    if (resp.find("\"cache\":\"miss\"") == std::string::npos)
+      return fail("expected a cold miss", resp);
+  }
+
+  // --- Phase 2: hot hits.
+  std::vector<double> hot_us;
+  const auto hot_t0 = Clock::now();
+  for (int r = 0; r < kHotRounds; ++r) {
+    for (int i = 0; i < kDistinct; ++i) {
+      const std::string line = flow_line(1000 + i, /*heavy=*/false);
+      const auto t = Clock::now();
+      if (!client.roundtrip(line, &resp, &err)) return fail("hot roundtrip failed", err);
+      hot_us.push_back(us_since(t));
+      if (resp.find("\"cache\":\"hit\"") == std::string::npos)
+        return fail("expected a hot hit", resp);
+    }
+  }
+  const double hot_wall_s = us_since(hot_t0) / 1e6;
+
+  // --- Phase 3: coalescing burst. Connect everything first, then fire the
+  // identical (heavy, so the first run is still in flight) request from all
+  // threads at once.
+  const std::string burst_line = flow_line(424242, /*heavy=*/true);
+  std::vector<std::unique_ptr<serve::Client>> burst_clients;
+  for (int i = 0; i < kBurst; ++i) {
+    auto c = std::make_unique<serve::Client>();
+    if (!c->connect(port, &err)) return fail("burst connect failed", err);
+    burst_clients.push_back(std::move(c));
+  }
+  std::atomic<int> burst_failures{0};
+  std::vector<std::thread> burst_threads;
+  burst_threads.reserve(static_cast<std::size_t>(kBurst));
+  for (int i = 0; i < kBurst; ++i) {
+    burst_threads.emplace_back([&, i] {
+      std::string r2, e2;
+      if (!burst_clients[static_cast<std::size_t>(i)]->roundtrip(burst_line, &r2, &e2) ||
+          r2.find("\"ok\":true") == std::string::npos)
+        burst_failures.fetch_add(1);
+    });
+  }
+  for (auto& t : burst_threads) t.join();
+  if (burst_failures.load() != 0) return fail("burst roundtrips failed", "see responses");
+
+  const serve::Server::Stats st = server.stats();
+  server.request_stop();
+  server.wait();
+
+  // --- Contract checks.
+  const double cold_p50 = percentile(cold_us, 0.50);
+  const double hot_p50 = percentile(hot_us, 0.50);
+  const double speedup = hot_p50 > 0 ? cold_p50 / hot_p50 : 0;
+  int rc = 0;
+  if (st.scheduler.executed != static_cast<std::uint64_t>(kDistinct) + 1)
+    rc = fail("burst must run exactly one flow", "executed=" +
+                                                    std::to_string(st.scheduler.executed));
+  if (st.scheduler.coalesced != static_cast<std::uint64_t>(kBurst) - 1)
+    rc = fail("burst of N must coalesce N-1 requests",
+              "coalesced=" + std::to_string(st.scheduler.coalesced));
+  if (st.cache.hits != static_cast<std::uint64_t>(kDistinct) * kHotRounds)
+    rc = fail("every hot request must hit the cache",
+              "hits=" + std::to_string(st.cache.hits));
+  if (speedup < 10.0)
+    rc = fail("cached requests must be >= 10x faster than cold",
+              "speedup=" + std::to_string(speedup));
+
+  std::printf("bench_serve: cold p50 %.1f us, p99 %.1f us over %d requests\n", cold_p50,
+              percentile(cold_us, 0.99), kDistinct);
+  std::printf("bench_serve: hot  p50 %.1f us, p99 %.1f us over %d requests (%.0f req/s)\n",
+              hot_p50, percentile(hot_us, 0.99), kDistinct * kHotRounds,
+              static_cast<double>(hot_us.size()) / hot_wall_s);
+  std::printf("bench_serve: cached speedup %.1fx, burst %d -> %llu run + %llu coalesced\n",
+              speedup, kBurst, static_cast<unsigned long long>(st.scheduler.executed - kDistinct),
+              static_cast<unsigned long long>(st.scheduler.coalesced));
+
+  std::string extra = "\"cold_p50_us\":";
+  extra += std::to_string(cold_p50);
+  extra += ",\"cold_p99_us\":" + std::to_string(percentile(cold_us, 0.99));
+  extra += ",\"hot_p50_us\":" + std::to_string(hot_p50);
+  extra += ",\"hot_p99_us\":" + std::to_string(percentile(hot_us, 0.99));
+  extra += ",\"hot_rps\":" + std::to_string(static_cast<double>(hot_us.size()) / hot_wall_s);
+  extra += ",\"speedup\":" + std::to_string(speedup);
+  extra += ",\"coalesced\":" + std::to_string(st.scheduler.coalesced);
+  extra += ",\"executed\":" + std::to_string(st.scheduler.executed);
+  const std::chrono::duration<double> wall = Clock::now() - t0;
+  gia::bench::print_json_line(argv[0], wall.count(), extra);
+  core::instrument::emit_report();
+  return rc;
+}

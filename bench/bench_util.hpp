@@ -1,6 +1,7 @@
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
@@ -45,20 +46,30 @@ inline const core::TechnologyResult& flow_of(tech::TechnologyKind k, bool eyes =
 
 inline const char* short_name(tech::TechnologyKind k) { return tech::to_string(k); }
 
+/// Peak resident set size of this process so far, in KiB (getrusage; 0 when
+/// unavailable).
+inline long max_rss_kb() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return ru.ru_maxrss;
+}
+
 /// Emit one machine-readable line per bench run (BENCH_*.json-compatible):
-/// binary name, wall-clock seconds, and the parallel layer's thread count.
+/// binary name, wall-clock seconds, the parallel layer's thread count, and
+/// the peak RSS in KiB. `extra` may carry additional `"key":value` fields
+/// (comma-prepended automatically, e.g. bench_serve's latency percentiles).
 /// When `GIA_TRACE` is on, the line additionally embeds the instrumentation
 /// span tree and counters so BENCH_*.json trajectories carry per-stage
-/// breakdowns; with tracing off the line is byte-identical to the
-/// pre-instrumentation format. CI scrapes stdout for lines starting with
-/// {"bench".
-inline void print_json_line(const char* bench_path, double wall_s) {
+/// breakdowns. CI scrapes stdout for lines starting with {"bench".
+inline void print_json_line(const char* bench_path, double wall_s,
+                            const std::string& extra = std::string()) {
   const char* name = bench_path;
   if (const char* slash = std::strrchr(bench_path, '/')) name = slash + 1;
   std::string breakdown;
+  if (!extra.empty()) breakdown += "," + extra;
   if (core::instrument::enabled()) {
     const auto rep = core::instrument::RunReport::capture();
-    breakdown = ",\"spans\":" + core::instrument::span_tree_json(rep.root) + ",\"counters\":{";
+    breakdown += ",\"spans\":" + core::instrument::span_tree_json(rep.root) + ",\"counters\":{";
     bool first = true;
     for (const auto& [cname, v] : rep.counters) {
       if (!first) breakdown += ",";
@@ -67,8 +78,8 @@ inline void print_json_line(const char* bench_path, double wall_s) {
     }
     breakdown += "}";
   }
-  std::printf("{\"bench\":\"%s\",\"wall_s\":%.6f,\"threads\":%d%s}\n", name, wall_s,
-              core::thread_count(), breakdown.c_str());
+  std::printf("{\"bench\":\"%s\",\"wall_s\":%.6f,\"threads\":%d,\"max_rss_kb\":%ld%s}\n", name,
+              wall_s, core::thread_count(), max_rss_kb(), breakdown.c_str());
 }
 
 }  // namespace gia::bench

@@ -1,0 +1,42 @@
+/// giad: the serving daemon, standalone. Listens for NDJSON flow requests on
+/// 127.0.0.1, answers from the content-addressed result cache when it can,
+/// coalesces duplicate in-flight requests, and drains cleanly on
+/// SIGINT/SIGTERM. See src/serve/daemon.hpp for the wire protocol;
+/// `giaflow client/stats/shutdown` are ready-made peers.
+///
+///   giad [--port N] [--workers N] [--conn-workers N]
+///        [--cache-capacity N] [--cache-dir DIR]
+///
+/// --port 0 picks an ephemeral port (printed on stdout at startup).
+/// --cache-dir enables the on-disk store ("-" disables it even when
+/// GIA_CACHE_DIR is set).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/daemon.hpp"
+
+int main(int argc, char** argv) {
+  gia::serve::ServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--port") && i + 1 < argc) {
+      opts.port = std::atoi(argv[++i]);
+    } else if (!std::strcmp(a, "--workers") && i + 1 < argc) {
+      opts.scheduler_workers = std::atoi(argv[++i]);
+    } else if (!std::strcmp(a, "--conn-workers") && i + 1 < argc) {
+      opts.connection_workers = std::atoi(argv[++i]);
+    } else if (!std::strcmp(a, "--cache-capacity") && i + 1 < argc) {
+      opts.cache_capacity = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (!std::strcmp(a, "--cache-dir") && i + 1 < argc) {
+      opts.cache_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: giad [--port N] [--workers N] [--conn-workers N]\n"
+                   "            [--cache-capacity N] [--cache-dir DIR]\n");
+      return 2;
+    }
+  }
+  return gia::serve::run_daemon(opts);
+}

@@ -5,20 +5,36 @@
 ///   giaflow layout <tech> <out.svg>     route and render the interposer
 ///   giaflow eye <tech> <len_um> <gbps>  eye metrics for a channel
 ///   giaflow cost                        cost comparison across all designs
+///   giaflow serve [--port N] [--workers N] [--cache-capacity N]
+///                 [--cache-dir DIR]     run the giad serving daemon
+///   giaflow client <port> <tech>        submit one flow request to a daemon
+///   giaflow stats <port>                print a running daemon's counters
+///   giaflow shutdown <port>             ask a daemon to drain and exit
+///
+/// Global flags (before or after the subcommand):
+///   --threads N   worker threads for the parallel layer (overrides GIA_THREADS)
+///   --trace       enable instrumentation and print a run report on exit
+///                 (equivalent to GIA_TRACE=1)
 ///
 /// Technology names: glass25d glass3d si25d si3d shinko apx
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/flow.hpp"
+#include "core/instrument.hpp"
 #include "core/links.hpp"
+#include "core/parallel.hpp"
 #include "core/svg_export.hpp"
 #include "cost/cost_model.hpp"
 #include "netlist/io.hpp"
 #include "netlist/openpiton.hpp"
 #include "netlist/serdes.hpp"
+#include "serve/daemon.hpp"
+#include "serve/request.hpp"
 #include "signal/eye.hpp"
 #include "tech/library.hpp"
 
@@ -27,39 +43,61 @@ using namespace gia;
 namespace {
 
 bool parse_tech(const char* s, tech::TechnologyKind* out) {
-  const struct { const char* n; tech::TechnologyKind k; } tbl[] = {
-      {"glass25d", tech::TechnologyKind::Glass25D}, {"glass3d", tech::TechnologyKind::Glass3D},
-      {"si25d", tech::TechnologyKind::Silicon25D},  {"si3d", tech::TechnologyKind::Silicon3D},
-      {"shinko", tech::TechnologyKind::Shinko},     {"apx", tech::TechnologyKind::APX}};
-  for (const auto& e : tbl) {
-    if (!std::strcmp(s, e.n)) {
-      *out = e.k;
-      return true;
-    }
-  }
-  return false;
+  return tech::parse_kind(s, out);
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
+               "  giaflow [--threads N] [--trace] <command> ...\n"
                "  giaflow flow <tech>\n"
                "  giaflow netlist <out.gnl>\n"
                "  giaflow layout <tech> <out.svg>\n"
                "  giaflow eye <tech> <len_um> <gbps>\n"
                "  giaflow cost\n"
+               "  giaflow serve [--port N] [--workers N] [--cache-capacity N] "
+               "[--cache-dir DIR]\n"
+               "  giaflow client <port> <tech>\n"
+               "  giaflow stats <port>\n"
+               "  giaflow shutdown <port>\n"
                "tech: glass25d glass3d si25d si3d shinko apx\n");
   return 2;
+}
+
+int client_roundtrip(int port, const std::string& line) {
+  serve::Client client;
+  std::string err, resp;
+  if (!client.connect(port, &err) || !client.roundtrip(line, &resp, &err)) {
+    std::fprintf(stderr, "giaflow: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("%s\n", resp.c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  // Strip the global flags so subcommand parsing below sees only its args.
+  std::vector<char*> args;
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      core::set_thread_count(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace = true;
+      core::instrument::set_enabled(true);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
+  const int n = static_cast<int>(args.size());
   tech::TechnologyKind kind;
+  int rc = -1;
 
-  if (cmd == "flow" && argc == 3 && parse_tech(argv[2], &kind)) {
+  if (cmd == "flow" && n == 2 && parse_tech(args[1], &kind)) {
     core::FlowOptions opts;
     opts.with_eyes = true;
     const auto r = core::run_full_flow(kind, opts);
@@ -69,40 +107,67 @@ int main(int argc, char** argv) {
                 r.interposer.area_mm2(), r.l2m.result.total_delay_s * 1e12,
                 r.l2m.eye->width_s * 1e9, r.pdn_impedance.high_band(),
                 r.ir_drop.max_drop_v * 1e3);
-    return 0;
-  }
-  if (cmd == "netlist" && argc == 3) {
+    rc = 0;
+  } else if (cmd == "netlist" && n == 2) {
     auto net = netlist::build_openpiton();
     const auto rpt = netlist::apply_serdes(net);
-    netlist::write_netlist_file(argv[2], net);
+    netlist::write_netlist_file(args[1], net);
     std::printf("wrote %s: %d instances, %d nets (%d inter-tile wires after SerDes)\n",
-                argv[2], net.instance_count(), net.net_count(), rpt.wires_after);
-    return 0;
-  }
-  if (cmd == "layout" && argc == 4 && parse_tech(argv[2], &kind)) {
+                args[1], net.instance_count(), net.net_count(), rpt.wires_after);
+    rc = 0;
+  } else if (cmd == "layout" && n == 3 && parse_tech(args[1], &kind)) {
     const auto design = interposer::build_interposer_design(kind);
-    core::write_file(argv[3], core::floorplan_svg(design));
-    std::printf("wrote %s (%.2f x %.2f mm, %zu nets)\n", argv[3], design.footprint_w_mm(),
+    core::write_file(args[2], core::floorplan_svg(design));
+    std::printf("wrote %s (%.2f x %.2f mm, %zu nets)\n", args[2], design.footprint_w_mm(),
                 design.footprint_h_mm(), design.routes.nets.size());
-    return 0;
-  }
-  if (cmd == "eye" && argc == 5 && parse_tech(argv[2], &kind)) {
-    auto spec = core::make_fixed_line_spec(tech::make_technology(kind), std::atof(argv[3]));
-    spec.bit_rate_hz = std::atof(argv[4]) * 1e9;
+    rc = 0;
+  } else if (cmd == "eye" && n == 4 && parse_tech(args[1], &kind)) {
+    auto spec = core::make_fixed_line_spec(tech::make_technology(kind), std::atof(args[2]));
+    spec.bit_rate_hz = std::atof(args[3]) * 1e9;
     const auto eye = signal::simulate_eye(spec, 96);
     std::printf("%s %.0f um @ %.2f Gbps: eye %.3f ns x %.3f V (%.0f%% of UI)\n",
-                tech::to_string(kind), std::atof(argv[3]), std::atof(argv[4]),
+                tech::to_string(kind), std::atof(args[2]), std::atof(args[3]),
                 eye.width_s * 1e9, eye.height_v, 100 * eye.width_ratio());
-    return 0;
-  }
-  if (cmd == "cost" && argc == 2) {
+    rc = 0;
+  } else if (cmd == "cost" && n == 1) {
     for (auto k : tech::table_order()) {
       const auto c = cost::system_cost(interposer::build_interposer_design(k));
       std::printf("%-14s $%.3f (chiplets %.3f, substrate %.3f, adders %.3f, assembly %.3f)\n",
                   tech::to_string(k), c.total(), c.chiplets, c.substrate, c.process_adders,
                   c.assembly);
     }
-    return 0;
+    rc = 0;
+  } else if (cmd == "serve") {
+    serve::ServerOptions opts;
+    bool ok = true;
+    for (int i = 1; i < n; ++i) {
+      const std::string a = args[i];
+      if (a == "--port" && i + 1 < n) {
+        opts.port = std::atoi(args[++i]);
+      } else if (a == "--workers" && i + 1 < n) {
+        opts.scheduler_workers = std::atoi(args[++i]);
+      } else if (a == "--cache-capacity" && i + 1 < n) {
+        opts.cache_capacity = static_cast<std::size_t>(std::atol(args[++i]));
+      } else if (a == "--cache-dir" && i + 1 < n) {
+        opts.cache_dir = args[++i];
+      } else {
+        std::fprintf(stderr, "giaflow serve: unknown option %s\n", a.c_str());
+        ok = false;
+      }
+    }
+    rc = ok ? serve::run_daemon(opts) : usage();
+  } else if (cmd == "client" && n == 3 && parse_tech(args[2], &kind)) {
+    serve::FlowRequest req;
+    req.tech = kind;
+    req.options.with_eyes = true;
+    rc = client_roundtrip(std::atoi(args[1]), serve::request_to_json(req));
+  } else if (cmd == "stats" && n == 2) {
+    rc = client_roundtrip(std::atoi(args[1]), "{\"stats\":true}");
+  } else if (cmd == "shutdown" && n == 2) {
+    rc = client_roundtrip(std::atoi(args[1]), "{\"shutdown\":true}");
   }
-  return usage();
+
+  if (rc < 0) return usage();
+  if (trace) core::instrument::emit_report();
+  return rc;
 }

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "core/json.hpp"
 #include "core/parallel.hpp"
 
 namespace gia::core::instrument {
@@ -27,6 +28,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "ac_points",             "mc_trials",
     "prbs_segments",         "eye_uis",
     "sweep_points",          "flow_runs",
+    "serve_requests",        "cache_hits",
+    "cache_misses",          "cache_coalesced",
 };
 
 struct SpanNode {
@@ -244,39 +247,11 @@ RunReport RunReport::capture() {
 
 namespace {
 
-void json_escape(const std::string& s, std::string& out) {
-  out.push_back('"');
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          out += buf;
-        } else {
-          out.push_back(ch);
-        }
-    }
-  }
-  out.push_back('"');
-}
+using json::append_double;
+using json::append_u64;
+using json::escape;
 
-void append_u64(std::uint64_t v, std::string& out) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
-  out += buf;
-}
-
-void append_double(double v, std::string& out) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
-}
+void json_escape(const std::string& s, std::string& out) { escape(s, out); }
 
 void span_json(const SpanSnapshot& s, std::string& out) {
   out += "{\"name\":";
@@ -380,176 +355,11 @@ std::string RunReport::to_text() const {
   return out;
 }
 
-// --- Minimal JSON parser (round-trips exactly what to_json emits) ---------
+// --- JSON parsing (round-trips exactly what to_json emits) ----------------
 
 namespace {
 
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
-  bool b = false;
-  std::string raw;  ///< number token, verbatim
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;
-
-  const JsonValue& at(const std::string& key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) return v;
-    }
-    throw std::runtime_error("run-report JSON: missing key \"" + key + "\"");
-  }
-  std::uint64_t as_u64() const { return std::strtoull(raw.c_str(), nullptr, 10); }
-  double as_double() const { return std::strtod(raw.c_str(), nullptr); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& s) : s_(s) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const char* what) const {
-    throw std::runtime_error(std::string("run-report JSON: ") + what + " at offset " +
-                             std::to_string(pos_));
-  }
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-  }
-  char peek() {
-    skip_ws();
-    if (pos_ >= s_.size()) fail("unexpected end");
-    return s_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail("unexpected character");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::String;
-      v.str = string();
-      return v;
-    }
-    if (c == 't' || c == 'f') return boolean();
-    return number();
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      std::string key = string();
-      expect(':');
-      v.obj.emplace_back(std::move(key), value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}'");
-    }
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.arr.push_back(value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']'");
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) fail("bad escape");
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
-            const std::string hex = s_.substr(pos_, 4);
-            pos_ += 4;
-            out.push_back(static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16)));
-            break;
-          }
-          default: fail("bad escape");
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-    fail("unterminated string");
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Bool;
-    if (s_.compare(pos_, 4, "true") == 0) {
-      v.b = true;
-      pos_ += 4;
-    } else if (s_.compare(pos_, 5, "false") == 0) {
-      v.b = false;
-      pos_ += 5;
-    } else {
-      fail("bad literal");
-    }
-    return v;
-  }
-
-  JsonValue number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
-            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected number");
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    v.raw = s_.substr(start, pos_ - start);
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-SpanSnapshot span_from_json(const JsonValue& v) {
+SpanSnapshot span_from_json(const json::Value& v) {
   SpanSnapshot s;
   s.name = v.at("name").str;
   s.count = v.at("count").as_u64();
@@ -562,9 +372,9 @@ SpanSnapshot span_from_json(const JsonValue& v) {
 
 }  // namespace
 
-RunReport RunReport::from_json(const std::string& json) {
-  const JsonValue top = JsonParser(json).parse();
-  const JsonValue& rr = top.at("run_report");
+RunReport RunReport::from_json(const std::string& text) {
+  const json::Value top = json::parse(text);
+  const json::Value& rr = top.at("run_report");
   RunReport out;
   out.compiler = rr.at("compiler").str;
   out.build_type = rr.at("build_type").str;

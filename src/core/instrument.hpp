@@ -54,6 +54,10 @@ enum class Counter : int {
   EyeUis,                 ///< unit intervals sampled by the eye fold
   SweepPoints,            ///< design points evaluated by sweep_1d
   FlowRuns,               ///< full co-design flow invocations
+  ServeRequests,          ///< flow requests handled by the serving layer
+  CacheHits,              ///< serving-cache lookups answered from memory/disk
+  CacheMisses,            ///< serving-cache lookups that required a flow run
+  CacheCoalesced,         ///< duplicate in-flight requests attached to one run
   kCount
 };
 

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file json.hpp
+/// Minimal dependency-free JSON reader/writer shared by the run-report
+/// layer (core/instrument), the result serialization layer (core/serialize)
+/// and the serving protocol (serve/). The writer helpers emit canonical
+/// single-line JSON: numbers via %.17g (doubles round-trip exactly through
+/// strtod, so serialize -> parse -> re-serialize is byte-identical), object
+/// keys in emission order, no whitespace. The parser keeps number tokens
+/// verbatim so a parsed document can be interrogated as integer or double
+/// without precision loss.
+
+namespace gia::core::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool b = false;
+  std::string raw;  ///< number token, verbatim
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  /// Object member access; throws std::runtime_error when missing.
+  const Value& at(const std::string& key) const;
+  /// Object member lookup; nullptr when missing (optional fields).
+  const Value* find(const std::string& key) const;
+
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  double as_double() const;
+  bool as_bool() const { return b; }
+};
+
+/// Parse a complete JSON document. Throws std::runtime_error (with byte
+/// offset) on malformed input or trailing characters.
+Value parse(const std::string& text);
+
+/// Append `"s"` with standard JSON escaping.
+void escape(const std::string& s, std::string& out);
+
+void append_u64(std::uint64_t v, std::string& out);
+void append_i64(std::int64_t v, std::string& out);
+/// Shortest-exact double formatting (%.17g): strtod(output) == v.
+void append_double(double v, std::string& out);
+void append_bool(bool v, std::string& out);
+
+}  // namespace gia::core::json

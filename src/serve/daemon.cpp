@@ -1,0 +1,615 @@
+#include "serve/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/instrument.hpp"
+#include "core/json.hpp"
+#include "core/serialize.hpp"
+#include "serve/request.hpp"
+
+namespace gia::serve {
+
+namespace json = core::json;
+namespace ins = core::instrument;
+
+namespace {
+
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string errno_str(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions opts;
+
+  int listen_fd = -1;
+  int bound_port = 0;
+  int stop_pipe[2] = {-1, -1};
+  bool started = false;
+
+  std::unique_ptr<ResultCache> cache;
+  std::unique_ptr<JobScheduler> scheduler;
+
+  std::thread accept_thread;
+  std::vector<std::thread> conn_workers;
+
+  std::mutex cmu;
+  std::condition_variable conn_cv;
+  std::deque<int> pending_fds;
+  std::set<int> active_fds;
+  std::atomic<bool> stopping{false};
+
+  std::mutex wait_mu;
+  std::condition_variable wait_cv;
+  bool tearing = false;
+  bool torn_down = false;
+
+  std::atomic<std::uint64_t> n_connections{0}, n_requests{0}, n_flow_requests{0},
+      n_protocol_errors{0};
+  std::chrono::steady_clock::time_point start_time{};
+
+  ~Impl() {
+    if (stop_pipe[0] >= 0) ::close(stop_pipe[0]);
+    if (stop_pipe[1] >= 0) ::close(stop_pipe[1]);
+  }
+
+  void request_stop() {
+    {
+      std::lock_guard<std::mutex> lk(cmu);
+      if (stopping.load(std::memory_order_relaxed)) return;
+      stopping.store(true, std::memory_order_relaxed);
+      // Half-close active connections so blocked reads observe EOF; the
+      // responses for requests already in flight still go out (SHUT_RD only).
+      for (int fd : active_fds) ::shutdown(fd, SHUT_RD);
+    }
+    if (stop_pipe[1] >= 0) {
+      const char b = 1;
+      (void)!::write(stop_pipe[1], &b, 1);
+    }
+    conn_cv.notify_all();
+  }
+
+  void accept_loop() {
+    for (;;) {
+      struct pollfd ps[2] = {{listen_fd, POLLIN, 0}, {stop_pipe[0], POLLIN, 0}};
+      const int pr = ::poll(ps, 2, -1);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (stopping.load(std::memory_order_relaxed)) break;
+      if (!(ps[0].revents & POLLIN)) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      std::unique_lock<std::mutex> lk(cmu);
+      // Bounded hand-off: stall the accept thread (kernel backlog absorbs
+      // the burst) rather than queueing connections without limit.
+      conn_cv.wait(lk, [&] {
+        return stopping.load(std::memory_order_relaxed) ||
+               static_cast<int>(pending_fds.size()) < opts.max_pending_connections;
+      });
+      if (stopping.load(std::memory_order_relaxed)) {
+        lk.unlock();
+        ::close(fd);
+        break;
+      }
+      pending_fds.push_back(fd);
+      lk.unlock();
+      conn_cv.notify_all();
+    }
+  }
+
+  void conn_worker() {
+    for (;;) {
+      int fd = -1;
+      {
+        std::unique_lock<std::mutex> lk(cmu);
+        conn_cv.wait(lk, [&] {
+          return stopping.load(std::memory_order_relaxed) || !pending_fds.empty();
+        });
+        if (pending_fds.empty()) return;  // stopping, nothing left to serve
+        fd = pending_fds.front();
+        pending_fds.pop_front();
+        active_fds.insert(fd);
+      }
+      conn_cv.notify_all();  // space freed for the accept thread
+      handle_connection(fd);
+      {
+        std::lock_guard<std::mutex> lk(cmu);
+        active_fds.erase(fd);
+      }
+      ::close(fd);
+    }
+  }
+
+  void handle_connection(int fd) {
+    n_connections.fetch_add(1, std::memory_order_relaxed);
+    std::string buf;
+    char chunk[65536];
+    bool open = true;
+    while (open) {
+      std::size_t pos;
+      while (open && (pos = buf.find('\n')) != std::string::npos) {
+        std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        std::string resp = handle_line(line);
+        resp.push_back('\n');
+        if (!send_all(fd, resp)) open = false;
+      }
+      if (!open || stopping.load(std::memory_order_relaxed)) break;
+      struct pollfd p = {fd, POLLIN, 0};
+      const int pr = ::poll(&p, 1, 200);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (pr == 0) continue;
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) break;
+      if (buf.size() + static_cast<std::size_t>(n) > kMaxLineBytes) {
+        n_protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        send_all(fd, "{\"ok\":false,\"error\":\"request line too long\"}\n");
+        break;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string error_response(const std::string& id_field, const std::string& msg) {
+    n_protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    std::string out = "{\"ok\":false";
+    out += id_field;
+    out += ",\"error\":";
+    json::escape(msg, out);
+    out.push_back('}');
+    return out;
+  }
+
+  std::string handle_line(const std::string& line) {
+    GIA_SPAN("serve/request");
+    n_requests.fetch_add(1, std::memory_order_relaxed);
+    std::string id_field;
+    try {
+      const json::Value v = json::parse(line);
+      if (v.kind != json::Value::Kind::Object)
+        return error_response(id_field, "request must be a JSON object");
+      if (const json::Value* idv = v.find("id")) {
+        id_field = ",\"id\":";
+        if (idv->kind == json::Value::Kind::Number) {
+          id_field += idv->raw;
+        } else if (idv->kind == json::Value::Kind::String) {
+          json::escape(idv->str, id_field);
+        } else {
+          return error_response(std::string(), "id must be a number or string");
+        }
+      }
+
+      if (const json::Value* frv = v.find("flow_request"))
+        return handle_flow(v, *frv, id_field);
+      if (v.find("stats")) {
+        std::string out = "{\"ok\":true";
+        out += id_field;
+        out += ",\"stats\":";
+        out += stats_body();
+        out.push_back('}');
+        return out;
+      }
+      if (v.find("ping")) return "{\"ok\":true" + id_field + ",\"pong\":true}";
+      if (v.find("shutdown")) {
+        // Reply first; request_stop only flips flags, so the response still
+        // flushes before this connection's read loop observes the drain.
+        request_stop();
+        return "{\"ok\":true" + id_field + ",\"draining\":true}";
+      }
+      return error_response(id_field,
+                            "unknown request (expected flow_request, stats, ping or shutdown)");
+    } catch (const std::exception& e) {
+      return error_response(id_field, e.what());
+    }
+  }
+
+  std::string handle_flow(const json::Value& v, const json::Value& frv,
+                          const std::string& id_field) {
+    static const char* const kAllowed[] = {"flow_request", "id",     "priority",
+                                           "deadline_ms",  "after", "result"};
+    for (const auto& kv : v.obj) {
+      bool known = false;
+      for (const char* k : kAllowed) known = known || kv.first == k;
+      if (!known) return error_response(id_field, "unknown request field: " + kv.first);
+    }
+
+    const FlowRequest req = request_from_value(frv);
+    JobScheduler::SubmitOptions sopts;
+    if (const json::Value* p = v.find("priority"))
+      sopts.priority = static_cast<int>(p->as_i64());
+    if (const json::Value* d = v.find("deadline_ms"))
+      sopts.deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(d->as_u64());
+    if (const json::Value* a = v.find("after")) {
+      if (a->kind != json::Value::Kind::Array)
+        return error_response(id_field, "after must be an array of job ids");
+      for (const auto& e : a->arr) sopts.after.push_back(e.as_u64());
+    }
+    bool include_result = true;
+    if (const json::Value* r = v.find("result")) include_result = r->as_bool();
+
+    n_flow_requests.fetch_add(1, std::memory_order_relaxed);
+    ins::counter_add(ins::Counter::ServeRequests);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const JobTicket ticket = scheduler->submit(req, sopts);
+    const JobTicket::Status status = ticket.wait();
+    const auto latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+    const char* status_str = "failed";
+    switch (status) {
+      case JobTicket::Status::Done: status_str = "done"; break;
+      case JobTicket::Status::Failed: status_str = "failed"; break;
+      case JobTicket::Status::Cancelled: status_str = "cancelled"; break;
+      case JobTicket::Status::Expired: status_str = "expired"; break;
+      default: break;
+    }
+    const bool ok = status == JobTicket::Status::Done;
+
+    std::string out = ok ? "{\"ok\":true" : "{\"ok\":false";
+    out += id_field;
+    out += ",\"status\":\"";
+    out += status_str;
+    out += "\",\"cache\":\"";
+    out += ticket.from_cache() ? "hit" : (ticket.coalesced() ? "coalesced" : "miss");
+    out += "\",\"key\":\"";
+    out += key_hex(ticket.key());
+    out += "\",\"latency_us\":";
+    json::append_u64(static_cast<std::uint64_t>(latency_us), out);
+    if (ok && include_result && ticket.result()) {
+      out += ",\"result\":";
+      out += core::technology_result_to_json(*ticket.result());
+    }
+    if (!ok && !ticket.error().empty()) {
+      out += ",\"error\":";
+      json::escape(ticket.error(), out);
+    }
+    out.push_back('}');
+    return out;
+  }
+
+  std::string stats_body() const {
+    const auto sched = scheduler->counters();
+    const auto cst = cache->stats();
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    std::string out = "{\"connections\":";
+    json::append_u64(n_connections.load(std::memory_order_relaxed), out);
+    out += ",\"requests\":";
+    json::append_u64(n_requests.load(std::memory_order_relaxed), out);
+    out += ",\"flow_requests\":";
+    json::append_u64(n_flow_requests.load(std::memory_order_relaxed), out);
+    out += ",\"protocol_errors\":";
+    json::append_u64(n_protocol_errors.load(std::memory_order_relaxed), out);
+    out += ",\"uptime_s\":";
+    json::append_double(uptime, out);
+    out += ",\"scheduler\":{\"submitted\":";
+    json::append_u64(sched.submitted, out);
+    out += ",\"cache_hits\":";
+    json::append_u64(sched.cache_hits, out);
+    out += ",\"coalesced\":";
+    json::append_u64(sched.coalesced, out);
+    out += ",\"executed\":";
+    json::append_u64(sched.executed, out);
+    out += ",\"failed\":";
+    json::append_u64(sched.failed, out);
+    out += ",\"cancelled\":";
+    json::append_u64(sched.cancelled, out);
+    out += ",\"expired\":";
+    json::append_u64(sched.expired, out);
+    out += "},\"cache\":{\"hits\":";
+    json::append_u64(cst.hits, out);
+    out += ",\"disk_hits\":";
+    json::append_u64(cst.disk_hits, out);
+    out += ",\"misses\":";
+    json::append_u64(cst.misses, out);
+    out += ",\"insertions\":";
+    json::append_u64(cst.insertions, out);
+    out += ",\"evictions\":";
+    json::append_u64(cst.evictions, out);
+    out += ",\"disk_writes\":";
+    json::append_u64(cst.disk_writes, out);
+    out += ",\"entries\":";
+    json::append_u64(cst.entries, out);
+    out += "}}";
+    return out;
+  }
+};
+
+Server::Server(const ServerOptions& opts) : impl_(std::make_unique<Impl>()) {
+  impl_->opts = opts;
+  if (impl_->opts.connection_workers < 1) impl_->opts.connection_workers = 1;
+  if (impl_->opts.scheduler_workers < 1) impl_->opts.scheduler_workers = 1;
+  if (impl_->opts.max_pending_connections < 1) impl_->opts.max_pending_connections = 1;
+}
+
+Server::~Server() {
+  if (impl_->started) {
+    impl_->request_stop();
+    wait();
+  }
+}
+
+bool Server::start(std::string* err) {
+  auto& im = *impl_;
+  if (im.started) {
+    if (err) *err = "server already started";
+    return false;
+  }
+  if (::pipe(im.stop_pipe) != 0) {
+    if (err) *err = errno_str("pipe");
+    return false;
+  }
+  im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (im.listen_fd < 0) {
+    if (err) *err = errno_str("socket");
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(im.opts.port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (err) *err = errno_str("bind");
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+    return false;
+  }
+  if (::listen(im.listen_fd, im.opts.accept_backlog) != 0) {
+    if (err) *err = errno_str("listen");
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+    return false;
+  }
+  socklen_t alen = sizeof addr;
+  if (::getsockname(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), &alen) == 0)
+    im.bound_port = ntohs(addr.sin_port);
+  else
+    im.bound_port = im.opts.port;
+
+  ResultCache::Config ccfg;
+  ccfg.capacity = im.opts.cache_capacity;
+  ccfg.shards = im.opts.cache_shards;
+  ccfg.disk_dir = im.opts.cache_dir;
+  im.cache = std::make_unique<ResultCache>(ccfg);
+  JobScheduler::Options sopts;
+  sopts.workers = im.opts.scheduler_workers;
+  sopts.cache = im.cache.get();
+  im.scheduler = std::make_unique<JobScheduler>(sopts);
+
+  im.start_time = std::chrono::steady_clock::now();
+  im.accept_thread = std::thread([&im] { im.accept_loop(); });
+  im.conn_workers.reserve(static_cast<std::size_t>(im.opts.connection_workers));
+  for (int i = 0; i < im.opts.connection_workers; ++i)
+    im.conn_workers.emplace_back([&im] { im.conn_worker(); });
+  im.started = true;
+  return true;
+}
+
+int Server::port() const { return impl_->bound_port; }
+
+void Server::request_stop() { impl_->request_stop(); }
+
+void Server::wait() {
+  auto& im = *impl_;
+  std::unique_lock<std::mutex> lk(im.wait_mu);
+  if (im.torn_down) return;
+  if (im.tearing) {
+    im.wait_cv.wait(lk, [&] { return im.torn_down; });
+    return;
+  }
+  im.tearing = true;
+  lk.unlock();
+
+  {
+    std::unique_lock<std::mutex> clk(im.cmu);
+    im.conn_cv.wait(clk, [&] { return im.stopping.load(std::memory_order_relaxed); });
+  }
+  if (im.accept_thread.joinable()) im.accept_thread.join();
+  for (auto& t : im.conn_workers)
+    if (t.joinable()) t.join();
+  im.conn_workers.clear();
+  if (im.listen_fd >= 0) {
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+  }
+  if (im.scheduler) im.scheduler->drain();
+
+  lk.lock();
+  im.torn_down = true;
+  im.wait_cv.notify_all();
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections = impl_->n_connections.load(std::memory_order_relaxed);
+  s.requests = impl_->n_requests.load(std::memory_order_relaxed);
+  s.flow_requests = impl_->n_flow_requests.load(std::memory_order_relaxed);
+  s.protocol_errors = impl_->n_protocol_errors.load(std::memory_order_relaxed);
+  if (impl_->scheduler) s.scheduler = impl_->scheduler->counters();
+  if (impl_->cache) s.cache = impl_->cache->stats();
+  s.uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - impl_->start_time)
+          .count();
+  return s;
+}
+
+std::string Server::stats_json() const { return impl_->stats_body(); }
+
+// ---------------------------------------------------------------------------
+// run_daemon
+
+namespace {
+
+int g_sig_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char b = 1;
+  (void)!::write(g_sig_pipe[1], &b, 1);
+}
+
+}  // namespace
+
+int run_daemon(const ServerOptions& opts) {
+  Server server(opts);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "giad: %s\n", err.c_str());
+    return 1;
+  }
+  if (::pipe(g_sig_pipe) != 0) {
+    std::fprintf(stderr, "giad: %s\n", errno_str("pipe").c_str());
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("giad: listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  // The handler only writes a byte; this thread turns it into a drain.
+  std::thread watcher([&server] {
+    char b;
+    while (::read(g_sig_pipe[0], &b, 1) < 0 && errno == EINTR) {
+    }
+    server.request_stop();
+  });
+
+  server.wait();  // drain triggered by a signal or the shutdown verb
+
+  // Unblock the watcher if the stop came over the wire instead of a signal.
+  const char b = 1;
+  (void)!::write(g_sig_pipe[1], &b, 1);
+  watcher.join();
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
+  ::close(g_sig_pipe[0]);
+  ::close(g_sig_pipe[1]);
+  g_sig_pipe[0] = g_sig_pipe[1] = -1;
+
+  const Server::Stats st = server.stats();
+  std::printf(
+      "giad: drained cleanly after %llu requests (%llu flow, %llu hits, %llu coalesced, "
+      "%llu executed)\n",
+      static_cast<unsigned long long>(st.requests),
+      static_cast<unsigned long long>(st.flow_requests),
+      static_cast<unsigned long long>(st.scheduler.cache_hits),
+      static_cast<unsigned long long>(st.scheduler.coalesced),
+      static_cast<unsigned long long>(st.scheduler.executed));
+  std::fflush(stdout);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rxbuf_.clear();
+}
+
+bool Client::connect(int port, std::string* err) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (err) *err = errno_str("socket");
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (err) *err = errno_str("connect");
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::roundtrip(const std::string& line, std::string* response, std::string* err) {
+  if (fd_ < 0) {
+    if (err) *err = "not connected";
+    return false;
+  }
+  std::string out = line;
+  out.push_back('\n');
+  if (!send_all(fd_, out)) {
+    if (err) *err = errno_str("send");
+    return false;
+  }
+  for (;;) {
+    const std::size_t pos = rxbuf_.find('\n');
+    if (pos != std::string::npos) {
+      *response = rxbuf_.substr(0, pos);
+      rxbuf_.erase(0, pos + 1);
+      return true;
+    }
+    char chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (err) *err = n == 0 ? "connection closed" : errno_str("recv");
+      return false;
+    }
+    rxbuf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace gia::serve

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "serve/scheduler.hpp"
+
+/// \file daemon.hpp
+/// `giad`: an NDJSON-over-TCP serving daemon (localhost only). One request
+/// per line, one JSON response line back:
+///
+///   {"flow_request":{"tech":"glass3d","with_eyes":true}, "id":1,
+///    "priority":2, "deadline_ms":5000, "result":false}
+///     -> {"ok":true,"id":1,"status":"done","cache":"hit|miss|coalesced",
+///         "key":"<16 hex>","latency_us":N,"result":{...}}
+///   {"stats":true}    -> {"ok":true,"stats":{...}}
+///   {"ping":true}     -> {"ok":true,"pong":true}
+///   {"shutdown":true} -> {"ok":true,"draining":true}  (then graceful drain)
+///
+/// Architecture: a bounded accept/worker model. One accept thread polls the
+/// listening socket and hands accepted connections to a fixed pool of
+/// connection workers over a bounded queue (backpressure: the accept thread
+/// stalls when the queue is full). Each connection worker serves one
+/// connection at a time, dispatching flow requests into the shared
+/// `JobScheduler` (which coalesces duplicates and consults the
+/// `ResultCache`). Graceful drain on SIGINT/SIGTERM (`run_daemon`) or the
+/// shutdown verb: stop accepting, half-close idle connections, let
+/// in-flight requests finish, drain the scheduler, exit 0.
+
+namespace gia::serve {
+
+struct ServerOptions {
+  int port = 7411;  ///< 0 = ephemeral (query the bound port via `port()`)
+  int connection_workers = 4;
+  int scheduler_workers = 2;
+  std::size_t cache_capacity = 64;
+  int cache_shards = 8;
+  /// Disk store directory; empty = GIA_CACHE_DIR; "-" = memory only.
+  std::string cache_dir;
+  int accept_backlog = 16;
+  /// Accepted connections waiting for a worker before accept stalls.
+  int max_pending_connections = 64;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& opts = ServerOptions());
+  ~Server();  ///< requests stop and joins if still running
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind/listen on 127.0.0.1 and spawn the accept + worker threads.
+  /// Returns false (with `*err` filled) on socket errors.
+  bool start(std::string* err = nullptr);
+
+  /// Bound port (after a successful start).
+  int port() const;
+
+  /// Signal a graceful drain; safe from any thread, idempotent, non-blocking.
+  void request_stop();
+
+  /// Block until a requested stop has fully drained (joins all threads).
+  void wait();
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;       ///< protocol lines handled
+    std::uint64_t flow_requests = 0;  ///< lines carrying a flow_request
+    std::uint64_t protocol_errors = 0;
+    JobScheduler::Counters scheduler;
+    ResultCache::Stats cache;
+    double uptime_s = 0;
+  };
+  Stats stats() const;
+
+  /// JSON body of the stats verb (exposed for tests and the client CLI).
+  std::string stats_json() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Blocking daemon entry point used by the `giad` binary and
+/// `giaflow serve`: starts the server, prints the listening port, installs
+/// SIGINT/SIGTERM handlers, waits for a drain, prints final stats, and
+/// returns the process exit code.
+int run_daemon(const ServerOptions& opts);
+
+/// Minimal blocking NDJSON client for giaflow/bench/CI.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connect(int port, std::string* err = nullptr);
+  /// Send one line (newline appended) and read one response line.
+  bool roundtrip(const std::string& line, std::string* response, std::string* err = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string rxbuf_;
+};
+
+}  // namespace gia::serve

@@ -1,0 +1,301 @@
+#include "serve/request.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace gia::serve {
+
+namespace json = core::json;
+
+namespace {
+
+/// One field enumeration drives all three renderings (canonical text, JSON
+/// emission, JSON parsing), so the canonicalization can never drift from
+/// the wire format: adding a knob to `walk` updates hash, writer and reader
+/// together.
+template <typename V>
+void walk(FlowRequest& r, V& v) {
+  {
+    std::string t = tech::short_name(r.tech);
+    v.token("tech", t, [&r](const std::string& s) {
+      if (!tech::parse_kind(s, &r.tech)) {
+        throw std::runtime_error("flow_request: unknown tech \"" + s + "\"");
+      }
+    });
+  }
+  auto& o = r.options;
+  {
+    std::string m =
+        o.partition_mode == core::PartitionMode::Hierarchical ? "hierarchical" : "flattened";
+    v.token("partition_mode", m, [&o](const std::string& s) {
+      if (s == "hierarchical") {
+        o.partition_mode = core::PartitionMode::Hierarchical;
+      } else if (s == "flattened") {
+        o.partition_mode = core::PartitionMode::Flattened;
+      } else {
+        throw std::runtime_error("flow_request: unknown partition_mode \"" + s + "\"");
+      }
+    });
+  }
+  v.begin("openpiton");
+  v.field("tiles", o.openpiton.tiles);
+  v.field("cluster_cells", o.openpiton.cluster_cells);
+  v.field("seed", o.openpiton.seed);
+  v.field("intra_nets_per_cluster", o.openpiton.intra_nets_per_cluster);
+  v.end();
+
+  v.begin("serdes");
+  v.field("ratio", o.serdes.ratio);
+  v.field("min_bits", o.serdes.min_bits);
+  v.field("cells_per_lane", o.serdes.cells_per_lane);
+  v.field("latency_cycles", o.serdes.latency_cycles);
+  v.end();
+
+  v.begin("fm");
+  v.field("balance_tolerance", o.fm.balance_tolerance);
+  v.field("target_memory_fraction", o.fm.target_memory_fraction);
+  v.field("max_passes", o.fm.max_passes);
+  v.field("seed", o.fm.seed);
+  v.end();
+
+  v.begin("pnr");
+  v.field("target_freq_hz", o.pnr.target_freq_hz);
+  v.field("logic_depth", o.pnr.logic_depth);
+  v.field("memory_depth", o.pnr.memory_depth);
+  v.field("aib_area_per_lane_um2", o.pnr.aib_area_per_lane_um2);
+  v.field("aib_duty", o.pnr.aib_duty);
+  v.field("tsv_stack_wl_factor", o.pnr.tsv_stack_wl_factor);
+  v.begin("placer");
+  v.field("packing_util", o.pnr.placer.packing_util);
+  v.field("moves_per_cluster", o.pnr.placer.moves_per_cluster);
+  v.field("t_start_frac", o.pnr.placer.t_start_frac);
+  v.field("cooling", o.pnr.placer.cooling);
+  v.field("seed", o.pnr.placer.seed);
+  v.end();
+  v.begin("congestion");
+  v.field("tracks_per_um_per_layer", o.pnr.congestion.tracks_per_um_per_layer);
+  v.field("signal_layers", o.pnr.congestion.signal_layers);
+  v.field("usable_fraction", o.pnr.congestion.usable_fraction);
+  v.field("detour_slope", o.pnr.congestion.detour_slope);
+  v.end();
+  v.begin("timing");
+  v.field("stage_drive_ohm", o.pnr.timing.stage_drive_ohm);
+  v.field("crit_net_scale", o.pnr.timing.crit_net_scale);
+  v.field("fanout", o.pnr.timing.fanout);
+  v.end();
+  v.end();
+
+  v.begin("router");
+  v.field("grid_nx", o.router.grid_nx);
+  v.field("grid_ny", o.router.grid_ny);
+  v.field("usable_track_fraction", o.router.usable_track_fraction);
+  v.field("die_capacity_factor", o.router.die_capacity_factor);
+  v.field("congestion_weight", o.router.congestion_weight);
+  v.field("via_cost_um", o.router.via_cost_um);
+  v.field("wrong_way_penalty", o.router.wrong_way_penalty);
+  v.field("overflow_penalty", o.router.overflow_penalty);
+  v.field("reroute_passes", o.router.reroute_passes);
+  v.end();
+
+  v.begin("thermal_mesh");
+  v.field("nx", o.thermal_mesh.nx);
+  v.field("ny", o.thermal_mesh.ny);
+  v.field("logic_power_w", o.thermal_mesh.logic_power_w);
+  v.field("memory_power_w", o.thermal_mesh.memory_power_w);
+  v.field("interposer_power_w", o.thermal_mesh.interposer_power_w);
+  v.field("board_margin_frac", o.thermal_mesh.board_margin_frac);
+  v.field("thermal_via_fraction", o.thermal_mesh.thermal_via_fraction);
+  v.field("board_thickness_um", o.thermal_mesh.board_thickness_um);
+  v.field("board_k", o.thermal_mesh.board_k);
+  v.field("power_seed", o.thermal_mesh.power_seed);
+  v.end();
+
+  v.field("with_eyes", o.with_eyes);
+  v.field("with_thermal", o.with_thermal);
+  v.field("eye_bits", o.eye_bits);
+  v.field("rollup_activity_scale", o.rollup_activity_scale);
+}
+
+/// "section.subsection.key=value" lines in walk order.
+struct CanonicalWriter {
+  std::string out;
+  std::string prefix;
+
+  void begin(const char* name) { prefix += std::string(name) + "."; }
+  void end() {
+    prefix.erase(prefix.rfind('.', prefix.size() - 2) + 1);
+  }
+  void line(const char* name, const std::string& value) {
+    out += prefix;
+    out += name;
+    out.push_back('=');
+    out += value;
+    out.push_back('\n');
+  }
+  void token(const char* name, std::string& cur, const std::function<void(const std::string&)>&) {
+    line(name, cur);
+  }
+  void field(const char* name, int& x) { line(name, std::to_string(x)); }
+  void field(const char* name, unsigned& x) { line(name, std::to_string(x)); }
+  void field(const char* name, bool& x) { line(name, x ? "1" : "0"); }
+  void field(const char* name, double& x) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", x);
+    line(name, buf);
+  }
+};
+
+struct JsonWriter {
+  std::string out;
+
+  void sep() {
+    if (out.back() != '{') out.push_back(',');
+  }
+  void k(const char* name) {
+    sep();
+    json::escape(name, out);
+    out.push_back(':');
+  }
+  void begin(const char* name) {
+    k(name);
+    out.push_back('{');
+  }
+  void end() { out.push_back('}'); }
+  void token(const char* name, std::string& cur, const std::function<void(const std::string&)>&) {
+    k(name);
+    json::escape(cur, out);
+  }
+  void field(const char* name, int& x) {
+    k(name);
+    json::append_i64(x, out);
+  }
+  void field(const char* name, unsigned& x) {
+    k(name);
+    json::append_u64(x, out);
+  }
+  void field(const char* name, bool& x) {
+    k(name);
+    json::append_bool(x, out);
+  }
+  void field(const char* name, double& x) {
+    k(name);
+    json::append_double(x, out);
+  }
+};
+
+/// Structure-directed reader: absent objects/fields keep defaults, present
+/// ones must consume every key they carry (typos fail loudly instead of
+/// silently hashing as a default request).
+struct JsonReader {
+  struct Frame {
+    const json::Value* obj = nullptr;  ///< null: section absent, all defaults
+    std::vector<std::string> consumed;
+  };
+  std::vector<Frame> stack;
+
+  explicit JsonReader(const json::Value& root) { stack.push_back({&root, {}}); }
+
+  const json::Value* get(const char* name) {
+    Frame& f = stack.back();
+    if (f.obj == nullptr) return nullptr;
+    const json::Value* v = f.obj->find(name);
+    if (v != nullptr) f.consumed.emplace_back(name);
+    return v;
+  }
+  void begin(const char* name) {
+    const json::Value* v = get(name);
+    if (v != nullptr && v->kind != json::Value::Kind::Object) {
+      throw std::runtime_error(std::string("flow_request: \"") + name + "\" must be an object");
+    }
+    stack.push_back({v, {}});
+  }
+  void end() {
+    check_consumed();
+    stack.pop_back();
+  }
+  void check_consumed() {
+    const Frame& f = stack.back();
+    if (f.obj == nullptr) return;
+    for (const auto& [k, v] : f.obj->obj) {
+      bool found = false;
+      for (const auto& c : f.consumed) {
+        if (c == k) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) throw std::runtime_error("flow_request: unknown key \"" + k + "\"");
+    }
+  }
+  void token(const char* name, std::string&, const std::function<void(const std::string&)>& set) {
+    if (const json::Value* v = get(name)) set(v->str);
+  }
+  void field(const char* name, int& x) {
+    if (const json::Value* v = get(name)) x = static_cast<int>(v->as_i64());
+  }
+  void field(const char* name, unsigned& x) {
+    if (const json::Value* v = get(name)) x = static_cast<unsigned>(v->as_u64());
+  }
+  void field(const char* name, bool& x) {
+    if (const json::Value* v = get(name)) x = v->as_bool();
+  }
+  void field(const char* name, double& x) {
+    if (const json::Value* v = get(name)) x = v->as_double();
+  }
+};
+
+}  // namespace
+
+std::string canonical_text(const FlowRequest& req) {
+  FlowRequest copy = req;
+  CanonicalWriter w;
+  walk(copy, w);
+  return w.out;
+}
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t request_key(const FlowRequest& req) { return fnv1a64(canonical_text(req)); }
+
+std::string key_hex(std::uint64_t key) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(key));
+  return buf;
+}
+
+std::string request_to_json(const FlowRequest& req) {
+  FlowRequest copy = req;
+  JsonWriter w;
+  w.out = "{\"flow_request\":{";
+  walk(copy, w);
+  w.out += "}}";
+  return w.out;
+}
+
+FlowRequest request_from_value(const json::Value& v) {
+  const json::Value* inner = v.find("flow_request");
+  const json::Value& obj = inner != nullptr ? *inner : v;
+  if (obj.kind != json::Value::Kind::Object) {
+    throw std::runtime_error("flow_request: expected an object");
+  }
+  FlowRequest req;
+  JsonReader r(obj);
+  walk(req, r);
+  r.check_consumed();
+  return req;
+}
+
+FlowRequest request_from_json(const std::string& text) {
+  return request_from_value(json::parse(text));
+}
+
+}  // namespace gia::serve

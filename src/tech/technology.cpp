@@ -15,4 +15,31 @@ const char* to_string(TechnologyKind k) {
   return "unknown";
 }
 
+const char* short_name(TechnologyKind k) {
+  switch (k) {
+    case TechnologyKind::Glass25D: return "glass25d";
+    case TechnologyKind::Glass3D: return "glass3d";
+    case TechnologyKind::Silicon25D: return "si25d";
+    case TechnologyKind::Silicon3D: return "si3d";
+    case TechnologyKind::Shinko: return "shinko";
+    case TechnologyKind::APX: return "apx";
+    case TechnologyKind::Monolithic2D: return "mono2d";
+  }
+  return "unknown";
+}
+
+bool parse_kind(const std::string& name, TechnologyKind* out) {
+  constexpr TechnologyKind kAll[] = {
+      TechnologyKind::Glass25D, TechnologyKind::Glass3D,  TechnologyKind::Silicon25D,
+      TechnologyKind::Silicon3D, TechnologyKind::Shinko,  TechnologyKind::APX,
+      TechnologyKind::Monolithic2D};
+  for (const TechnologyKind k : kAll) {
+    if (name == short_name(k) || name == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace gia::tech

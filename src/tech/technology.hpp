@@ -25,6 +25,15 @@ enum class TechnologyKind {
 
 const char* to_string(TechnologyKind k);
 
+/// Stable lowercase CLI/wire token for a kind ("glass25d", "glass3d",
+/// "si25d", "si3d", "shinko", "apx", "mono2d") -- used by giaflow arguments,
+/// serving-layer request JSON and cache canonicalization.
+const char* short_name(TechnologyKind k);
+
+/// Parse either a short name or a display name ("Glass 3D"). Returns false
+/// (and leaves `out` untouched) when the string names no technology.
+bool parse_kind(const std::string& name, TechnologyKind* out);
+
 /// How chiplets are physically integrated.
 enum class IntegrationStyle {
   SideBySide,   ///< 2.5D: lateral RDL connections only

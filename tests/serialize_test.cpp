@@ -1,0 +1,103 @@
+// Tests for core/serialize: JSON round-trip of TechnologyResult and
+// HeadlineMetrics. The contract under test is the serving layer's storage
+// format: serialize -> parse -> re-serialize must be byte-identical, and
+// every summary field must survive exactly.
+
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/flow.hpp"
+#include "core/headline.hpp"
+#include "tech/library.hpp"
+
+namespace gia {
+namespace {
+
+core::TechnologyResult run_once(tech::TechnologyKind k, bool eyes, bool thermal) {
+  core::FlowOptions opts;
+  opts.with_eyes = eyes;
+  opts.with_thermal = thermal;
+  return core::run_full_flow(k, opts);
+}
+
+TEST(SerializeTest, RoundTripIsByteIdenticalWithEyesAndThermal) {
+  const auto r = run_once(tech::TechnologyKind::Glass3D, true, true);
+  const std::string first = core::technology_result_to_json(r);
+  const auto parsed = core::technology_result_from_json(first);
+  const std::string second = core::technology_result_to_json(parsed);
+  EXPECT_EQ(first, second);
+  ASSERT_TRUE(parsed.thermal.has_value());
+  ASSERT_TRUE(parsed.l2m.eye.has_value());
+}
+
+TEST(SerializeTest, RoundTripIsByteIdenticalWithoutOptionalAnalyses) {
+  const auto r = run_once(tech::TechnologyKind::Shinko, false, false);
+  const std::string first = core::technology_result_to_json(r);
+  const auto parsed = core::technology_result_from_json(first);
+  EXPECT_EQ(first, core::technology_result_to_json(parsed));
+  EXPECT_FALSE(parsed.thermal.has_value());
+  EXPECT_FALSE(parsed.l2m.eye.has_value());
+}
+
+TEST(SerializeTest, RestoresSummaryFieldsExactly) {
+  const auto r = run_once(tech::TechnologyKind::Glass25D, true, false);
+  const auto p = core::technology_result_from_json(core::technology_result_to_json(r));
+
+  EXPECT_EQ(p.technology.kind, r.technology.kind);
+  EXPECT_EQ(p.technology.name, r.technology.name);
+  EXPECT_EQ(p.serdes.wires_after, r.serdes.wires_after);
+  EXPECT_EQ(p.partition.cut_wires, r.partition.cut_wires);
+  EXPECT_DOUBLE_EQ(p.partition.memory_fraction, r.partition.memory_fraction);
+  EXPECT_DOUBLE_EQ(p.interposer.area_mm2(), r.interposer.area_mm2());
+  EXPECT_DOUBLE_EQ(p.logic.power.total_w, r.logic.power.total_w);
+  EXPECT_DOUBLE_EQ(p.memory.power.total_w, r.memory.power.total_w);
+  EXPECT_DOUBLE_EQ(p.l2m.result.total_delay_s, r.l2m.result.total_delay_s);
+  ASSERT_TRUE(p.l2m.eye.has_value());
+  EXPECT_DOUBLE_EQ(p.l2m.eye->width_s, r.l2m.eye->width_s);
+  EXPECT_DOUBLE_EQ(p.ir_drop.max_drop_v, r.ir_drop.max_drop_v);
+  ASSERT_EQ(p.pdn_impedance.freq_hz.size(), r.pdn_impedance.freq_hz.size());
+  EXPECT_DOUBLE_EQ(p.pdn_impedance.high_band(), r.pdn_impedance.high_band());
+  EXPECT_DOUBLE_EQ(p.total_power_w, r.total_power_w);
+  EXPECT_DOUBLE_EQ(p.system_fmax_hz, r.system_fmax_hz);
+  EXPECT_EQ(p.link_timing_met, r.link_timing_met);
+}
+
+TEST(SerializeTest, RejectsMalformedInput) {
+  EXPECT_THROW(core::technology_result_from_json(""), std::runtime_error);
+  EXPECT_THROW(core::technology_result_from_json("{"), std::runtime_error);
+  EXPECT_THROW(core::technology_result_from_json("not json at all"), std::runtime_error);
+  EXPECT_THROW(core::technology_result_from_json("{\"wrong_wrapper\":{}}"),
+               std::runtime_error);
+  EXPECT_THROW(core::technology_result_from_json("{\"technology_result\":{}}"),
+               std::runtime_error);
+  // Truncation anywhere inside a real document must throw, never crash.
+  const auto r = run_once(tech::TechnologyKind::APX, false, false);
+  const std::string full = core::technology_result_to_json(r);
+  EXPECT_THROW(core::technology_result_from_json(full.substr(0, full.size() / 2)),
+               std::runtime_error);
+}
+
+TEST(SerializeTest, HeadlineMetricsRoundTrip) {
+  core::HeadlineMetrics h;
+  h.area_reduction_x = 2.6;
+  h.wirelength_reduction_x = 21.0;
+  h.power_reduction_pct = 17.72;
+  h.si_improvement_pct = 64.7;
+  h.pi_improvement_x = 10.0;
+  h.thermal_increase_pct = 35.0 / 3.0;  // non-representable: exercises %.17g
+  const std::string text = core::headline_metrics_to_json(h);
+  const auto p = core::headline_metrics_from_json(text);
+  EXPECT_DOUBLE_EQ(p.area_reduction_x, h.area_reduction_x);
+  EXPECT_DOUBLE_EQ(p.wirelength_reduction_x, h.wirelength_reduction_x);
+  EXPECT_DOUBLE_EQ(p.power_reduction_pct, h.power_reduction_pct);
+  EXPECT_DOUBLE_EQ(p.si_improvement_pct, h.si_improvement_pct);
+  EXPECT_DOUBLE_EQ(p.pi_improvement_x, h.pi_improvement_x);
+  EXPECT_DOUBLE_EQ(p.thermal_increase_pct, h.thermal_increase_pct);
+  EXPECT_EQ(text, core::headline_metrics_to_json(p));
+}
+
+}  // namespace
+}  // namespace gia
