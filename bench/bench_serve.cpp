@@ -173,6 +173,12 @@ int main(int argc, char** argv) {
   extra += ",\"speedup\":" + std::to_string(speedup);
   extra += ",\"coalesced\":" + std::to_string(st.scheduler.coalesced);
   extra += ",\"executed\":" + std::to_string(st.scheduler.executed);
+  // Robustness counters: a clean load run must close no connection by
+  // deadline and lose no cache write; nonzero values here flag an
+  // environment problem (or leaked GIA_FAULTS) skewing the latency numbers.
+  extra += ",\"timeouts\":" + std::to_string(st.timeouts);
+  extra += ",\"protocol_errors\":" + std::to_string(st.protocol_errors);
+  extra += ",\"disk_errors\":" + std::to_string(st.cache.disk_errors);
   const std::chrono::duration<double> wall = Clock::now() - t0;
   gia::bench::print_json_line(argv[0], wall.count(), extra);
   core::instrument::emit_report();

@@ -6,10 +6,18 @@
 ///
 ///   giad [--port N] [--workers N] [--conn-workers N]
 ///        [--cache-capacity N] [--cache-dir DIR]
+///        [--idle-timeout-ms N] [--io-timeout-ms N] [--max-conn-ms N]
+///        [--max-line-bytes N]
 ///
-/// --port 0 picks an ephemeral port (printed on stdout at startup).
+/// --port 0 picks an ephemeral port (printed on stdout at startup and
+/// reported as "port" in the stats verb).
 /// --cache-dir enables the on-disk store ("-" disables it even when
 /// GIA_CACHE_DIR is set).
+/// The timeout/limit knobs bound untrusted clients: idle connections are
+/// closed, a blocked socket op cannot pin a worker, and oversized or
+/// too-deeply-nested request lines are rejected with a structured error.
+/// Set GIA_FAULTS (see src/serve/faultinject.hpp) for deterministic fault
+/// injection when torture-testing.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,10 +39,20 @@ int main(int argc, char** argv) {
       opts.cache_capacity = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (!std::strcmp(a, "--cache-dir") && i + 1 < argc) {
       opts.cache_dir = argv[++i];
+    } else if (!std::strcmp(a, "--idle-timeout-ms") && i + 1 < argc) {
+      opts.idle_timeout_ms = std::atoi(argv[++i]);
+    } else if (!std::strcmp(a, "--io-timeout-ms") && i + 1 < argc) {
+      opts.io_timeout_ms = std::atoi(argv[++i]);
+    } else if (!std::strcmp(a, "--max-conn-ms") && i + 1 < argc) {
+      opts.max_connection_ms = std::atoi(argv[++i]);
+    } else if (!std::strcmp(a, "--max-line-bytes") && i + 1 < argc) {
+      opts.max_line_bytes = static_cast<std::size_t>(std::atol(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: giad [--port N] [--workers N] [--conn-workers N]\n"
-                   "            [--cache-capacity N] [--cache-dir DIR]\n");
+                   "            [--cache-capacity N] [--cache-dir DIR]\n"
+                   "            [--idle-timeout-ms N] [--io-timeout-ms N]\n"
+                   "            [--max-conn-ms N] [--max-line-bytes N]\n");
       return 2;
     }
   }

@@ -6,8 +6,10 @@
 ///   giaflow eye <tech> <len_um> <gbps>  eye metrics for a channel
 ///   giaflow cost                        cost comparison across all designs
 ///   giaflow serve [--port N] [--workers N] [--cache-capacity N]
-///                 [--cache-dir DIR]     run the giad serving daemon
+///                 [--cache-dir DIR] [--idle-timeout-ms N] [--io-timeout-ms N]
+///                 [--max-line-bytes N]  run the giad serving daemon
 ///   giaflow client <port> <tech>        submit one flow request to a daemon
+///                                       (retries with jittered backoff)
 ///   giaflow stats <port>                print a running daemon's counters
 ///   giaflow shutdown <port>             ask a daemon to drain and exit
 ///
@@ -57,6 +59,8 @@ int usage() {
                "  giaflow cost\n"
                "  giaflow serve [--port N] [--workers N] [--cache-capacity N] "
                "[--cache-dir DIR]\n"
+               "                [--idle-timeout-ms N] [--io-timeout-ms N] "
+               "[--max-line-bytes N]\n"
                "  giaflow client <port> <tech>\n"
                "  giaflow stats <port>\n"
                "  giaflow shutdown <port>\n"
@@ -66,9 +70,11 @@ int usage() {
 
 int client_roundtrip(int port, const std::string& line) {
   serve::Client client;
+  serve::Client::RetryPolicy retry;  // defaults: 4 attempts, jittered backoff
   std::string err, resp;
-  if (!client.connect(port, &err) || !client.roundtrip(line, &resp, &err)) {
-    std::fprintf(stderr, "giaflow: %s\n", err.c_str());
+  int attempts = 0;
+  if (!client.request_with_retry(port, line, retry, &resp, &err, &attempts)) {
+    std::fprintf(stderr, "giaflow: %s (after %d attempts)\n", err.c_str(), attempts);
     return 1;
   }
   std::printf("%s\n", resp.c_str());
@@ -150,6 +156,12 @@ int main(int argc, char** argv) {
         opts.cache_capacity = static_cast<std::size_t>(std::atol(args[++i]));
       } else if (a == "--cache-dir" && i + 1 < n) {
         opts.cache_dir = args[++i];
+      } else if (a == "--idle-timeout-ms" && i + 1 < n) {
+        opts.idle_timeout_ms = std::atoi(args[++i]);
+      } else if (a == "--io-timeout-ms" && i + 1 < n) {
+        opts.io_timeout_ms = std::atoi(args[++i]);
+      } else if (a == "--max-line-bytes" && i + 1 < n) {
+        opts.max_line_bytes = static_cast<std::size_t>(std::atol(args[++i]));
       } else {
         std::fprintf(stderr, "giaflow serve: unknown option %s\n", a.c_str());
         ok = false;

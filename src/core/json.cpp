@@ -30,9 +30,10 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& s) : s_(s) {}
+  Parser(const std::string& s, const ParseLimits& limits) : s_(s), limits_(limits) {}
 
   Value parse() {
+    if (limits_.max_bytes != 0 && s_.size() > limits_.max_bytes) fail("document too large");
     Value v = value();
     skip_ws();
     if (pos_ != s_.size()) fail("trailing characters");
@@ -44,6 +45,10 @@ class Parser {
     throw std::runtime_error(std::string("JSON: ") + what + " at offset " +
                              std::to_string(pos_));
   }
+  void enter() {
+    if (++depth_ > limits_.max_depth) fail("nesting too deep");
+  }
+  void leave() { --depth_; }
   void skip_ws() {
     while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
   }
@@ -78,10 +83,12 @@ class Parser {
 
   Value object() {
     expect('{');
+    enter();
     Value v;
     v.kind = Value::Kind::Object;
     if (peek() == '}') {
       ++pos_;
+      leave();
       return v;
     }
     for (;;) {
@@ -90,24 +97,32 @@ class Parser {
       v.obj.emplace_back(std::move(key), value());
       const char c = peek();
       ++pos_;
-      if (c == '}') return v;
+      if (c == '}') {
+        leave();
+        return v;
+      }
       if (c != ',') fail("expected ',' or '}'");
     }
   }
 
   Value array() {
     expect('[');
+    enter();
     Value v;
     v.kind = Value::Kind::Array;
     if (peek() == ']') {
       ++pos_;
+      leave();
       return v;
     }
     for (;;) {
       v.arr.push_back(value());
       const char c = peek();
       ++pos_;
-      if (c == ']') return v;
+      if (c == ']') {
+        leave();
+        return v;
+      }
       if (c != ',') fail("expected ',' or ']'");
     }
   }
@@ -161,15 +176,34 @@ class Parser {
     return v;
   }
 
+  bool digit_at(std::size_t p) const {
+    return p < s_.size() && std::isdigit(static_cast<unsigned char>(s_[p]));
+  }
+
+  /// Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  /// Malformed literals (`1e`, `-`, `.5`, `01`) fail at the offending byte.
   Value number() {
     skip_ws();
     const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
-            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (!digit_at(pos_)) fail("expected digit in number");
+    if (s_[pos_] == '0') {
       ++pos_;
+      if (digit_at(pos_)) fail("leading zero in number");
+    } else {
+      while (digit_at(pos_)) ++pos_;
     }
-    if (pos_ == start) fail("expected number");
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (!digit_at(pos_)) fail("expected digit after '.'");
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digit_at(pos_)) fail("expected digit in exponent");
+      while (digit_at(pos_)) ++pos_;
+    }
     Value v;
     v.kind = Value::Kind::Number;
     v.raw = s_.substr(start, pos_ - start);
@@ -177,12 +211,18 @@ class Parser {
   }
 
   const std::string& s_;
+  const ParseLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
-Value parse(const std::string& text) { return Parser(text).parse(); }
+Value parse(const std::string& text) { return Parser(text, ParseLimits()).parse(); }
+
+Value parse(const std::string& text, const ParseLimits& limits) {
+  return Parser(text, limits).parse();
+}
 
 void escape(const std::string& s, std::string& out) {
   out.push_back('"');

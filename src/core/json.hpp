@@ -36,9 +36,23 @@ struct Value {
   bool as_bool() const { return b; }
 };
 
+/// Bounds applied while parsing untrusted input. The defaults accept every
+/// document this library emits; the serving layer tightens them per request.
+struct ParseLimits {
+  /// Maximum container nesting. Recursion is one frame per level, so this
+  /// also bounds parser stack use (a `[[[[...` bomb fails at this depth
+  /// with a parse error instead of overflowing the stack).
+  std::size_t max_depth = 128;
+  /// Maximum document size in bytes (0 = unlimited).
+  std::size_t max_bytes = 64u << 20;
+};
+
 /// Parse a complete JSON document. Throws std::runtime_error (with byte
-/// offset) on malformed input or trailing characters.
+/// offset) on malformed input, trailing characters, or a violated limit.
+/// Number tokens must match the strict JSON grammar: `1e`, `-`, `.5` and
+/// `01` are rejected with the offset of the offending byte.
 Value parse(const std::string& text);
+Value parse(const std::string& text, const ParseLimits& limits);
 
 /// Append `"s"` with standard JSON escaping.
 void escape(const std::string& s, std::string& out);

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <list>
@@ -11,8 +12,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/instrument.hpp"
 #include "core/serialize.hpp"
+#include "serve/faultinject.hpp"
 #include "serve/request.hpp"
 
 namespace gia::serve {
@@ -33,7 +37,7 @@ struct ResultCache::Impl {
   std::string dir;  ///< empty = disk disabled
 
   std::atomic<std::uint64_t> hits{0}, disk_hits{0}, misses{0}, insertions{0}, evictions{0},
-      disk_writes{0};
+      disk_writes{0}, disk_errors{0};
 
   Shard& shard_of(std::uint64_t key) {
     // Mix the key before selecting so low-entropy FNV outputs still spread.
@@ -102,8 +106,11 @@ ResultCache::ResultPtr ResultCache::get(std::uint64_t key) {
         ins::counter_add(ins::Counter::CacheHits);
         return result;
       } catch (const std::exception& e) {
+        // Corrupt disk entries degrade to a miss (the flow re-runs and
+        // overwrites the entry); they never fail the request.
         std::fprintf(stderr, "serve cache: discarding corrupt entry %s (%s)\n",
                      impl_->path_of(key).c_str(), e.what());
+        impl_->disk_errors.fetch_add(1, std::memory_order_relaxed);
         std::error_code ec;
         fs::remove(impl_->path_of(key), ec);
       }
@@ -136,21 +143,44 @@ void ResultCache::insert(std::uint64_t key, ResultPtr result, bool write_disk) {
   }
 
   if (write_disk && !impl_->dir.empty()) {
+    // Unique tmp name (pid + atomic counter): concurrent writers of the same
+    // key can no longer rename each other's partial file. Any failure leaves
+    // the memory entry authoritative and removes the tmp file -- the disk
+    // store degrades, the request is never affected.
+    static std::atomic<std::uint64_t> tmp_counter{0};
     const std::string path = impl_->path_of(key);
-    const std::string tmp = path + ".tmp";
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (out) {
-      const std::string body = core::technology_result_to_json(*result);
-      out.write(body.data(), static_cast<std::streamsize>(body.size()));
-      out.close();
-      std::error_code ec;
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                            std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));
+    if (const int fault_errno = fault::cache_write_error()) {
+      std::fprintf(stderr, "serve cache: injected write failure for %s (%s)\n", path.c_str(),
+                   std::strerror(fault_errno));
+      impl_->disk_errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    bool written = false;
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (out) {
+        const std::string body = core::technology_result_to_json(*result);
+        out.write(body.data(), static_cast<std::streamsize>(body.size()));
+        out.flush();
+        written = out.good();
+      }
+    }
+    std::error_code ec;
+    if (written) {
       fs::rename(tmp, path, ec);
       if (!ec) {
         impl_->disk_writes.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        fs::remove(tmp, ec);
+        return;
       }
+      std::fprintf(stderr, "serve cache: cannot publish %s (%s), serving from memory\n",
+                   path.c_str(), ec.message().c_str());
+    } else {
+      std::fprintf(stderr, "serve cache: cannot write %s, serving from memory\n", tmp.c_str());
     }
+    impl_->disk_errors.fetch_add(1, std::memory_order_relaxed);
+    fs::remove(tmp, ec);
   }
 }
 
@@ -173,6 +203,7 @@ ResultCache::Stats ResultCache::stats() const {
   s.insertions = impl_->insertions.load(std::memory_order_relaxed);
   s.evictions = impl_->evictions.load(std::memory_order_relaxed);
   s.disk_writes = impl_->disk_writes.load(std::memory_order_relaxed);
+  s.disk_errors = impl_->disk_errors.load(std::memory_order_relaxed);
   std::size_t entries = 0;
   for (auto& sh : impl_->shards) {
     std::lock_guard<std::mutex> lk(sh->mu);

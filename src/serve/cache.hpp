@@ -42,6 +42,9 @@ class ResultCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     std::uint64_t disk_writes = 0;
+    /// Failed disk writes plus corrupt entries discarded on read. The cache
+    /// degrades to memory-only for the affected key; requests never fail.
+    std::uint64_t disk_errors = 0;
     std::size_t entries = 0;  ///< current in-memory entry count
   };
 

@@ -1,12 +1,15 @@
 #include "serve/daemon.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -23,6 +26,7 @@
 #include "core/instrument.hpp"
 #include "core/json.hpp"
 #include "core/serialize.hpp"
+#include "serve/faultinject.hpp"
 #include "serve/request.hpp"
 
 namespace gia::serve {
@@ -32,12 +36,15 @@ namespace ins = core::instrument;
 
 namespace {
 
-constexpr std::size_t kMaxLineBytes = 1 << 20;
+using Clock = std::chrono::steady_clock;
 
+/// Send the whole buffer. With SO_SNDTIMEO set, a peer that stops reading
+/// makes send() fail with EAGAIN after the timeout -- reported as false with
+/// errno preserved so the caller can count it as a write deadline.
 bool send_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    const ssize_t n = fault::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -49,6 +56,22 @@ bool send_all(int fd, const std::string& data) {
 
 std::string errno_str(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_io_timeouts(int fd, int io_timeout_ms) {
+  if (io_timeout_ms <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = io_timeout_ms / 1000;
+  tv.tv_usec = (io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -79,7 +102,7 @@ struct Server::Impl {
   bool torn_down = false;
 
   std::atomic<std::uint64_t> n_connections{0}, n_requests{0}, n_flow_requests{0},
-      n_protocol_errors{0};
+      n_protocol_errors{0}, n_timeouts{0}, n_oversize{0};
   std::chrono::steady_clock::time_point start_time{};
 
   ~Impl() {
@@ -156,11 +179,24 @@ struct Server::Impl {
     }
   }
 
+  /// Best-effort final error line before a deadline close; counted as a
+  /// timeout, not a protocol error (the bytes on the wire were fine).
+  void timeout_close(int fd, const char* what) {
+    n_timeouts.fetch_add(1, std::memory_order_relaxed);
+    std::string resp = "{\"ok\":false,\"error\":";
+    json::escape(what, resp);
+    resp += "}\n";
+    send_all(fd, resp);
+  }
+
   void handle_connection(int fd) {
     n_connections.fetch_add(1, std::memory_order_relaxed);
+    set_io_timeouts(fd, opts.io_timeout_ms);
     std::string buf;
     char chunk[65536];
     bool open = true;
+    const auto conn_start = Clock::now();
+    auto last_activity = conn_start;
     while (open) {
       std::size_t pos;
       while (open && (pos = buf.find('\n')) != std::string::npos) {
@@ -170,24 +206,65 @@ struct Server::Impl {
         if (line.empty()) continue;
         std::string resp = handle_line(line);
         resp.push_back('\n');
-        if (!send_all(fd, resp)) open = false;
+        if (!send_all(fd, resp)) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK)
+            n_timeouts.fetch_add(1, std::memory_order_relaxed);  // write deadline
+          open = false;
+        }
+        last_activity = Clock::now();
       }
       if (!open || stopping.load(std::memory_order_relaxed)) break;
+
+      // Deadline bookkeeping: poll no longer blocks past the idle deadline
+      // or the connection's wall-clock budget, so a slow-loris client (bytes
+      // trickling in, never a full line) cannot pin this worker.
+      int timeout_ms = 200;
+      const auto now = Clock::now();
+      if (opts.idle_timeout_ms > 0) {
+        const auto idle_left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   last_activity + std::chrono::milliseconds(opts.idle_timeout_ms) -
+                                   now)
+                                   .count();
+        if (idle_left <= 0) {
+          timeout_close(fd, "idle timeout");
+          break;
+        }
+        if (idle_left < timeout_ms) timeout_ms = static_cast<int>(idle_left);
+      }
+      if (opts.max_connection_ms > 0) {
+        const auto conn_left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   conn_start + std::chrono::milliseconds(opts.max_connection_ms) -
+                                   now)
+                                   .count();
+        if (conn_left <= 0) {
+          timeout_close(fd, "connection budget exhausted");
+          break;
+        }
+        if (conn_left < timeout_ms) timeout_ms = static_cast<int>(conn_left);
+      }
+
       struct pollfd p = {fd, POLLIN, 0};
-      const int pr = ::poll(&p, 1, 200);
+      const int pr = ::poll(&p, 1, timeout_ms);
       if (pr < 0) {
         if (errno == EINTR) continue;
         break;
       }
-      if (pr == 0) continue;
-      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (pr == 0) continue;  // deadlines re-checked at the top of the loop
+      const ssize_t n = fault::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        timeout_close(fd, "read timeout");
+        break;
+      }
       if (n <= 0) break;
-      if (buf.size() + static_cast<std::size_t>(n) > kMaxLineBytes) {
+      if (buf.size() + static_cast<std::size_t>(n) > opts.max_line_bytes) {
         n_protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        n_oversize.fetch_add(1, std::memory_order_relaxed);
         send_all(fd, "{\"ok\":false,\"error\":\"request line too long\"}\n");
         break;
       }
       buf.append(chunk, static_cast<std::size_t>(n));
+      last_activity = Clock::now();
     }
   }
 
@@ -206,7 +283,10 @@ struct Server::Impl {
     n_requests.fetch_add(1, std::memory_order_relaxed);
     std::string id_field;
     try {
-      const json::Value v = json::parse(line);
+      json::ParseLimits limits;
+      limits.max_depth = opts.max_json_depth;
+      limits.max_bytes = opts.max_line_bytes;
+      const json::Value v = json::parse(line, limits);
       if (v.kind != json::Value::Kind::Object)
         return error_response(id_field, "request must be a JSON object");
       if (const json::Value* idv = v.find("id")) {
@@ -256,18 +336,32 @@ struct Server::Impl {
 
     const FlowRequest req = request_from_value(frv);
     JobScheduler::SubmitOptions sopts;
-    if (const json::Value* p = v.find("priority"))
+    if (const json::Value* p = v.find("priority")) {
+      if (p->kind != json::Value::Kind::Number)
+        return error_response(id_field, "priority must be a number");
       sopts.priority = static_cast<int>(p->as_i64());
-    if (const json::Value* d = v.find("deadline_ms"))
+    }
+    if (const json::Value* d = v.find("deadline_ms")) {
+      if (d->kind != json::Value::Kind::Number || d->raw[0] == '-')
+        return error_response(id_field, "deadline_ms must be a non-negative number");
       sopts.deadline =
           std::chrono::steady_clock::now() + std::chrono::milliseconds(d->as_u64());
+    }
     if (const json::Value* a = v.find("after")) {
       if (a->kind != json::Value::Kind::Array)
         return error_response(id_field, "after must be an array of job ids");
-      for (const auto& e : a->arr) sopts.after.push_back(e.as_u64());
+      for (const auto& e : a->arr) {
+        if (e.kind != json::Value::Kind::Number || e.raw[0] == '-')
+          return error_response(id_field, "after entries must be non-negative job ids");
+        sopts.after.push_back(e.as_u64());
+      }
     }
     bool include_result = true;
-    if (const json::Value* r = v.find("result")) include_result = r->as_bool();
+    if (const json::Value* r = v.find("result")) {
+      if (r->kind != json::Value::Kind::Bool)
+        return error_response(id_field, "result must be a boolean");
+      include_result = r->as_bool();
+    }
 
     n_flow_requests.fetch_add(1, std::memory_order_relaxed);
     ins::counter_add(ins::Counter::ServeRequests);
@@ -316,7 +410,9 @@ struct Server::Impl {
     const auto cst = cache->stats();
     const double uptime =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
-    std::string out = "{\"connections\":";
+    std::string out = "{\"port\":";
+    json::append_i64(bound_port, out);
+    out += ",\"connections\":";
     json::append_u64(n_connections.load(std::memory_order_relaxed), out);
     out += ",\"requests\":";
     json::append_u64(n_requests.load(std::memory_order_relaxed), out);
@@ -324,6 +420,10 @@ struct Server::Impl {
     json::append_u64(n_flow_requests.load(std::memory_order_relaxed), out);
     out += ",\"protocol_errors\":";
     json::append_u64(n_protocol_errors.load(std::memory_order_relaxed), out);
+    out += ",\"timeouts\":";
+    json::append_u64(n_timeouts.load(std::memory_order_relaxed), out);
+    out += ",\"oversize_rejections\":";
+    json::append_u64(n_oversize.load(std::memory_order_relaxed), out);
     out += ",\"uptime_s\":";
     json::append_double(uptime, out);
     out += ",\"scheduler\":{\"submitted\":";
@@ -352,9 +452,16 @@ struct Server::Impl {
     json::append_u64(cst.evictions, out);
     out += ",\"disk_writes\":";
     json::append_u64(cst.disk_writes, out);
+    out += ",\"disk_errors\":";
+    json::append_u64(cst.disk_errors, out);
     out += ",\"entries\":";
     json::append_u64(cst.entries, out);
-    out += "}}";
+    out.push_back('}');
+    if (fault::enabled()) {
+      out += ",\"faults\":";
+      out += fault::counters_json();
+    }
+    out.push_back('}');
     return out;
   }
 };
@@ -364,6 +471,8 @@ Server::Server(const ServerOptions& opts) : impl_(std::make_unique<Impl>()) {
   if (impl_->opts.connection_workers < 1) impl_->opts.connection_workers = 1;
   if (impl_->opts.scheduler_workers < 1) impl_->opts.scheduler_workers = 1;
   if (impl_->opts.max_pending_connections < 1) impl_->opts.max_pending_connections = 1;
+  if (impl_->opts.max_line_bytes < 1024) impl_->opts.max_line_bytes = 1024;
+  if (impl_->opts.max_json_depth < 8) impl_->opts.max_json_depth = 8;
 }
 
 Server::~Server() {
@@ -468,10 +577,13 @@ void Server::wait() {
 
 Server::Stats Server::stats() const {
   Stats s;
+  s.port = impl_->bound_port;
   s.connections = impl_->n_connections.load(std::memory_order_relaxed);
   s.requests = impl_->n_requests.load(std::memory_order_relaxed);
   s.flow_requests = impl_->n_flow_requests.load(std::memory_order_relaxed);
   s.protocol_errors = impl_->n_protocol_errors.load(std::memory_order_relaxed);
+  s.timeouts = impl_->n_timeouts.load(std::memory_order_relaxed);
+  s.oversize_rejections = impl_->n_oversize.load(std::memory_order_relaxed);
   if (impl_->scheduler) s.scheduler = impl_->scheduler->counters();
   if (impl_->cache) s.cache = impl_->cache->stats();
   s.uptime_s =
@@ -575,11 +687,42 @@ bool Client::connect(int port, std::string* err) {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+
+  if (opts_.connect_timeout_ms > 0) {
+    // Non-blocking connect bounded by poll: a black-holed SYN fails with
+    // "connect timeout" instead of hanging for the kernel's default.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    const int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    if (rc != 0 && errno != EINPROGRESS) {
+      if (err) *err = errno_str("connect");
+      close();
+      return false;
+    }
+    if (rc != 0) {
+      struct pollfd p = {fd_, POLLOUT, 0};
+      int pr;
+      while ((pr = ::poll(&p, 1, opts_.connect_timeout_ms)) < 0 && errno == EINTR) {
+      }
+      int so_err = 0;
+      socklen_t so_len = sizeof so_err;
+      if (pr > 0) ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_err, &so_len);
+      if (pr <= 0 || so_err != 0) {
+        if (err) {
+          errno = so_err;
+          *err = pr <= 0 ? "connect timeout" : errno_str("connect");
+        }
+        close();
+        return false;
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     if (err) *err = errno_str("connect");
     close();
     return false;
   }
+  set_io_timeouts(fd_, opts_.io_timeout_ms);
   return true;
 }
 
@@ -591,7 +734,8 @@ bool Client::roundtrip(const std::string& line, std::string* response, std::stri
   std::string out = line;
   out.push_back('\n');
   if (!send_all(fd_, out)) {
-    if (err) *err = errno_str("send");
+    if (err)
+      *err = (errno == EAGAIN || errno == EWOULDBLOCK) ? "send timeout" : errno_str("send");
     return false;
   }
   for (;;) {
@@ -601,15 +745,68 @@ bool Client::roundtrip(const std::string& line, std::string* response, std::stri
       rxbuf_.erase(0, pos + 1);
       return true;
     }
+    if (rxbuf_.size() > opts_.max_response_bytes) {
+      if (err) *err = "response line too long";
+      close();  // the stream is mid-line; it cannot be resynchronised
+      return false;
+    }
     char chunk[65536];
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    const ssize_t n = fault::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (err) *err = "recv timeout";
+      return false;
+    }
     if (n <= 0) {
       if (err) *err = n == 0 ? "connection closed" : errno_str("recv");
       return false;
     }
     rxbuf_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+bool Client::request_with_retry(int port, const std::string& line, const RetryPolicy& policy,
+                                std::string* response, std::string* err, int* attempts_out) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  const auto t0 = Clock::now();
+  const auto deadline =
+      policy.overall_deadline_ms > 0
+          ? t0 + std::chrono::milliseconds(policy.overall_deadline_ms)
+          : Clock::time_point::max();
+  double backoff_ms = std::max(1, policy.initial_backoff_ms);
+  std::string last_err = "no attempts made";
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempts_out) *attempts_out = attempt;
+    bool ok = connected() || connect(port, &last_err);
+    if (ok) {
+      ok = roundtrip(line, response, &last_err);
+      // A failed roundtrip leaves the stream in an unknown state (half-sent
+      // request, partial response); reset so the retry starts clean.
+      if (!ok) close();
+    }
+    if (ok) return true;
+    if (attempt == max_attempts) break;
+    if (Clock::now() >= deadline) {
+      last_err += " (retry deadline exceeded)";
+      break;
+    }
+    // Jittered exponential backoff: a deterministic 50-100% of the nominal
+    // backoff, so synchronized failing clients fan out instead of thundering.
+    const std::uint64_t roll =
+        splitmix64(policy.jitter_seed ^ (static_cast<std::uint64_t>(attempt) << 32));
+    const auto nominal = static_cast<std::int64_t>(backoff_ms);
+    std::int64_t sleep_ms = nominal / 2 + static_cast<std::int64_t>(
+                                              roll % static_cast<std::uint64_t>(nominal / 2 + 1));
+    const auto budget_left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+    if (sleep_ms > budget_left) sleep_ms = budget_left;
+    if (sleep_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min(backoff_ms * std::max(1.0, policy.backoff_multiplier),
+                          static_cast<double>(std::max(policy.max_backoff_ms, 1)));
+  }
+  if (err) *err = last_err;
+  return false;
 }
 
 }  // namespace gia::serve

@@ -42,6 +42,24 @@ struct ServerOptions {
   int accept_backlog = 16;
   /// Accepted connections waiting for a worker before accept stalls.
   int max_pending_connections = 64;
+
+  // --- Robustness limits. Every untrusted input is bounded; violations get
+  // a structured {"ok":false,"error":...} line and show up in stats.
+  /// Per-request line cap; also the cap on buffered in-flight bytes per
+  /// connection. Oversized requests are rejected and the connection closed.
+  std::size_t max_line_bytes = 1 << 20;
+  /// JSON nesting cap applied to request lines (a `[[[[...` bomb is a parse
+  /// error, not a stack overflow).
+  std::size_t max_json_depth = 64;
+  /// Close a connection that produces no complete request for this long
+  /// (slow-loris defence). 0 = no idle limit.
+  int idle_timeout_ms = 30000;
+  /// SO_RCVTIMEO / SO_SNDTIMEO on every connection socket: one blocked
+  /// socket op (e.g. a client that stops reading its response) cannot pin a
+  /// worker longer than this. 0 = no per-op limit.
+  int io_timeout_ms = 10000;
+  /// Wall-clock budget for one connection, counting from accept. 0 = none.
+  int max_connection_ms = 0;
 };
 
 class Server {
@@ -65,10 +83,17 @@ class Server {
   void wait();
 
   struct Stats {
+    int port = 0;  ///< kernel-assigned listen port (== port())
     std::uint64_t connections = 0;
     std::uint64_t requests = 0;       ///< protocol lines handled
     std::uint64_t flow_requests = 0;  ///< lines carrying a flow_request
     std::uint64_t protocol_errors = 0;
+    /// Connections closed by a deadline: idle, per-op read/write, or the
+    /// wall-clock connection budget.
+    std::uint64_t timeouts = 0;
+    /// Requests rejected for exceeding max_line_bytes (also counted in
+    /// protocol_errors).
+    std::uint64_t oversize_rejections = 0;
     JobScheduler::Counters scheduler;
     ResultCache::Stats cache;
     double uptime_s = 0;
@@ -89,10 +114,35 @@ class Server {
 /// returns the process exit code.
 int run_daemon(const ServerOptions& opts);
 
-/// Minimal blocking NDJSON client for giaflow/bench/CI.
+/// Minimal blocking NDJSON client for giaflow/bench/CI. Every socket op is
+/// bounded (connect timeout, per-op SO_RCVTIMEO/SO_SNDTIMEO, response-size
+/// cap), and `request_with_retry` layers a jittered-exponential-backoff
+/// retry policy with an overall deadline on top -- flow requests are
+/// content-addressed, so retrying one is idempotent.
 class Client {
  public:
+  struct Options {
+    int connect_timeout_ms = 5000;  ///< 0 = blocking connect
+    int io_timeout_ms = 30000;      ///< per send/recv; 0 = unbounded
+    /// Abort (with an error) when a response line exceeds this many bytes.
+    std::size_t max_response_bytes = 64u << 20;
+  };
+
+  struct RetryPolicy {
+    int max_attempts = 4;
+    int initial_backoff_ms = 10;
+    double backoff_multiplier = 2.0;
+    int max_backoff_ms = 1000;
+    /// Overall wall-clock budget across connects, roundtrips and sleeps;
+    /// 0 = attempts alone bound the retry loop.
+    int overall_deadline_ms = 30000;
+    /// Seed for the deterministic backoff jitter (50-100% of the nominal
+    /// backoff each attempt).
+    std::uint64_t jitter_seed = 1;
+  };
+
   Client() = default;
+  explicit Client(const Options& opts) : opts_(opts) {}
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -100,10 +150,17 @@ class Client {
   bool connect(int port, std::string* err = nullptr);
   /// Send one line (newline appended) and read one response line.
   bool roundtrip(const std::string& line, std::string* response, std::string* err = nullptr);
+  /// Connect (or reconnect) and roundtrip, retrying per `policy`. On failure
+  /// the stream is reset so the next attempt starts on a fresh connection.
+  /// `attempts_out` (optional) reports the number of attempts made.
+  bool request_with_retry(int port, const std::string& line, const RetryPolicy& policy,
+                          std::string* response, std::string* err = nullptr,
+                          int* attempts_out = nullptr);
   void close();
   bool connected() const { return fd_ >= 0; }
 
  private:
+  Options opts_;
   int fd_ = -1;
   std::string rxbuf_;
 };

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "core/instrument.hpp"
+#include "serve/faultinject.hpp"
 
 namespace gia::serve {
 
@@ -190,6 +191,8 @@ struct JobScheduler::Impl {
       }
       ++active;
       lk.unlock();
+
+      fault::maybe_stall();  // injected worker stall (GIA_FAULTS sched_stall)
 
       ResultCache::ResultPtr result;
       std::string error;

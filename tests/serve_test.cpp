@@ -423,6 +423,9 @@ TEST(ServeDaemonTest, LoopbackProtocolSmoke) {
   EXPECT_NE(resp.find("\"cache\":\"hit\""), std::string::npos);
 
   ASSERT_TRUE(client.roundtrip("{\"stats\":true}", &resp, &err)) << err;
+  // The stats verb reports the kernel-assigned port so port-0 deployments
+  // (tests, CI) can discover where the daemon actually listens.
+  EXPECT_NE(resp.find("\"port\":" + std::to_string(server.port())), std::string::npos);
   EXPECT_NE(resp.find("\"flow_requests\":2"), std::string::npos);
   EXPECT_NE(resp.find("\"executed\":1"), std::string::npos);
   EXPECT_NE(resp.find("\"cache_hits\":1"), std::string::npos);
