@@ -179,6 +179,15 @@ int main(int argc, char** argv) {
   extra += ",\"timeouts\":" + std::to_string(st.timeouts);
   extra += ",\"protocol_errors\":" + std::to_string(st.protocol_errors);
   extra += ",\"disk_errors\":" + std::to_string(st.cache.disk_errors);
+  // Stage-level accounting: scheduler flow runs go through the stage DAG,
+  // so traffic that shares upstream artifacts shows up as stage cache hits
+  // even when the result cache missed. This workload varies openpiton.seed
+  // (which invalidates every stage), so hits stay near zero here -- the
+  // fields exist so production-shaped traffic can be diagnosed from the
+  // bench/stats JSON; bench_stage_cache asserts the reuse contract itself.
+  extra += ",\"stage_hits\":" + std::to_string(st.scheduler.stage_hits);
+  extra += ",\"stage_misses\":" + std::to_string(st.scheduler.stage_misses);
+  extra += ",\"stage_cache\":" + core::stage::stage_cache_stats_json();
   const std::chrono::duration<double> wall = Clock::now() - t0;
   gia::bench::print_json_line(argv[0], wall.count(), extra);
   core::instrument::emit_report();

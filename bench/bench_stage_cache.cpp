@@ -1,0 +1,170 @@
+/// bench_stage_cache: incremental re-evaluation contract of the stage DAG
+/// (core/stagegraph.hpp). Two sweeps over the Glass 2.5D flow:
+///
+///   1. downstream -- vary `eye_bits` (declared only by the `eyes` stage).
+///      Cold pass runs with the stage cache disabled (every stage body runs
+///      every point); warm pass primes the cache once and then re-runs the
+///      sweep, so each point recomputes exactly the eye stage and serves the
+///      other seven stages from the cache. Contract: warm must be >= 5x
+///      faster than cold, and every warm point must record 7 stage hits and
+///      1 miss.
+///
+///   2. upstream -- vary `fm.seed` under flattened partitioning (declared by
+///      the root `netlist_partition` stage). Every stage transitively
+///      depends on the partition, so the cache cannot help: warm ~ cold.
+///      This is the contrast case proving invalidation cascades; no speedup
+///      is asserted.
+///
+/// Emits cold/warm wall times, the measured speedups, per-sweep stage
+/// hit/miss counts and the global stage-cache stats in the standard bench
+/// JSON line. Exits non-zero when the downstream contract is violated, so
+/// CI can gate on it.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/stagegraph.hpp"
+
+using namespace gia;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr tech::TechnologyKind kTech = tech::TechnologyKind::Glass25D;
+
+core::FlowOptions base_options() {
+  core::FlowOptions opts;
+  opts.with_eyes = true;  // the downstream knob under sweep must be live
+  return opts;
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct SweepResult {
+  double wall_s = 0;
+  std::uint64_t stage_hits = 0;
+  std::uint64_t stage_misses = 0;
+  bool per_point_reuse_ok = true;  ///< every point: 1 miss, rest hits
+};
+
+/// Run `run(i, opts)`-mutated flows for i in [0, n) and accumulate the
+/// per-stage cache outcomes.
+template <typename Mutate>
+SweepResult run_sweep(int n, const Mutate& mutate, std::uint64_t expect_misses_per_point) {
+  SweepResult r;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < n; ++i) {
+    core::FlowOptions opts = base_options();
+    mutate(i, opts);
+    core::stage::StageRunRecord rec;
+    (void)core::stage::execute_flow(kTech, opts, &rec);
+    r.stage_hits += rec.hits();
+    r.stage_misses += rec.misses();
+    if (expect_misses_per_point != 0 && rec.misses() != expect_misses_per_point) {
+      r.per_point_reuse_ok = false;
+    }
+  }
+  r.wall_s = seconds_since(t0);
+  return r;
+}
+
+int fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "bench_stage_cache: %s (%s)\n", what, detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  const auto t0 = Clock::now();
+
+  const int kPoints = 4;
+  // Downstream sweep: eye_bits values disjoint from the priming run's, so
+  // every warm point recomputes the eye stage (1 miss) against fully cached
+  // upstream artifacts (7 hits).
+  const auto downstream = [](int i, core::FlowOptions& o) { o.eye_bits = 24 + 8 * i; };
+  // Upstream sweep: flattened partitioning reads fm.seed, and the partition
+  // is the DAG root, so every point invalidates all eight stages.
+  const auto upstream = [](int i, core::FlowOptions& o) {
+    o.partition_mode = core::PartitionMode::Flattened;
+    o.fm.seed = 101 + i;
+  };
+
+  // --- Downstream knob sweep.
+  core::stage::set_stage_cache_enabled(false);
+  core::stage::stage_cache_clear();
+  const SweepResult down_cold = run_sweep(kPoints, downstream, 0);
+
+  core::stage::set_stage_cache_enabled(true);
+  core::stage::stage_cache_clear();
+  {  // Prime with an eye_bits value outside the sweep.
+    core::FlowOptions opts = base_options();
+    opts.eye_bits = 16;
+    (void)core::stage::execute_flow(kTech, opts);
+  }
+  const SweepResult down_warm = run_sweep(kPoints, downstream, /*expect_misses_per_point=*/1);
+
+  // --- Upstream knob sweep (contrast case: invalidation cascades).
+  core::stage::set_stage_cache_enabled(false);
+  core::stage::stage_cache_clear();
+  const SweepResult up_cold = run_sweep(kPoints, upstream, 0);
+
+  core::stage::set_stage_cache_enabled(true);
+  core::stage::stage_cache_clear();
+  const SweepResult up_warm = run_sweep(kPoints, upstream, 0);
+
+  const double down_speedup =
+      down_warm.wall_s > 0 ? down_cold.wall_s / down_warm.wall_s : 0;
+  const double up_speedup = up_warm.wall_s > 0 ? up_cold.wall_s / up_warm.wall_s : 0;
+
+  // --- Contract checks.
+  int rc = 0;
+  if (down_speedup < 5.0) {
+    rc = fail("downstream sweep must be >= 5x faster warm than cold",
+              "speedup=" + std::to_string(down_speedup));
+  }
+  if (!down_warm.per_point_reuse_ok ||
+      down_warm.stage_hits != static_cast<std::uint64_t>(kPoints) * 7 ||
+      down_warm.stage_misses != static_cast<std::uint64_t>(kPoints)) {
+    rc = fail("warm downstream points must reuse all 7 upstream stages",
+              "hits=" + std::to_string(down_warm.stage_hits) +
+                  " misses=" + std::to_string(down_warm.stage_misses));
+  }
+  if (down_cold.stage_hits != 0 || up_cold.stage_hits != 0) {
+    rc = fail("disabled cache must record no stage hits",
+              "down=" + std::to_string(down_cold.stage_hits) +
+                  " up=" + std::to_string(up_cold.stage_hits));
+  }
+
+  std::printf("bench_stage_cache: downstream (eye_bits) cold %.3fs warm %.3fs -> %.1fx "
+              "(%llu hits / %llu misses warm)\n",
+              down_cold.wall_s, down_warm.wall_s, down_speedup,
+              static_cast<unsigned long long>(down_warm.stage_hits),
+              static_cast<unsigned long long>(down_warm.stage_misses));
+  std::printf("bench_stage_cache: upstream (fm.seed) cold %.3fs warm %.3fs -> %.1fx "
+              "(%llu hits / %llu misses warm)\n",
+              up_cold.wall_s, up_warm.wall_s, up_speedup,
+              static_cast<unsigned long long>(up_warm.stage_hits),
+              static_cast<unsigned long long>(up_warm.stage_misses));
+
+  std::string extra = "\"points\":" + std::to_string(kPoints);
+  extra += ",\"downstream_cold_s\":" + std::to_string(down_cold.wall_s);
+  extra += ",\"downstream_warm_s\":" + std::to_string(down_warm.wall_s);
+  extra += ",\"downstream_speedup\":" + std::to_string(down_speedup);
+  extra += ",\"downstream_warm_stage_hits\":" + std::to_string(down_warm.stage_hits);
+  extra += ",\"downstream_warm_stage_misses\":" + std::to_string(down_warm.stage_misses);
+  extra += ",\"upstream_cold_s\":" + std::to_string(up_cold.wall_s);
+  extra += ",\"upstream_warm_s\":" + std::to_string(up_warm.wall_s);
+  extra += ",\"upstream_speedup\":" + std::to_string(up_speedup);
+  extra += ",\"upstream_warm_stage_hits\":" + std::to_string(up_warm.stage_hits);
+  extra += ",\"stage_cache\":" + core::stage::stage_cache_stats_json();
+  gia::bench::print_json_line(argv[0], seconds_since(t0), extra);
+  core::instrument::emit_report();
+  return rc;
+}

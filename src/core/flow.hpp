@@ -21,6 +21,13 @@
 /// chiplet PnR -> interposer design -> SI / PI / thermal analysis ->
 /// full-chip rollup. One TechnologyResult is one column of the paper's
 /// comparison tables.
+///
+/// Internally the flow is an explicit stage DAG (core/stagegraph.hpp) with
+/// per-stage content-addressed artifacts: repeated evaluations that differ
+/// only in downstream knobs (eye_bits, thermal mesh, rollup activity) reuse
+/// the cached upstream PnR/interposer artifacts, and independent stages run
+/// concurrently through core/parallel. The result is byte-identical to a
+/// serial, uncached evaluation.
 
 namespace gia::core {
 

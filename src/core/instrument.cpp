@@ -30,6 +30,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "sweep_points",          "flow_runs",
     "serve_requests",        "cache_hits",
     "cache_misses",          "cache_coalesced",
+    "stage_runs",            "stage_cache_hits",
+    "stage_cache_misses",
 };
 
 struct SpanNode {

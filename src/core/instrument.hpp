@@ -58,6 +58,9 @@ enum class Counter : int {
   CacheHits,              ///< serving-cache lookups answered from memory/disk
   CacheMisses,            ///< serving-cache lookups that required a flow run
   CacheCoalesced,         ///< duplicate in-flight requests attached to one run
+  StageRuns,              ///< flow stage bodies executed (stage-cache misses run)
+  StageCacheHits,         ///< stage artifacts served from the stage cache
+  StageCacheMisses,       ///< stage lookups that had to run the stage body
   kCount
 };
 

@@ -1,0 +1,627 @@
+#include "core/stagegraph.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <future>
+#include <list>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/canon.hpp"
+#include "core/instrument.hpp"
+#include "core/json.hpp"
+#include "core/links.hpp"
+#include "core/parallel.hpp"
+#include "partition/hierarchical.hpp"
+#include "tech/library.hpp"
+
+namespace gia::core::stage {
+
+using netlist::ChipletSide;
+
+namespace {
+
+/// Registry order is topological: every dependency precedes its dependents.
+constexpr std::array<StageInfo, kStageCount> kRegistry = {{
+    {StageId::NetlistPartition, "netlist_partition", "flow/netlist_partition", false, 0, {}},
+    {StageId::ChipletPnr, "chiplet_pnr", "flow/chiplet_pnr", true, 1,
+     {StageId::NetlistPartition}},
+    {StageId::Interposer, "interposer", "flow/interposer", true, 1,
+     {StageId::NetlistPartition}},
+    {StageId::Links, "links", "flow/links", false, 1, {StageId::Interposer}},
+    {StageId::Eyes, "eyes", "flow/eyes", false, 1, {StageId::Links}},
+    {StageId::Pdn, "pdn", "flow/pdn", true, 1, {StageId::Interposer}},
+    {StageId::Thermal, "thermal", "flow/thermal", false, 1, {StageId::Interposer}},
+    {StageId::Rollup, "rollup", "flow/rollup", false, 3,
+     {StageId::NetlistPartition, StageId::ChipletPnr, StageId::Links}},
+}};
+
+void write_knobs(StageId id, const FlowOptions& o, canon::Writer& w) {
+  switch (id) {
+    case StageId::NetlistPartition: {
+      w.line("partition_mode",
+             o.partition_mode == PartitionMode::Hierarchical ? "hierarchical" : "flattened");
+      w.begin("openpiton");
+      w.field("tiles", o.openpiton.tiles);
+      w.field("cluster_cells", o.openpiton.cluster_cells);
+      w.field("seed", o.openpiton.seed);
+      w.field("intra_nets_per_cluster", o.openpiton.intra_nets_per_cluster);
+      w.end();
+      w.begin("serdes");
+      w.field("ratio", o.serdes.ratio);
+      w.field("min_bits", o.serdes.min_bits);
+      w.field("cells_per_lane", o.serdes.cells_per_lane);
+      w.field("latency_cycles", o.serdes.latency_cycles);
+      w.end();
+      w.begin("fm");
+      w.field("balance_tolerance", o.fm.balance_tolerance);
+      w.field("target_memory_fraction", o.fm.target_memory_fraction);
+      w.field("max_passes", o.fm.max_passes);
+      w.field("seed", o.fm.seed);
+      w.end();
+      break;
+    }
+    case StageId::ChipletPnr: {
+      w.begin("pnr");
+      w.field("target_freq_hz", o.pnr.target_freq_hz);
+      w.field("logic_depth", o.pnr.logic_depth);
+      w.field("memory_depth", o.pnr.memory_depth);
+      w.field("aib_area_per_lane_um2", o.pnr.aib_area_per_lane_um2);
+      w.field("aib_duty", o.pnr.aib_duty);
+      w.field("tsv_stack_wl_factor", o.pnr.tsv_stack_wl_factor);
+      w.begin("placer");
+      w.field("packing_util", o.pnr.placer.packing_util);
+      w.field("moves_per_cluster", o.pnr.placer.moves_per_cluster);
+      w.field("t_start_frac", o.pnr.placer.t_start_frac);
+      w.field("cooling", o.pnr.placer.cooling);
+      w.field("seed", o.pnr.placer.seed);
+      w.end();
+      w.begin("congestion");
+      w.field("tracks_per_um_per_layer", o.pnr.congestion.tracks_per_um_per_layer);
+      w.field("signal_layers", o.pnr.congestion.signal_layers);
+      w.field("usable_fraction", o.pnr.congestion.usable_fraction);
+      w.field("detour_slope", o.pnr.congestion.detour_slope);
+      w.end();
+      w.begin("timing");
+      w.field("stage_drive_ohm", o.pnr.timing.stage_drive_ohm);
+      w.field("crit_net_scale", o.pnr.timing.crit_net_scale);
+      w.field("fanout", o.pnr.timing.fanout);
+      w.end();
+      w.end();
+      break;
+    }
+    case StageId::Interposer: {
+      w.begin("router");
+      w.field("grid_nx", o.router.grid_nx);
+      w.field("grid_ny", o.router.grid_ny);
+      w.field("usable_track_fraction", o.router.usable_track_fraction);
+      w.field("die_capacity_factor", o.router.die_capacity_factor);
+      w.field("congestion_weight", o.router.congestion_weight);
+      w.field("via_cost_um", o.router.via_cost_um);
+      w.field("wrong_way_penalty", o.router.wrong_way_penalty);
+      w.field("overflow_penalty", o.router.overflow_penalty);
+      w.field("reroute_passes", o.router.reroute_passes);
+      w.end();
+      break;
+    }
+    case StageId::Links:
+      break;  // fully determined by the interposer artifact
+    case StageId::Eyes: {
+      w.field("with_eyes", o.with_eyes);
+      w.field("eye_bits", o.eye_bits);
+      break;
+    }
+    case StageId::Pdn:
+      break;  // fully determined by technology + interposer artifact
+    case StageId::Thermal: {
+      w.field("with_thermal", o.with_thermal);
+      w.begin("thermal_mesh");
+      w.field("nx", o.thermal_mesh.nx);
+      w.field("ny", o.thermal_mesh.ny);
+      w.field("logic_power_w", o.thermal_mesh.logic_power_w);
+      w.field("memory_power_w", o.thermal_mesh.memory_power_w);
+      w.field("interposer_power_w", o.thermal_mesh.interposer_power_w);
+      w.field("board_margin_frac", o.thermal_mesh.board_margin_frac);
+      w.field("thermal_via_fraction", o.thermal_mesh.thermal_via_fraction);
+      w.field("board_thickness_um", o.thermal_mesh.board_thickness_um);
+      w.field("board_k", o.thermal_mesh.board_k);
+      w.field("power_seed", o.thermal_mesh.power_seed);
+      w.end();
+      break;
+    }
+    case StageId::Rollup: {
+      w.field("rollup_activity_scale", o.rollup_activity_scale);
+      w.begin("pnr");
+      w.field("target_freq_hz", o.pnr.target_freq_hz);
+      w.end();
+      break;
+    }
+  }
+}
+
+// --- Process-wide stage-artifact cache: sharded LRU over type-erased
+// artifact pointers, with in-flight coalescing (a concurrent second
+// computation of the same key blocks on the first instead of duplicating
+// the work). Counters are always live (the serving layer reports them with
+// tracing off); the instrument-layer counters are additionally fed when
+// tracing is on.
+
+using ArtifactPtr = std::shared_ptr<const void>;
+
+class StageCache {
+ public:
+  static constexpr int kShards = 8;
+  static constexpr std::size_t kDefaultCapacity = 128;
+
+  StageCache() {
+    const char* env = std::getenv("GIA_STAGE_CACHE");
+    if (env != nullptr && env[0] != '\0') {
+      const std::string v = env;
+      if (v == "0" || v == "off" || v == "no" || v == "false") {
+        enabled_.store(false, std::memory_order_relaxed);
+      } else {
+        char* end = nullptr;
+        const unsigned long long n = std::strtoull(env, &end, 10);
+        if (end != nullptr && *end == '\0' && n > 0) {
+          capacity_.store(static_cast<std::size_t>(n), std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  ArtifactPtr get_or_compute(StageId id, std::uint64_t key, StageRunRecord::Outcome* outcome,
+                             const std::function<ArtifactPtr()>& compute) {
+    if (!enabled_.load(std::memory_order_relaxed)) {
+      *outcome = StageRunRecord::Outcome::Computed;
+      return compute();
+    }
+    Shard& sh = shards_[shard_of(key)];
+    std::unique_lock<std::mutex> lk(sh.mu);
+    if (auto it = sh.map.find(key); it != sh.map.end()) {
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+      ArtifactPtr art = it->second->artifact;  // copy under the lock
+      lk.unlock();
+      count(hits_, id);
+      instrument::counter_add(instrument::Counter::StageCacheHits);
+      *outcome = StageRunRecord::Outcome::CacheHit;
+      return art;
+    }
+    if (auto p = sh.pending.find(key); p != sh.pending.end()) {
+      auto fut = p->second;
+      lk.unlock();
+      count(coalesced_, id);
+      instrument::counter_add(instrument::Counter::StageCacheHits);
+      *outcome = StageRunRecord::Outcome::Coalesced;
+      return fut.get();  // rethrows the computing thread's exception
+    }
+    std::promise<ArtifactPtr> prom;
+    sh.pending.emplace(key, prom.get_future().share());
+    lk.unlock();
+
+    count(misses_, id);
+    instrument::counter_add(instrument::Counter::StageCacheMisses);
+    *outcome = StageRunRecord::Outcome::Computed;
+    ArtifactPtr art;
+    try {
+      art = compute();
+    } catch (...) {
+      lk.lock();
+      sh.pending.erase(key);
+      lk.unlock();
+      prom.set_exception(std::current_exception());
+      throw;
+    }
+
+    lk.lock();
+    sh.pending.erase(key);
+    if (sh.map.find(key) == sh.map.end()) {
+      sh.lru.push_front({key, id, art});
+      sh.map.emplace(key, sh.lru.begin());
+      const std::size_t cap =
+          std::max<std::size_t>(1, capacity_.load(std::memory_order_relaxed) / kShards);
+      while (sh.lru.size() > cap) {
+        const Node& victim = sh.lru.back();
+        count(evictions_, victim.stage);
+        sh.map.erase(victim.key);
+        sh.lru.pop_back();
+      }
+    }
+    lk.unlock();
+    prom.set_value(art);
+    return art;
+  }
+
+  StageCacheStats stats() const {
+    StageCacheStats s;
+    s.enabled = enabled_.load(std::memory_order_relaxed);
+    s.capacity = capacity_.load(std::memory_order_relaxed);
+    for (int i = 0; i < kStageCount; ++i) {
+      s.stage[static_cast<std::size_t>(i)].hits = hits_[static_cast<std::size_t>(i)].load();
+      s.stage[static_cast<std::size_t>(i)].misses = misses_[static_cast<std::size_t>(i)].load();
+      s.stage[static_cast<std::size_t>(i)].evictions =
+          evictions_[static_cast<std::size_t>(i)].load();
+      s.stage[static_cast<std::size_t>(i)].coalesced =
+          coalesced_[static_cast<std::size_t>(i)].load();
+    }
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      s.entries += sh.lru.size();
+    }
+    return s;
+  }
+
+  void clear() {
+    for (Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      sh.map.clear();
+      sh.lru.clear();
+      // pending computations are left to finish; their artifacts insert
+      // into the now-empty store.
+    }
+    for (auto& c : hits_) c.store(0);
+    for (auto& c : misses_) c.store(0);
+    for (auto& c : evictions_) c.store(0);
+    for (auto& c : coalesced_) c.store(0);
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  std::size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+  void set_capacity(std::size_t n) {
+    capacity_.store(std::max<std::size_t>(1, n), std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    std::uint64_t key = 0;
+    StageId stage = StageId::NetlistPartition;
+    ArtifactPtr artifact;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Node> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Node>::iterator> map;
+    /// In-flight computations; a second caller of the same key waits here.
+    std::unordered_map<std::uint64_t, std::shared_future<ArtifactPtr>> pending;
+  };
+
+  static int shard_of(std::uint64_t key) {
+    // The low bits feed the hash map; pick shard from high bits.
+    return static_cast<int>(key >> 61u) & (kShards - 1);
+  }
+
+  using CounterArray = std::array<std::atomic<std::uint64_t>, kStageCount>;
+  static void count(CounterArray& arr, StageId id) {
+    arr[static_cast<std::size_t>(idx(id))].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::size_t> capacity_{kDefaultCapacity};
+  CounterArray hits_{}, misses_{}, evictions_{}, coalesced_{};
+};
+
+StageCache& cache() {
+  static StageCache c;
+  return c;
+}
+
+// --- Stage bodies. Each is the exact computation the former monolithic
+// run_full_flow performed, reading only its declared inputs.
+
+struct Ctx {
+  tech::TechnologyKind kind;
+  const FlowOptions& opts;
+  StageKeys keys;
+  std::array<ArtifactPtr, kStageCount> art{};
+};
+
+template <typename T>
+const T& dep(const Ctx& c, StageId id) {
+  return *static_cast<const T*>(c.art[static_cast<std::size_t>(idx(id))].get());
+}
+
+/// One link study (spec + simulation) for either top-net kind -- the l2m
+/// and l2l halves of Table V share this path; eye diagrams are the
+/// separate `eyes` stage.
+LinkStudy link_study(const interposer::InterposerDesign& design, interposer::TopNetKind kind) {
+  LinkStudy s;
+  s.spec = make_link_spec(design, kind);
+  s.result = signal::simulate_link(s.spec);
+  return s;
+}
+
+ArtifactPtr run_stage(const Ctx& c, StageId id) {
+  instrument::counter_add(instrument::Counter::StageRuns);
+  const FlowOptions& o = c.opts;
+  switch (id) {
+    case StageId::NetlistPartition: {
+      auto a = std::make_shared<NetlistPartitionArtifact>();
+      a->net = netlist::build_openpiton(o.openpiton);
+      a->serdes = netlist::apply_serdes(a->net, o.serdes);
+      a->partition = o.partition_mode == PartitionMode::Hierarchical
+                         ? partition::hierarchical_partition(a->net)
+                         : partition::fm_partition(a->net, o.fm);
+      a->logic_nl = netlist::extract_chiplet(a->net, a->partition.side, ChipletSide::Logic, 0);
+      a->mem_nl = netlist::extract_chiplet(a->net, a->partition.side, ChipletSide::Memory, 0);
+      return a;
+    }
+    case StageId::ChipletPnr: {
+      const auto& np = dep<NetlistPartitionArtifact>(c, StageId::NetlistPartition);
+      const tech::Technology technology = tech::make_technology(c.kind);
+      auto a = std::make_shared<ChipletPnrArtifact>();
+      a->plans = chiplet::plan_chiplet_pair(np.logic_nl.io_signals, np.mem_nl.io_signals,
+                                            np.logic_nl.cell_area_um2, np.mem_nl.cell_area_um2,
+                                            technology);
+      a->logic = chiplet::run_chiplet_pnr(np.net, np.logic_nl, technology, a->plans.logic, o.pnr);
+      a->memory = chiplet::run_chiplet_pnr(np.net, np.mem_nl, technology, a->plans.memory, o.pnr);
+      return a;
+    }
+    case StageId::Interposer: {
+      const auto& np = dep<NetlistPartitionArtifact>(c, StageId::NetlistPartition);
+      interposer::ChipletInputs inputs;
+      inputs.logic_signal_ios = np.logic_nl.io_signals;
+      inputs.memory_signal_ios = np.mem_nl.io_signals;
+      inputs.logic_cell_area_um2 = np.logic_nl.cell_area_um2;
+      inputs.memory_cell_area_um2 = np.mem_nl.cell_area_um2;
+      auto a = std::make_shared<InterposerArtifact>();
+      a->design = interposer::build_interposer_design(c.kind, inputs, o.router);
+      return a;
+    }
+    case StageId::Links: {
+      const auto& ip = dep<InterposerArtifact>(c, StageId::Interposer);
+      auto a = std::make_shared<LinksArtifact>();
+      a->l2m = link_study(ip.design, interposer::TopNetKind::LogicToMemory);
+      a->l2l = link_study(ip.design, interposer::TopNetKind::LogicToLogic);
+      return a;
+    }
+    case StageId::Eyes: {
+      auto a = std::make_shared<EyesArtifact>();
+      if (o.with_eyes) {
+        const auto& ln = dep<LinksArtifact>(c, StageId::Links);
+        a->l2m = signal::simulate_eye(ln.l2m.spec, o.eye_bits);
+        a->l2l = signal::simulate_eye(ln.l2l.spec, o.eye_bits);
+      }
+      return a;
+    }
+    case StageId::Pdn: {
+      const auto& ip = dep<InterposerArtifact>(c, StageId::Interposer);
+      auto a = std::make_shared<PdnArtifact>();
+      a->model = pdn::build_pdn_model(ip.design);
+      a->impedance = pdn::impedance_profile(a->model);
+      if (ip.design.technology.has_interposer()) {
+        a->ir_drop = pdn::solve_ir_drop(ip.design);
+      }
+      a->settling = pdn::simulate_settling(a->model);
+      return a;
+    }
+    case StageId::Thermal: {
+      auto a = std::make_shared<ThermalArtifact>();
+      if (o.with_thermal) {
+        const auto& ip = dep<InterposerArtifact>(c, StageId::Interposer);
+        a->report = thermal::run_thermal(ip.design, o.thermal_mesh);
+      }
+      return a;
+    }
+    case StageId::Rollup: {
+      const auto& np = dep<NetlistPartitionArtifact>(c, StageId::NetlistPartition);
+      const auto& pn = dep<ChipletPnrArtifact>(c, StageId::ChipletPnr);
+      const auto& ln = dep<LinksArtifact>(c, StageId::Links);
+      auto a = std::make_shared<RollupArtifact>();
+      const int l2m_lanes = 2 * np.mem_nl.io_signals;
+      const int l2l_lanes = np.serdes.wires_after;
+      const double lane_power_l2m = ln.l2m.result.driver_power_w +
+                                    o.rollup_activity_scale * ln.l2m.result.interconnect_power_w;
+      const double lane_power_l2l = ln.l2l.result.driver_power_w +
+                                    o.rollup_activity_scale * ln.l2l.result.interconnect_power_w;
+      a->total_power_w = 2.0 * (pn.logic.power.total_w + pn.memory.power.total_w) +
+                         l2m_lanes * lane_power_l2m + l2l_lanes * lane_power_l2l;
+      a->system_fmax_hz = std::min(pn.logic.fmax_hz, pn.memory.fmax_hz);
+      const double period = 1.0 / o.pnr.target_freq_hz;
+      a->link_timing_met = ln.l2m.result.total_delay_s < period &&
+                           ln.l2l.result.total_delay_s < period;
+      return a;
+    }
+  }
+  throw std::logic_error("unknown stage");
+}
+
+/// Execution waves: stages grouped by dependency depth. Within a wave every
+/// stage's inputs are complete, so the wave runs through core/parallel.
+std::vector<std::vector<StageId>> make_waves() {
+  std::array<int, kStageCount> depth{};
+  int max_depth = 0;
+  for (const StageInfo& si : kRegistry) {  // registry order is topological
+    int d = 0;
+    for (int i = 0; i < si.dep_count; ++i) {
+      d = std::max(d, depth[static_cast<std::size_t>(idx(si.deps[static_cast<std::size_t>(i)]))] + 1);
+    }
+    depth[static_cast<std::size_t>(idx(si.id))] = d;
+    max_depth = std::max(max_depth, d);
+  }
+  std::vector<std::vector<StageId>> waves(static_cast<std::size_t>(max_depth + 1));
+  for (const StageInfo& si : kRegistry) {
+    waves[static_cast<std::size_t>(depth[static_cast<std::size_t>(idx(si.id))])].push_back(si.id);
+  }
+  return waves;
+}
+
+const std::vector<std::vector<StageId>>& waves() {
+  static const std::vector<std::vector<StageId>> w = make_waves();
+  return w;
+}
+
+}  // namespace
+
+const std::array<StageInfo, kStageCount>& registry() { return kRegistry; }
+
+const StageInfo& info(StageId id) { return kRegistry[static_cast<std::size_t>(idx(id))]; }
+
+const char* stage_name(StageId id) { return info(id).name; }
+
+bool parse_stage(const std::string& name, StageId* out) {
+  for (const StageInfo& si : kRegistry) {
+    if (name == si.name) {
+      *out = si.id;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string stage_knob_text(StageId id, const FlowOptions& opts) {
+  canon::Writer w;
+  write_knobs(id, opts, w);
+  return w.out;
+}
+
+StageKeys compute_stage_keys(tech::TechnologyKind kind, const FlowOptions& opts) {
+  StageKeys ks;
+  for (const StageInfo& si : kRegistry) {  // topological: dep keys are ready
+    canon::Writer w;
+    w.line("stage", si.name);
+    if (si.reads_tech) w.line("tech", tech::short_name(kind));
+    w.begin("dep");
+    for (int i = 0; i < si.dep_count; ++i) {
+      const StageId d = si.deps[static_cast<std::size_t>(i)];
+      w.line(stage_name(d), canon::key_hex(ks.of(d)));
+    }
+    w.end();
+    write_knobs(si.id, opts, w);
+    ks.key[static_cast<std::size_t>(idx(si.id))] = canon::fnv1a64(w.out);
+  }
+  return ks;
+}
+
+std::uint64_t StageRunRecord::hits() const {
+  std::uint64_t n = 0;
+  for (const Outcome oc : outcome) n += oc != Outcome::Computed ? 1 : 0;
+  return n;
+}
+
+std::uint64_t StageRunRecord::misses() const {
+  return static_cast<std::uint64_t>(kStageCount) - hits();
+}
+
+TechnologyResult execute_flow(tech::TechnologyKind kind, const FlowOptions& opts,
+                              StageRunRecord* record) {
+  if (kind == tech::TechnologyKind::Monolithic2D) {
+    throw std::invalid_argument("use run_monolithic_reference for the 2D reference");
+  }
+  Ctx c{kind, opts, compute_stage_keys(kind, opts), {}};
+  for (const auto& wave : waves()) {
+    const auto run_one = [&](std::size_t wi) {
+      const StageId id = wave[wi];
+      instrument::ScopedSpan span(info(id).span_name);
+      StageRunRecord::Outcome oc;
+      c.art[static_cast<std::size_t>(idx(id))] =
+          cache().get_or_compute(id, c.keys.of(id), &oc, [&] { return run_stage(c, id); });
+      if (record != nullptr) record->outcome[static_cast<std::size_t>(idx(id))] = oc;
+    };
+    if (wave.size() == 1) {
+      run_one(0);
+    } else {
+      parallel_for(wave.size(), run_one);
+    }
+  }
+
+  TechnologyResult r;
+  r.technology = tech::make_technology(kind);
+  const auto& np = dep<NetlistPartitionArtifact>(c, StageId::NetlistPartition);
+  r.serdes = np.serdes;
+  r.partition = np.partition;
+  const auto& pn = dep<ChipletPnrArtifact>(c, StageId::ChipletPnr);
+  r.plans = pn.plans;
+  r.logic = pn.logic;
+  r.memory = pn.memory;
+  r.interposer = dep<InterposerArtifact>(c, StageId::Interposer).design;
+  const auto& ln = dep<LinksArtifact>(c, StageId::Links);
+  r.l2m = ln.l2m;
+  r.l2l = ln.l2l;
+  const auto& ey = dep<EyesArtifact>(c, StageId::Eyes);
+  r.l2m.eye = ey.l2m;
+  r.l2l.eye = ey.l2l;
+  const auto& pd = dep<PdnArtifact>(c, StageId::Pdn);
+  r.pdn_model = pd.model;
+  r.pdn_impedance = pd.impedance;
+  r.ir_drop = pd.ir_drop;
+  r.settling = pd.settling;
+  r.thermal = dep<ThermalArtifact>(c, StageId::Thermal).report;
+  const auto& ru = dep<RollupArtifact>(c, StageId::Rollup);
+  r.total_power_w = ru.total_power_w;
+  r.system_fmax_hz = ru.system_fmax_hz;
+  r.link_timing_met = ru.link_timing_met;
+  return r;
+}
+
+std::uint64_t StageCacheStats::total_hits() const {
+  std::uint64_t n = 0;
+  for (const PerStage& s : stage) n += s.hits;
+  return n;
+}
+std::uint64_t StageCacheStats::total_misses() const {
+  std::uint64_t n = 0;
+  for (const PerStage& s : stage) n += s.misses;
+  return n;
+}
+std::uint64_t StageCacheStats::total_evictions() const {
+  std::uint64_t n = 0;
+  for (const PerStage& s : stage) n += s.evictions;
+  return n;
+}
+std::uint64_t StageCacheStats::total_coalesced() const {
+  std::uint64_t n = 0;
+  for (const PerStage& s : stage) n += s.coalesced;
+  return n;
+}
+
+StageCacheStats stage_cache_stats() { return cache().stats(); }
+
+std::string stage_cache_stats_json() {
+  const StageCacheStats s = stage_cache_stats();
+  std::string out = "{\"enabled\":";
+  json::append_bool(s.enabled, out);
+  out += ",\"entries\":";
+  json::append_u64(s.entries, out);
+  out += ",\"capacity\":";
+  json::append_u64(s.capacity, out);
+  out += ",\"hits\":";
+  json::append_u64(s.total_hits(), out);
+  out += ",\"misses\":";
+  json::append_u64(s.total_misses(), out);
+  out += ",\"evictions\":";
+  json::append_u64(s.total_evictions(), out);
+  out += ",\"coalesced\":";
+  json::append_u64(s.total_coalesced(), out);
+  out += ",\"stages\":{";
+  bool first = true;
+  for (const StageInfo& si : kRegistry) {
+    const auto& ps = s.stage[static_cast<std::size_t>(idx(si.id))];
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out += si.name;
+    out += "\":{\"hits\":";
+    json::append_u64(ps.hits, out);
+    out += ",\"misses\":";
+    json::append_u64(ps.misses, out);
+    out += ",\"evictions\":";
+    json::append_u64(ps.evictions, out);
+    out += ",\"coalesced\":";
+    json::append_u64(ps.coalesced, out);
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+void stage_cache_clear() { cache().clear(); }
+bool stage_cache_enabled() { return cache().enabled(); }
+void set_stage_cache_enabled(bool on) { cache().set_enabled(on); }
+std::size_t stage_cache_capacity() { return cache().capacity(); }
+void set_stage_cache_capacity(std::size_t entries) { cache().set_capacity(entries); }
+
+}  // namespace gia::core::stage

@@ -26,6 +26,7 @@
 #include "core/instrument.hpp"
 #include "core/json.hpp"
 #include "core/serialize.hpp"
+#include "core/stagegraph.hpp"
 #include "serve/faultinject.hpp"
 #include "serve/request.hpp"
 
@@ -440,6 +441,10 @@ struct Server::Impl {
     json::append_u64(sched.cancelled, out);
     out += ",\"expired\":";
     json::append_u64(sched.expired, out);
+    out += ",\"stage_hits\":";
+    json::append_u64(sched.stage_hits, out);
+    out += ",\"stage_misses\":";
+    json::append_u64(sched.stage_misses, out);
     out += "},\"cache\":{\"hits\":";
     json::append_u64(cst.hits, out);
     out += ",\"disk_hits\":";
@@ -457,6 +462,8 @@ struct Server::Impl {
     out += ",\"entries\":";
     json::append_u64(cst.entries, out);
     out.push_back('}');
+    out += ",\"stage_cache\":";
+    out += core::stage::stage_cache_stats_json();
     if (fault::enabled()) {
       out += ",\"faults\":";
       out += fault::counters_json();
@@ -586,6 +593,7 @@ Server::Stats Server::stats() const {
   s.oversize_rejections = impl_->n_oversize.load(std::memory_order_relaxed);
   if (impl_->scheduler) s.scheduler = impl_->scheduler->counters();
   if (impl_->cache) s.cache = impl_->cache->stats();
+  s.stage_cache = core::stage::stage_cache_stats();
   s.uptime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - impl_->start_time)
           .count();

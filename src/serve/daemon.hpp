@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "core/stagegraph.hpp"
 #include "serve/cache.hpp"
 #include "serve/scheduler.hpp"
 
@@ -96,6 +97,10 @@ class Server {
     std::uint64_t oversize_rejections = 0;
     JobScheduler::Counters scheduler;
     ResultCache::Stats cache;
+    /// Process-wide stage-artifact cache (core/stagegraph.hpp): per-stage
+    /// hit/miss/eviction counters proving which upstream artifacts the
+    /// daemon's traffic reuses across requests.
+    core::stage::StageCacheStats stage_cache;
     double uptime_s = 0;
   };
   Stats stats() const;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/canon.hpp"
+
 namespace gia::serve {
 
 namespace json = core::json;
@@ -118,34 +120,10 @@ void walk(FlowRequest& r, V& v) {
   v.field("rollup_activity_scale", o.rollup_activity_scale);
 }
 
-/// "section.subsection.key=value" lines in walk order.
-struct CanonicalWriter {
-  std::string out;
-  std::string prefix;
-
-  void begin(const char* name) { prefix += std::string(name) + "."; }
-  void end() {
-    prefix.erase(prefix.rfind('.', prefix.size() - 2) + 1);
-  }
-  void line(const char* name, const std::string& value) {
-    out += prefix;
-    out += name;
-    out.push_back('=');
-    out += value;
-    out.push_back('\n');
-  }
-  void token(const char* name, std::string& cur, const std::function<void(const std::string&)>&) {
-    line(name, cur);
-  }
-  void field(const char* name, int& x) { line(name, std::to_string(x)); }
-  void field(const char* name, unsigned& x) { line(name, std::to_string(x)); }
-  void field(const char* name, bool& x) { line(name, x ? "1" : "0"); }
-  void field(const char* name, double& x) {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", x);
-    line(name, buf);
-  }
-};
+// The "section.subsection.key=value" canonical rendering is
+// core::canon::Writer -- shared with the stage graph's per-stage keys
+// (core/stagegraph.cpp), so request keys and stage keys can never drift in
+// formatting.
 
 struct JsonWriter {
   std::string out;
@@ -250,27 +228,16 @@ struct JsonReader {
 
 std::string canonical_text(const FlowRequest& req) {
   FlowRequest copy = req;
-  CanonicalWriter w;
+  core::canon::Writer w;
   walk(copy, w);
   return w.out;
 }
 
-std::uint64_t fnv1a64(const std::string& bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
+std::uint64_t fnv1a64(const std::string& bytes) { return core::canon::fnv1a64(bytes); }
 
 std::uint64_t request_key(const FlowRequest& req) { return fnv1a64(canonical_text(req)); }
 
-std::string key_hex(std::uint64_t key) {
-  char buf[20];
-  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(key));
-  return buf;
-}
+std::string key_hex(std::uint64_t key) { return core::canon::key_hex(key); }
 
 std::string request_to_json(const FlowRequest& req) {
   FlowRequest copy = req;

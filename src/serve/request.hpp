@@ -35,9 +35,12 @@ std::string canonical_text(const FlowRequest& req);
 std::uint64_t request_key(const FlowRequest& req);
 
 /// Fixed-width lowercase-hex spelling of a key (cache filenames, logs).
+/// Delegates to core::canon::key_hex.
 std::string key_hex(std::uint64_t key);
 
 /// 64-bit FNV-1a of an arbitrary byte string (exposed for tests).
+/// Delegates to core::canon::fnv1a64 -- the same hash behind the stage
+/// graph's per-stage artifact keys.
 std::uint64_t fnv1a64(const std::string& bytes);
 
 /// Canonical single-line JSON carrying every knob (`{"flow_request":{...}}`).

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "core/instrument.hpp"
+#include "core/stagegraph.hpp"
 #include "serve/faultinject.hpp"
 
 namespace gia::serve {
@@ -111,7 +112,7 @@ struct JobScheduler::Impl {
   bool stop = false;
 
   std::atomic<std::uint64_t> n_submitted{0}, n_cache_hits{0}, n_coalesced{0}, n_executed{0},
-      n_failed{0}, n_cancelled{0}, n_expired{0};
+      n_failed{0}, n_cancelled{0}, n_expired{0}, n_stage_hits{0}, n_stage_misses{0};
 
   std::vector<std::thread> workers;
 
@@ -198,8 +199,16 @@ struct JobScheduler::Impl {
       std::string error;
       try {
         GIA_SPAN("serve/flow");
+        ins::counter_add(ins::Counter::FlowRuns);
+        // The flow is submitted as stage-level work: execute_flow walks the
+        // stage DAG, so a request that differs from recent traffic only in
+        // downstream knobs reuses the cached upstream stage artifacts. The
+        // per-run record feeds the scheduler's stage hit/miss counters.
+        core::stage::StageRunRecord srec;
         result = std::make_shared<const core::TechnologyResult>(
-            core::run_full_flow(st->request.tech, st->request.options));
+            core::stage::execute_flow(st->request.tech, st->request.options, &srec));
+        n_stage_hits.fetch_add(srec.hits(), std::memory_order_relaxed);
+        n_stage_misses.fetch_add(srec.misses(), std::memory_order_relaxed);
       } catch (const std::exception& e) {
         error = e.what();
       } catch (...) {
@@ -356,6 +365,8 @@ JobScheduler::Counters JobScheduler::counters() const {
   c.failed = impl_->n_failed.load(std::memory_order_relaxed);
   c.cancelled = impl_->n_cancelled.load(std::memory_order_relaxed);
   c.expired = impl_->n_expired.load(std::memory_order_relaxed);
+  c.stage_hits = impl_->n_stage_hits.load(std::memory_order_relaxed);
+  c.stage_misses = impl_->n_stage_misses.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -13,9 +13,11 @@
 /// Dependency-aware job scheduler for flow evaluations. Jobs are
 /// `FlowRequest`s; a fixed set of scheduler workers pops the highest
 /// priority runnable job (FIFO within a priority, dependencies satisfied)
-/// and runs the full co-design flow -- which internally fans out onto the
-/// shared `core/parallel` pool, so scheduler concurrency composes with
-/// solver parallelism without oversubscription logic here.
+/// and submits it as stage-level work against the flow's stage DAG
+/// (core/stagegraph.hpp): upstream artifacts shared with earlier traffic
+/// are cache hits, independent stages run concurrently, and everything
+/// fans out onto the shared `core/parallel` pool, so scheduler concurrency
+/// composes with solver parallelism without oversubscription logic here.
 ///
 /// Request coalescing: submitting a request whose cache key is already
 /// queued or running does not enqueue a second flow run -- the new ticket
@@ -89,6 +91,13 @@ class JobScheduler {
     std::uint64_t failed = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t expired = 0;
+    /// Stage-level accounting across all executed flows: flows run as
+    /// stage-DAG jobs (core/stagegraph.hpp), so a request differing from
+    /// recent traffic only in downstream knobs reuses cached upstream
+    /// artifacts. hits = stages served from the stage cache, misses =
+    /// stage bodies actually run.
+    std::uint64_t stage_hits = 0;
+    std::uint64_t stage_misses = 0;
   };
 
   explicit JobScheduler(const Options& opts);
