@@ -2,6 +2,9 @@
 
 #include "circuit/dense_lu.hpp"
 #include "circuit/mna.hpp"
+#include "circuit/sparse.hpp"
+#include "core/instrument.hpp"
+#include "core/solver_backend.hpp"
 
 namespace gia::circuit {
 
@@ -18,12 +21,13 @@ double DcSolution::inductor_current(int j) const {
   return x.at(static_cast<std::size_t>(ckt->inductor_current_index(j)));
 }
 
-DcSolution solve_dc(const Circuit& ckt, double t) {
-  const int m = ckt.unknown_count();
-  RealMatrix A(m);
-  std::vector<double> rhs(static_cast<std::size_t>(m), 0.0);
+namespace {
 
-  stamp_static_real(ckt, A);
+/// DC system assembly, shared verbatim by the dense and sparse backends
+/// (`M` is RealMatrix or RealSparseMatrix -- both stamp via add(r, c, v)).
+template <typename M>
+void assemble_dc(const Circuit& ckt, M& A) {
+  stamp_static<double>(ckt, A);
   // gmin keeps nodes that only connect through capacitors solvable at DC,
   // the standard SPICE convergence aid.
   constexpr double gmin = 1e-12;
@@ -36,7 +40,10 @@ DcSolution solve_dc(const Circuit& ckt, double t) {
                            ckt.inductor_current_index(j), 1.0);
   }
   // Capacitors are open: no stamp.
+}
 
+std::vector<double> dc_rhs(const Circuit& ckt, double t) {
+  std::vector<double> rhs(static_cast<std::size_t>(ckt.unknown_count()), 0.0);
   const auto& vs = ckt.vsources();
   for (int j = 0; j < static_cast<int>(vs.size()); ++j) {
     rhs[static_cast<std::size_t>(ckt.vsource_current_index(j))] =
@@ -48,11 +55,61 @@ DcSolution solve_dc(const Circuit& ckt, double t) {
     if (rf >= 0) rhs[static_cast<std::size_t>(rf)] -= val;
     if (rt >= 0) rhs[static_cast<std::size_t>(rt)] += val;
   }
+  return rhs;
+}
 
-  LuFactor<double> lu(std::move(A));
+}  // namespace
+
+DcSolution solve_dc(const Circuit& ckt, double t) {
+  const int m = ckt.unknown_count();
+  const std::vector<double> rhs = dc_rhs(ckt, t);
+
   DcSolution out;
-  out.x = lu.solve(rhs);
   out.ckt = &ckt;
+  if (core::use_sparse_mna(m)) {
+    if (core::instrument::enabled()) core::instrument::gauge_set("solver_backend.circuit_dc", 1.0);
+    RealSparseMatrix A(m);
+    assemble_dc(ckt, A);
+    A.finalize();
+    // Equilibrate: the DC system mixes 1e-12 gmin with milliohm-path
+    // conductances, far beyond what ILU(0)+BiCGSTAB can solve to tight
+    // tolerance unscaled.
+    const std::vector<double> d = equilibration_scales(A.view());
+    apply_equilibration(A, d);
+    std::vector<double> b(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) b[static_cast<std::size_t>(i)] = rhs[static_cast<std::size_t>(i)] * d[static_cast<std::size_t>(i)];
+    const Ilu0Preconditioner<double> ilu(A.view());
+    std::vector<double> x(static_cast<std::size_t>(m), 0.0);
+    const auto stats = bicgstab(A.view(), b, x, ilu);
+    if (stats.converged) {
+      for (int i = 0; i < m; ++i) x[static_cast<std::size_t>(i)] *= d[static_cast<std::size_t>(i)];
+      out.x = std::move(x);
+      return out;
+    }
+    // ILU(0) cannot pivot, and small saddle chains (e.g. the IVR settling
+    // circuit: vsource-R-L-R-L ladders) produce exact-cancellation pivots
+    // that only row exchanges cure -- equilibration does not help because
+    // the cancellation is structural, not a unit mismatch. Fall back to
+    // pivoted dense LU where it is affordable; genuinely singular systems
+    // still throw from inside the factorization, and at production scale
+    // (where dense would be the very cost this backend exists to avoid)
+    // non-convergence stays a loud failure.
+    constexpr int kDenseFallbackMaxUnknowns = 2048;
+    if (m > kDenseFallbackMaxUnknowns) {
+      throw std::runtime_error(
+          "sparse DC solve failed to converge (singular MNA matrix / floating node?)");
+    }
+    RealMatrix Af(m);
+    assemble_dc(ckt, Af);
+    LuFactor<double> lu(std::move(Af));
+    out.x = lu.solve(rhs);
+  } else {
+    if (core::instrument::enabled()) core::instrument::gauge_set("solver_backend.circuit_dc", 0.0);
+    RealMatrix A(m);
+    assemble_dc(ckt, A);
+    LuFactor<double> lu(std::move(A));
+    out.x = lu.solve(rhs);
+  }
   return out;
 }
 

@@ -38,7 +38,32 @@ void stamp_branch_incidence(M& mat, NodeId a, NodeId b, int col, T one) {
 
 /// Stamp the elements whose pattern is identical in DC, AC and transient:
 /// resistors, voltage-source branch incidence, VCVS constraints. (Values of
-/// dynamic elements and RHS differ per analysis.)
+/// dynamic elements and RHS differ per analysis.) Templated on the matrix so
+/// the same stamping code fills dense and sparse-CSR assemblies.
+template <typename T, typename M>
+void stamp_static(const Circuit& ckt, M& A) {
+  for (const auto& r : ckt.resistors()) {
+    stamp_conductance(A, r.a, r.b, T{1.0 / r.ohms});
+  }
+  const auto& vs = ckt.vsources();
+  for (int j = 0; j < static_cast<int>(vs.size()); ++j) {
+    stamp_branch_incidence(A, vs[static_cast<std::size_t>(j)].plus,
+                           vs[static_cast<std::size_t>(j)].minus, ckt.vsource_current_index(j),
+                           T{1.0});
+  }
+  const auto& es = ckt.vcvs();
+  for (int j = 0; j < static_cast<int>(es.size()); ++j) {
+    const auto& e = es[static_cast<std::size_t>(j)];
+    const int col = ckt.vcvs_current_index(j);
+    // KCL incidence for the output branch + (out_p - out_n) in the row.
+    stamp_branch_incidence(A, e.out_p, e.out_n, col, T{1.0});
+    // -gain * (ctrl_p - ctrl_n) completes the constraint row.
+    const int rp = node_row(e.ctrl_p), rn = node_row(e.ctrl_n);
+    if (rp >= 0) A.add(col, rp, T{-e.gain});
+    if (rn >= 0) A.add(col, rn, T{e.gain});
+  }
+}
+
 void stamp_static_real(const Circuit& ckt, RealMatrix& A);
 void stamp_static_complex(const Circuit& ckt, ComplexMatrix& A);
 

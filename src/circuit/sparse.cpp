@@ -1,0 +1,16 @@
+#include "circuit/sparse.hpp"
+
+// Explicit instantiations for the two scalars the MNA engines use, so the
+// CSR assembly and preconditioner code is compiled once instead of in every
+// translation unit that stamps a matrix.
+
+namespace gia::circuit {
+
+template class SparseMatrix<double>;
+template class SparseMatrix<std::complex<double>>;
+template class JacobiPreconditioner<double>;
+template class JacobiPreconditioner<std::complex<double>>;
+template class Ilu0Preconditioner<double>;
+template class Ilu0Preconditioner<std::complex<double>>;
+
+}  // namespace gia::circuit

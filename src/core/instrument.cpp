@@ -31,7 +31,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "serve_requests",        "cache_hits",
     "cache_misses",          "cache_coalesced",
     "stage_runs",            "stage_cache_hits",
-    "stage_cache_misses",
+    "stage_cache_misses",    "krylov_iterations",
+    "mg_vcycles",
 };
 
 struct SpanNode {

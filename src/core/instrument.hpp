@@ -61,6 +61,8 @@ enum class Counter : int {
   StageRuns,              ///< flow stage bodies executed (stage-cache misses run)
   StageCacheHits,         ///< stage artifacts served from the stage cache
   StageCacheMisses,       ///< stage lookups that had to run the stage body
+  KrylovIterations,       ///< CG/BiCGSTAB iterations across all sparse solves
+  MgVcycles,              ///< thermal geometric-multigrid V-cycles
   kCount
 };
 

@@ -1,0 +1,63 @@
+#include "core/solver_backend.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace gia::core {
+
+namespace {
+
+/// -1 = uninitialised (read GIA_SOLVER on first query), else the enum value.
+std::atomic<int> g_backend{-1};
+
+SolverBackend parse_env() {
+  const char* env = std::getenv("GIA_SOLVER");
+  if (env == nullptr || *env == '\0') return SolverBackend::Auto;
+  char buf[8] = {};
+  for (int i = 0; i < 7 && env[i] != '\0'; ++i) {
+    buf[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(env[i])));
+  }
+  if (std::strcmp(buf, "dense") == 0) return SolverBackend::Dense;
+  if (std::strcmp(buf, "sparse") == 0) return SolverBackend::Sparse;
+  return SolverBackend::Auto;
+}
+
+}  // namespace
+
+SolverBackend solver_backend() noexcept {
+  int v = g_backend.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(parse_env());
+    g_backend.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<SolverBackend>(v);
+}
+
+void set_solver_backend(SolverBackend b) noexcept {
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+bool use_sparse_mna(int unknowns) noexcept {
+  switch (solver_backend()) {
+    case SolverBackend::Dense: return false;
+    case SolverBackend::Sparse: return true;
+    case SolverBackend::Auto: break;
+  }
+  return unknowns >= kSparseAutoUnknowns;
+}
+
+bool use_multigrid(int nx, int ny) noexcept {
+  // Cell-centered 2x coarsening needs even extents; odd meshes stay on SOR
+  // whatever the backend says.
+  if (nx % 2 != 0 || ny % 2 != 0) return false;
+  switch (solver_backend()) {
+    case SolverBackend::Dense: return false;
+    case SolverBackend::Sparse: return true;
+    case SolverBackend::Auto: break;
+  }
+  return nx >= kMultigridAutoExtent && ny >= kMultigridAutoExtent;
+}
+
+}  // namespace gia::core

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file solver_backend.hpp
+/// Process-wide linear-solver backend selection, shared by the circuit MNA
+/// engines (dense LU vs sparse CSR + Krylov) and the thermal steady-state
+/// solver (fixed-sweep SOR vs geometric multigrid).
+///
+/// The `GIA_SOLVER` environment variable picks the backend:
+///   dense   -- always the small-n reference path (dense LU / SOR)
+///   sparse  -- always the sparse/iterative path (CSR Krylov / multigrid)
+///   auto    -- switch on problem size (the default; unset, empty, or an
+///              unrecognized value all mean auto)
+/// Under `auto` the dense path serves every problem below the thresholds
+/// here, so default flow runs stay byte-identical to the pre-sparse code.
+
+namespace gia::core {
+
+enum class SolverBackend { Dense, Sparse, Auto };
+
+/// The selected backend. First call reads `GIA_SOLVER`; `set_solver_backend`
+/// overrides.
+SolverBackend solver_backend() noexcept;
+
+/// Force the backend (tests and embedders; overrides the environment).
+void set_solver_backend(SolverBackend b) noexcept;
+
+/// Unknown count at which `auto` hands an MNA system to the sparse Krylov
+/// path. Flow circuits are a few hundred unknowns where dense LU wins;
+/// production-scale PDN meshes are 10-100x past this.
+inline constexpr int kSparseAutoUnknowns = 512;
+
+/// Lateral mesh extent at which `auto` hands the thermal steady solve to
+/// multigrid. The default flow mesh is 48x48 and stays on SOR.
+inline constexpr int kMultigridAutoExtent = 96;
+
+/// Should an MNA system of `unknowns` unknowns use the sparse path?
+bool use_sparse_mna(int unknowns) noexcept;
+
+/// Should an nx-by-ny thermal mesh use multigrid? Requires both extents
+/// even (cell-centered 2x coarsening) regardless of backend.
+bool use_multigrid(int nx, int ny) noexcept;
+
+}  // namespace gia::core

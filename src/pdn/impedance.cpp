@@ -7,6 +7,7 @@
 #include "circuit/circuit.hpp"
 #include "core/instrument.hpp"
 #include "core/parallel.hpp"
+#include "core/solver_backend.hpp"
 
 namespace gia::pdn {
 
@@ -74,7 +75,13 @@ ImpedanceProfile impedance_profile(const PdnModel& model, const ImpedanceOptions
 
   const auto freqs = log_freq_grid(opts.f_start_hz, opts.f_stop_hz, opts.points_per_decade);
   // run_ac factors and solves the independent frequency points in parallel
-  // (see circuit/ac.cpp); each |Z| slot below is likewise per-index.
+  // (see circuit/ac.cpp) and routes each point through the GIA_SOLVER
+  // backend (dense LU below core::kSparseAutoUnknowns unknowns, CSR +
+  // BiCGSTAB above); each |Z| slot below is likewise per-index.
+  if (core::instrument::enabled()) {
+    core::instrument::gauge_set("solver_backend.pdn_impedance",
+                                core::use_sparse_mna(ckt.unknown_count()) ? 1.0 : 0.0);
+  }
   const auto ac = run_ac(ckt, freqs, {bump});
 
   ImpedanceProfile out;

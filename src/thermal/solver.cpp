@@ -6,6 +6,7 @@
 
 #include "core/instrument.hpp"
 #include "core/parallel.hpp"
+#include "core/solver_backend.hpp"
 
 namespace gia::thermal {
 
@@ -25,6 +26,23 @@ double series_g(double ka, double kb, double area, double da, double db) {
 }  // namespace
 
 ThermalField solve_steady_state(const ThermalMesh& mesh, const SolverOptions& opts) {
+  bool mg = false;
+  switch (opts.method) {
+    case SolverOptions::Method::Sor: mg = false; break;
+    case SolverOptions::Method::Multigrid: mg = true; break;
+    case SolverOptions::Method::Auto:
+      mg = core::use_multigrid(mesh.nx, mesh.ny);
+      break;
+  }
+  if (instrument::enabled()) {
+    instrument::gauge_set("solver_backend.thermal_steady", mg ? 1.0 : 0.0);
+  }
+  // solve_steady_state_multigrid itself falls back to SOR when the mesh
+  // cannot coarsen (odd extents or below the floor).
+  return mg ? solve_steady_state_multigrid(mesh, opts) : solve_steady_state_sor(mesh, opts);
+}
+
+ThermalField solve_steady_state_sor(const ThermalMesh& mesh, const SolverOptions& opts) {
   GIA_SPAN("thermal/steady_state");
   const int nx = mesh.nx, ny = mesh.ny;
   const int nz = static_cast<int>(mesh.layers.size());

@@ -5,18 +5,42 @@
 #include "thermal/mesh.hpp"
 
 /// \file solver.hpp
-/// Steady-state finite-volume conduction solver with convective boundaries,
-/// solved by successive over-relaxation. Voxel-to-voxel conductances use
-/// series (harmonic) combination of the half-cell resistances, so layered
-/// stacks with 100x conductivity contrast (glass vs silicon) behave
-/// correctly.
+/// Steady-state finite-volume conduction solver with convective boundaries.
+/// Voxel-to-voxel conductances use series (harmonic) combination of the
+/// half-cell resistances, so layered stacks with 100x conductivity contrast
+/// (glass vs silicon) behave correctly.
+///
+/// Two steady-state methods share the discretization:
+///  * fixed-sweep red-black SOR -- the small-mesh reference, byte-stable;
+///  * geometric multigrid V-cycles (multigrid.cpp) -- red-black z-line
+///    smoothing (exact vertical-column solves), lateral semi-coarsening
+///    with full-weighting restriction and bilinear prolongation, for
+///    production-scale meshes where SOR's O(N) sweep count becomes the
+///    wall.
+/// `SolverOptions::method` picks explicitly; `Auto` consults the
+/// process-wide `GIA_SOLVER` backend (core/solver_backend.hpp), which keeps
+/// the default 48x48 flow mesh on SOR so flow output stays byte-identical.
+/// Meshes whose extents cannot halve (odd, or below the coarsening floor)
+/// always fall back to SOR.
 
 namespace gia::thermal {
 
 struct SolverOptions {
   double sor_omega = 1.9;
   int max_iters = 15000;
-  double tol_k = 5e-5;  ///< max temperature update per sweep [K]
+  double tol_k = 5e-5;  ///< max temperature update per sweep / V-cycle [K]
+
+  enum class Method { Auto, Sor, Multigrid };
+  Method method = Method::Auto;
+
+  int mg_pre_smooth = 2;   ///< red-black z-line sweeps before coarse correction
+  int mg_post_smooth = 2;  ///< sweeps after prolongation
+  /// Stop coarsening when an extent would drop below this. The coarsest
+  /// level is solved exactly (dense LU, factored once) -- essential because
+  /// the weak convective films leave a near-singular global mode that
+  /// smoothing alone cannot resolve -- so the floor is kept low to make
+  /// that factorization trivially small.
+  int mg_min_extent = 4;
 };
 
 struct ThermalField {
@@ -30,6 +54,13 @@ struct ThermalField {
 };
 
 ThermalField solve_steady_state(const ThermalMesh& mesh, const SolverOptions& opts = {});
+
+/// The two concrete methods behind solve_steady_state, exposed for direct
+/// comparison (tests, benches). `iterations` counts SOR sweeps for the
+/// former and V-cycles for the latter. solve_steady_state_multigrid falls
+/// back to SOR when the mesh cannot coarsen at least once.
+ThermalField solve_steady_state_sor(const ThermalMesh& mesh, const SolverOptions& opts = {});
+ThermalField solve_steady_state_multigrid(const ThermalMesh& mesh, const SolverOptions& opts = {});
 
 /// Transient heating from ambient with the mesh's power map applied at
 /// t = 0 (explicit finite-volume stepping; the step size is chosen
