@@ -1,0 +1,221 @@
+/// bench_chiplet_scaling: N-chiplet arrangement engine scaling lane.
+///
+/// Two parts, both on Glass 2.5D with a coarsened netlist so the lane stays
+/// CI-sized:
+///
+///   1. scaling series -- 2 / 16 / 64 chiplets in grid and hex arrangements,
+///      end to end through the generalized flow. Contract: every metric is
+///      finite, routing completes (routed nets > 0), and for each
+///      arrangement the interposer area and total routed wirelength grow
+///      monotonically with the chiplet count.
+///
+///   2. arrangement-sweep reuse gate -- at 16 chiplets, sweep
+///      {grid, hex} x {pitch_scale 1.0, 1.2}. These knobs feed only the
+///      interposer subtree of the stage DAG, so a warm sweep reuses the
+///      expensive netlist_partition and chiplet_pnr artifacts at every
+///      point. Contract: warm sweep >= 5x faster than the cache-disabled
+///      cold sweep, and every warm point serves both upstream stages from
+///      the cache.
+///
+/// Emits the per-point series and the sweep timings in the standard bench
+/// JSON line; exits non-zero when a contract is violated so CI gates on it.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/stagegraph.hpp"
+
+using namespace gia;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr tech::TechnologyKind kTech = tech::TechnologyKind::Glass25D;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+core::FlowOptions system_options(int chiplets, chiplet::Arrangement arr,
+                                 double pitch_scale = 1.0) {
+  core::FlowOptions o;
+  // Coarse clusters keep 64-chiplet PnR CI-sized; every second die is
+  // memory-class, echoing the paper's logic/memory pairing.
+  o.openpiton.cluster_cells = 4000;
+  o.with_eyes = false;
+  o.with_thermal = true;
+  o.thermal_mesh.nx = 12;
+  o.thermal_mesh.ny = 12;
+  o.system.chiplets = chiplets;
+  o.system.arrangement = arr;
+  o.system.memory_every = 2;
+  o.system.pitch_scale = pitch_scale;
+  return o;
+}
+
+struct Point {
+  int chiplets = 0;
+  const char* arrangement = "";
+  double wall_s = 0;
+  double area_mm2 = 0;
+  double total_wl_um = 0;
+  int routed_nets = 0;
+  double ir_drop_v = 0;
+  double hotspot_c = 0;
+  double power_w = 0;
+  bool finite = true;
+};
+
+Point run_point(int chiplets, chiplet::Arrangement arr) {
+  Point p;
+  p.chiplets = chiplets;
+  p.arrangement = chiplet::to_string(arr);
+  const auto t0 = Clock::now();
+  const auto r = core::stage::execute_flow(kTech, system_options(chiplets, arr));
+  p.wall_s = seconds_since(t0);
+  p.area_mm2 = r.interposer.area_mm2();
+  p.total_wl_um = r.interposer.routes.stats.total_wl_um;
+  p.routed_nets = r.interposer.routes.stats.routed_nets;
+  p.ir_drop_v = r.ir_drop.max_drop_v;
+  p.hotspot_c = r.thermal.has_value() ? r.thermal->interposer_hotspot_c : 0;
+  p.power_w = r.total_power_w;
+  p.finite = std::isfinite(p.area_mm2) && std::isfinite(p.total_wl_um) &&
+             std::isfinite(p.ir_drop_v) && std::isfinite(p.hotspot_c) &&
+             std::isfinite(p.power_w) && r.thermal.has_value();
+  return p;
+}
+
+int fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "bench_chiplet_scaling: %s (%s)\n", what, detail.c_str());
+  return 1;
+}
+
+std::string json_of(const Point& p) {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "{\"chiplets\":%d,\"arrangement\":\"%s\",\"wall_s\":%.3f,"
+                "\"area_mm2\":%.3f,\"total_wl_um\":%.1f,\"routed_nets\":%d,"
+                "\"ir_drop_v\":%.6f,\"hotspot_c\":%.2f,\"power_w\":%.4f}",
+                p.chiplets, p.arrangement, p.wall_s, p.area_mm2, p.total_wl_um,
+                p.routed_nets, p.ir_drop_v, p.hotspot_c, p.power_w);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  const auto t0 = Clock::now();
+  int rc = 0;
+
+  // --- Part 1: 2/16/64-chiplet grid + hex series.
+  core::stage::set_stage_cache_enabled(false);
+  core::stage::stage_cache_clear();
+  const int kCounts[] = {2, 16, 64};
+  const chiplet::Arrangement kArrs[] = {chiplet::Arrangement::Grid,
+                                        chiplet::Arrangement::Hex};
+  std::vector<Point> series;
+  for (const auto arr : kArrs) {
+    const Point* prev = nullptr;
+    for (const int k : kCounts) {
+      series.push_back(run_point(k, arr));
+      const Point& p = series.back();
+      std::printf("bench_chiplet_scaling: %2d x %-5s %7.3fs area %8.2f mm2 wl %10.0f um "
+                  "nets %4d ir %.1f mV hotspot %.1f C\n",
+                  p.chiplets, p.arrangement, p.wall_s, p.area_mm2, p.total_wl_um,
+                  p.routed_nets, p.ir_drop_v * 1e3, p.hotspot_c);
+      if (!p.finite) {
+        rc = fail("non-finite metric", json_of(p));
+      }
+      if (p.routed_nets <= 0) {
+        rc = fail("router completed no nets", json_of(p));
+      }
+      if (prev != nullptr) {
+        if (p.area_mm2 <= prev->area_mm2) {
+          rc = fail("interposer area must grow with chiplet count", json_of(p));
+        }
+        if (p.total_wl_um <= prev->total_wl_um) {
+          rc = fail("routed wirelength must grow with chiplet count", json_of(p));
+        }
+      }
+      prev = &series.back();
+    }
+  }
+
+  // --- Part 2: arrangement-sweep stage-cache reuse gate at 16 chiplets.
+  // The sweep uses a finer netlist than the series: the reused upstream
+  // stages (K-way partition + 16 chiplet PnRs) then dominate the cold cost,
+  // which is exactly the workload the cache exists for.
+  const auto sweep_options = [](chiplet::Arrangement arr, double pitch) {
+    core::FlowOptions o = system_options(16, arr, pitch);
+    o.openpiton.cluster_cells = 1000;
+    o.with_thermal = false;
+    return o;
+  };
+  struct SweepPoint {
+    chiplet::Arrangement arr;
+    double pitch;
+  };
+  const SweepPoint sweep[] = {{chiplet::Arrangement::Grid, 1.0},
+                              {chiplet::Arrangement::Hex, 1.0},
+                              {chiplet::Arrangement::Grid, 1.2},
+                              {chiplet::Arrangement::Hex, 1.2}};
+
+  core::stage::set_stage_cache_enabled(false);
+  core::stage::stage_cache_clear();
+  const auto cold0 = Clock::now();
+  for (const auto& sp : sweep) {
+    (void)core::stage::execute_flow(kTech, sweep_options(sp.arr, sp.pitch));
+  }
+  const double cold_s = seconds_since(cold0);
+
+  core::stage::set_stage_cache_enabled(true);
+  core::stage::stage_cache_clear();
+  // Prime with a pitch outside the sweep: the upstream stages land in the
+  // cache, every sweep point then recomputes only the interposer subtree.
+  (void)core::stage::execute_flow(kTech, sweep_options(chiplet::Arrangement::Grid, 1.4));
+  const auto warm0 = Clock::now();
+  bool warm_reuse_ok = true;
+  for (const auto& sp : sweep) {
+    core::stage::StageRunRecord rec;
+    (void)core::stage::execute_flow(kTech, sweep_options(sp.arr, sp.pitch), &rec);
+    using Outcome = core::stage::StageRunRecord::Outcome;
+    if (rec.outcome[core::stage::idx(core::stage::StageId::NetlistPartition)] ==
+            Outcome::Computed ||
+        rec.outcome[core::stage::idx(core::stage::StageId::ChipletPnr)] == Outcome::Computed) {
+      warm_reuse_ok = false;
+    }
+  }
+  const double warm_s = seconds_since(warm0);
+  const double speedup = warm_s > 0 ? cold_s / warm_s : 0;
+
+  if (speedup < 5.0) {
+    rc = fail("arrangement sweep must be >= 5x faster warm than cold",
+              "speedup=" + std::to_string(speedup));
+  }
+  if (!warm_reuse_ok) {
+    rc = fail("warm sweep points must reuse netlist_partition and chiplet_pnr", "");
+  }
+
+  std::printf("bench_chiplet_scaling: arrangement sweep cold %.3fs warm %.3fs -> %.1fx "
+              "(upstream reuse %s)\n",
+              cold_s, warm_s, speedup, warm_reuse_ok ? "ok" : "VIOLATED");
+
+  std::string extra = "\"series\":[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) extra += ",";
+    extra += json_of(series[i]);
+  }
+  extra += "]";
+  extra += ",\"sweep_cold_s\":" + std::to_string(cold_s);
+  extra += ",\"sweep_warm_s\":" + std::to_string(warm_s);
+  extra += ",\"sweep_speedup\":" + std::to_string(speedup);
+  extra += ",\"stage_cache\":" + core::stage::stage_cache_stats_json();
+  gia::bench::print_json_line(argv[0], seconds_since(t0), extra);
+  core::instrument::emit_report();
+  return rc;
+}

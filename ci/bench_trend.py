@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Merge bench JSON lines from CI artifact directories into bench_trend.json.
+
+Every bench binary emits one machine-readable line per run, prefixed
+'{"bench":...}'; the smoke jobs grep those lines into BENCH_*.jsonl files
+inside their artifact directories. This script walks one or more of those
+directories, parses every *.jsonl line, and writes a single trend document:
+
+    {
+      "schema": 1,
+      "run": {"commit": ..., "compiler": ..., "build_type": ...,
+              "generated_utc": ...},
+      "benches": [ {<bench line>, "source": "<jsonl file>"} , ... ]
+    }
+
+Stdlib only; exits non-zero on malformed input so CI surfaces a broken
+bench emitter instead of silently uploading a partial trend file.
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import sys
+
+
+def collect(dirs):
+    benches = []
+    files = []
+    for d in dirs:
+        root = pathlib.Path(d)
+        if not root.is_dir():
+            sys.exit(f"bench_trend: not a directory: {d}")
+        files.extend(sorted(root.rglob("*.jsonl")))
+    if not files:
+        sys.exit("bench_trend: no *.jsonl files found in " + ", ".join(dirs))
+    for f in files:
+        for lineno, line in enumerate(f.read_text().splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"bench_trend: {f}:{lineno}: bad JSON line: {e}")
+            if "bench" not in rec:
+                sys.exit(f"bench_trend: {f}:{lineno}: line lacks a 'bench' key")
+            rec["source"] = f.name
+            benches.append(rec)
+    return benches
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--commit", required=True, help="git commit SHA of the run")
+    ap.add_argument("--compiler", required=True, help="compiler used for the benches")
+    ap.add_argument("--build-type", required=True, help="CMake build type of the benches")
+    ap.add_argument("--out", required=True, help="output bench_trend.json path")
+    ap.add_argument("dirs", nargs="+", help="artifact directories holding *.jsonl files")
+    args = ap.parse_args()
+
+    benches = collect(args.dirs)
+    doc = {
+        "schema": 1,
+        "run": {
+            "commit": args.commit,
+            "compiler": args.compiler,
+            "build_type": args.build_type,
+            "generated_utc": datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds"),
+        },
+        "benches": benches,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"bench_trend: merged {len(benches)} bench lines into {args.out}")
+
+
+if __name__ == "__main__":
+    main()

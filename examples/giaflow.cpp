@@ -1,6 +1,10 @@
 /// giaflow: the unified command-line driver for the toolkit.
 ///
-///   giaflow flow <tech>                 run the full co-design flow
+///   giaflow flow <tech> [--chiplets N] [--arrangement grid|hex|placed]
+///                 [--memory-every N] [--pitch-scale X] [--placed "x:y;..."]
+///                                       run the full co-design flow; the
+///                                       system flags generalize it from the
+///                                       paper's 2-tile study to N chiplets
 ///   giaflow netlist <out.gnl>           generate + dump the OpenPiton netlist
 ///   giaflow layout <tech> <out.svg>     route and render the interposer
 ///   giaflow eye <tech> <len_um> <gbps>  eye metrics for a channel
@@ -26,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "chiplet/system.hpp"
 #include "core/flow.hpp"
 #include "core/instrument.hpp"
 #include "core/links.hpp"
@@ -52,7 +57,8 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  giaflow [--threads N] [--trace] <command> ...\n"
-               "  giaflow flow <tech>\n"
+               "  giaflow flow <tech> [--chiplets N] [--arrangement grid|hex|placed]\n"
+               "               [--memory-every N] [--pitch-scale X] [--placed \"x:y;...\"]\n"
                "  giaflow netlist <out.gnl>\n"
                "  giaflow layout <tech> <out.svg>\n"
                "  giaflow eye <tech> <len_um> <gbps>\n"
@@ -103,10 +109,42 @@ int main(int argc, char** argv) {
   tech::TechnologyKind kind;
   int rc = -1;
 
-  if (cmd == "flow" && n == 2 && parse_tech(args[1], &kind)) {
+  if (cmd == "flow" && n >= 2 && parse_tech(args[1], &kind)) {
     core::FlowOptions opts;
     opts.with_eyes = true;
+    bool ok = true;
+    for (int i = 2; i < n; ++i) {
+      const std::string a = args[i];
+      if (a == "--chiplets" && i + 1 < n) {
+        opts.system.chiplets = std::atoi(args[++i]);
+      } else if (a == "--arrangement" && i + 1 < n) {
+        if (!chiplet::parse_arrangement(args[++i], &opts.system.arrangement)) {
+          std::fprintf(stderr, "giaflow flow: unknown arrangement %s\n", args[i]);
+          ok = false;
+        }
+      } else if (a == "--memory-every" && i + 1 < n) {
+        opts.system.memory_every = std::atoi(args[++i]);
+      } else if (a == "--pitch-scale" && i + 1 < n) {
+        opts.system.pitch_scale = std::atof(args[++i]);
+      } else if (a == "--placed" && i + 1 < n) {
+        opts.system.placed = args[++i];
+      } else {
+        std::fprintf(stderr, "giaflow flow: unknown option %s\n", a.c_str());
+        ok = false;
+      }
+    }
+    // `--chiplets N` alone implies a grid: requiring an explicit
+    // --arrangement for every N != 2 invocation would just be a trap.
+    if (opts.system.chiplets != 2 && opts.system.is_legacy()) {
+      opts.system.arrangement = chiplet::Arrangement::Grid;
+    }
+    if (!ok) return usage();
     const auto r = core::run_full_flow(kind, opts);
+    if (!opts.system.is_legacy()) {
+      std::printf("%s: %zu chiplets (%s), %zu die-to-die lanes\n",
+                  r.technology.name.c_str(), r.interposer.floorplan.dies.size(),
+                  chiplet::to_string(opts.system.arrangement), r.interposer.adjacency.size());
+    }
     std::printf("%s: power %.1f mW, Fmax %.0f MHz, interposer %.2f mm2, "
                 "L2M %.1f ps / eye %.2f ns, PDN Z(1GHz) %.3f ohm, IR %.1f mV\n",
                 r.technology.name.c_str(), r.total_power_w * 1e3, r.system_fmax_hz / 1e6,

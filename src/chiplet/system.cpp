@@ -1,0 +1,132 @@
+#include "chiplet/system.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace gia::chiplet {
+
+const char* to_string(Arrangement a) {
+  switch (a) {
+    case Arrangement::Legacy: return "legacy";
+    case Arrangement::Grid: return "grid";
+    case Arrangement::Hex: return "hex";
+    case Arrangement::Placed: return "placed";
+  }
+  return "legacy";
+}
+
+bool parse_arrangement(const std::string& text, Arrangement* out) {
+  if (text == "legacy") *out = Arrangement::Legacy;
+  else if (text == "grid") *out = Arrangement::Grid;
+  else if (text == "hex") *out = Arrangement::Hex;
+  else if (text == "placed") *out = Arrangement::Placed;
+  else return false;
+  return true;
+}
+
+bool SystemConfig::is_default() const {
+  return arrangement == Arrangement::Legacy && chiplets == 2 &&
+         memory_every == 0 && die_scale == 1.0 && power_scale == 1.0 &&
+         memory_die_scale == 1.0 && memory_power_scale == 1.0 &&
+         pitch_scale == 1.0 && placed.empty();
+}
+
+namespace {
+
+double parse_coord(const std::string& tok) {
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(tok, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("system.placed: bad coordinate '" + tok + "'");
+  }
+  if (used != tok.size() || !std::isfinite(v)) {
+    throw std::invalid_argument("system.placed: bad coordinate '" + tok + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<PlacedPosition> SystemConfig::placed_positions() const {
+  std::vector<PlacedPosition> out;
+  if (placed.empty()) return out;
+  std::size_t start = 0;
+  while (start <= placed.size()) {
+    std::size_t semi = placed.find(';', start);
+    if (semi == std::string::npos) semi = placed.size();
+    const std::string entry = placed.substr(start, semi - start);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("system.placed: entry '" + entry +
+                                  "' is not x:y");
+    }
+    PlacedPosition p;
+    p.x_um = parse_coord(entry.substr(0, colon));
+    p.y_um = parse_coord(entry.substr(colon + 1));
+    out.push_back(p);
+    if (semi == placed.size()) break;
+    start = semi + 1;
+  }
+  return out;
+}
+
+std::string encode_placed(const std::vector<PlacedPosition>& pos) {
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (i) out += ';';
+    std::snprintf(buf, sizeof buf, "%g:%g", pos[i].x_um, pos[i].y_um);
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+void check_scale(const char* name, double v) {
+  if (!std::isfinite(v) || v < 0.01 || v > 100.0) {
+    throw std::invalid_argument(std::string("system.") + name +
+                                " must be finite and in [0.01, 100]");
+  }
+}
+
+}  // namespace
+
+void validate_system(const SystemConfig& sys) {
+  if (sys.is_legacy()) {
+    if (sys.chiplets != 2) {
+      throw std::invalid_argument(
+          "system.arrangement=legacy supports only chiplets=2; use "
+          "grid/hex/placed for N-chiplet systems");
+    }
+    return;  // legacy mode ignores the remaining knobs
+  }
+  if (sys.chiplets < 1 || sys.chiplets > 256) {
+    throw std::invalid_argument("system.chiplets must be in [1, 256]");
+  }
+  if (sys.memory_every < 0 || sys.memory_every > sys.chiplets) {
+    throw std::invalid_argument(
+        "system.memory_every must be in [0, chiplets]");
+  }
+  check_scale("die_scale", sys.die_scale);
+  check_scale("power_scale", sys.power_scale);
+  check_scale("memory_die_scale", sys.memory_die_scale);
+  check_scale("memory_power_scale", sys.memory_power_scale);
+  check_scale("pitch_scale", sys.pitch_scale);
+  if (sys.arrangement == Arrangement::Placed) {
+    const auto pos = sys.placed_positions();
+    if (static_cast<int>(pos.size()) != sys.chiplets) {
+      throw std::invalid_argument(
+          "system.placed must list exactly system.chiplets positions");
+    }
+  } else if (!sys.placed.empty()) {
+    throw std::invalid_argument(
+        "system.placed is only meaningful with arrangement=placed");
+  }
+}
+
+}  // namespace gia::chiplet

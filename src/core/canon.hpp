@@ -43,6 +43,14 @@ struct Writer {
   std::string prefix;
 
   void begin(const char* name) { prefix += std::string(name) + "."; }
+  /// Optional section: entered (and rendered) only when `nondefault`, so a
+  /// block whose every field is at its default hashes identically to a
+  /// schema that predates the block. Callers skip the matching `end()` when
+  /// this returns false.
+  bool begin_optional(const char* name, bool nondefault) {
+    if (nondefault) begin(name);
+    return nondefault;
+  }
   void end() { prefix.erase(prefix.rfind('.', prefix.size() - 2) + 1); }
   void line(const char* name, const std::string& value) {
     out += prefix;

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "chiplet/pnr_flow.hpp"
+#include "chiplet/system.hpp"
 #include "interposer/design.hpp"
 #include "netlist/openpiton.hpp"
 #include "netlist/serdes.hpp"
@@ -38,6 +39,11 @@ enum class PartitionMode {
 };
 
 struct FlowOptions {
+  /// N-chiplet system description. The default (Arrangement::Legacy) runs
+  /// the paper's fixed two-tile study byte-identically to the pre-system
+  /// schema; grid/hex/placed arrangements run the generalized K-chiplet
+  /// path (interposer technologies only).
+  chiplet::SystemConfig system;
   netlist::OpenPitonConfig openpiton;
   netlist::SerDesConfig serdes;
   PartitionMode partition_mode = PartitionMode::Hierarchical;

@@ -10,12 +10,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "core/canon.hpp"
 #include "core/instrument.hpp"
 #include "core/json.hpp"
 #include "core/links.hpp"
 #include "core/parallel.hpp"
 #include "partition/hierarchical.hpp"
+#include "partition/metrics.hpp"
 #include "tech/library.hpp"
 
 namespace gia::core::stage {
@@ -38,6 +43,55 @@ constexpr std::array<StageInfo, kStageCount> kRegistry = {{
     {StageId::Rollup, "rollup", "flow/rollup", false, 3,
      {StageId::NetlistPartition, StageId::ChipletPnr, StageId::Links}},
 }};
+
+/// Mesh/grid growth factor for a K-chiplet system against the legacy 4-die
+/// baseline: resolutions scale with the lattice side so cell size stays
+/// roughly constant over the bounding floorplan.
+int system_mesh_factor(int chiplets) {
+  return std::max(1, static_cast<int>(std::ceil(std::sqrt(chiplets / 4.0))));
+}
+
+/// The `system.*` knobs a stage reads in generalized N-chiplet mode. Legacy
+/// mode writes nothing: legacy stage bodies ignore the system block
+/// wholesale, so stage keys (and cached artifacts) stay byte-identical to
+/// the pre-system schema. Knobs a stage only consumes through an upstream
+/// artifact (e.g. `chiplets` downstream of netlist_partition) are covered by
+/// the dep keys and not re-declared.
+void write_system_knobs(StageId id, const FlowOptions& o, canon::Writer& w) {
+  const chiplet::SystemConfig& s = o.system;
+  if (s.is_legacy()) return;
+  std::string arrangement = chiplet::to_string(s.arrangement);
+  w.begin("system");
+  switch (id) {
+    case StageId::NetlistPartition:
+      w.field("chiplets", s.chiplets);
+      break;
+    case StageId::ChipletPnr:
+      w.field("memory_every", s.memory_every);
+      w.field("die_scale", s.die_scale);
+      w.field("memory_die_scale", s.memory_die_scale);
+      break;
+    case StageId::Interposer:
+      w.line("arrangement", arrangement);
+      w.field("memory_every", s.memory_every);
+      w.field("die_scale", s.die_scale);
+      w.field("memory_die_scale", s.memory_die_scale);
+      w.field("pitch_scale", s.pitch_scale);
+      w.line("placed", s.placed);
+      break;
+    case StageId::Links:
+    case StageId::Eyes:
+      break;  // fully determined by upstream artifacts
+    case StageId::Pdn:
+    case StageId::Thermal:
+    case StageId::Rollup:
+      w.field("memory_every", s.memory_every);
+      w.field("power_scale", s.power_scale);
+      w.field("memory_power_scale", s.memory_power_scale);
+      break;
+  }
+  w.end();
+}
 
 void write_knobs(StageId id, const FlowOptions& o, canon::Writer& w) {
   switch (id) {
@@ -140,6 +194,7 @@ void write_knobs(StageId id, const FlowOptions& o, canon::Writer& w) {
       break;
     }
   }
+  write_system_knobs(id, o, w);
 }
 
 // --- Process-wide stage-artifact cache: sharded LRU over type-erased
@@ -340,6 +395,40 @@ ArtifactPtr run_stage(const Ctx& c, StageId id) {
   switch (id) {
     case StageId::NetlistPartition: {
       auto a = std::make_shared<NetlistPartitionArtifact>();
+      if (!o.system.is_legacy()) {
+        // Generalized K-way mode: one netlist tile per chiplet, K-way
+        // min-cut assignment, per-chiplet views and pairwise wire demand.
+        const int k = o.system.chiplets;
+        netlist::OpenPitonConfig op = o.openpiton;
+        op.tiles = k;
+        a->net = netlist::build_openpiton(op);
+        a->serdes = netlist::apply_serdes(a->net, o.serdes);
+        partition::KwayConfig kc;
+        kc.parts = k;
+        kc.balance_tolerance = o.fm.balance_tolerance;
+        kc.max_passes = o.fm.max_passes;
+        kc.seed = o.fm.seed;
+        a->kway = partition::kway_partition(a->net, kc);
+        a->pairs = partition::pair_cuts(a->net, a->kway.part, k);
+        a->parts.reserve(static_cast<std::size_t>(k));
+        for (int i = 0; i < k; ++i) {
+          const ChipletSide cls =
+              o.system.memory_class(i) ? ChipletSide::Memory : ChipletSide::Logic;
+          a->parts.push_back(netlist::extract_part(a->net, a->kway.part, i, cls));
+        }
+        // Legacy-shaped summary so TechnologyResult consumers keep working:
+        // every instance carries its chiplet's die class.
+        a->partition.side.resize(a->kway.part.size());
+        for (std::size_t j = 0; j < a->kway.part.size(); ++j) {
+          a->partition.side[j] = o.system.memory_class(a->kway.part[j])
+                                     ? ChipletSide::Memory
+                                     : ChipletSide::Logic;
+        }
+        a->partition.cut_wires = static_cast<int>(a->kway.cut_wires);
+        a->partition.memory_fraction =
+            partition::memory_cell_fraction(a->net, a->partition.side);
+        return a;
+      }
       a->net = netlist::build_openpiton(o.openpiton);
       a->serdes = netlist::apply_serdes(a->net, o.serdes);
       a->partition = o.partition_mode == PartitionMode::Hierarchical
@@ -353,6 +442,35 @@ ArtifactPtr run_stage(const Ctx& c, StageId id) {
       const auto& np = dep<NetlistPartitionArtifact>(c, StageId::NetlistPartition);
       const tech::Technology technology = tech::make_technology(c.kind);
       auto a = std::make_shared<ChipletPnrArtifact>();
+      if (!o.system.is_legacy()) {
+        const int k = o.system.chiplets;
+        std::vector<chiplet::BumpPlan> plans(static_cast<std::size_t>(k));
+        for (int i = 0; i < k; ++i) {
+          const auto& part = np.parts[static_cast<std::size_t>(i)];
+          plans[static_cast<std::size_t>(i)] = chiplet::plan_bumps(
+              std::max(1, part.io_signals), part.cell_area_um2 * o.system.die_scale_of(i),
+              o.system.memory_class(i), technology);
+        }
+        a->sys_pnr.resize(static_cast<std::size_t>(k));
+        parallel_for(static_cast<std::size_t>(k), [&](std::size_t i) {
+          a->sys_pnr[i] = chiplet::run_chiplet_pnr(np.net, np.parts[i], technology, plans[i],
+                                                   o.pnr);
+        });
+        // Table II/III representatives: first logic-class and first
+        // memory-class chiplet (last chiplet in single-class systems).
+        a->plans.logic = plans.front();
+        a->plans.memory = plans.back();
+        a->logic = a->sys_pnr.front();
+        a->memory = a->sys_pnr.back();
+        for (int i = 0; i < k; ++i) {
+          if (o.system.memory_class(i)) {
+            a->plans.memory = plans[static_cast<std::size_t>(i)];
+            a->memory = a->sys_pnr[static_cast<std::size_t>(i)];
+            break;
+          }
+        }
+        return a;
+      }
       a->plans = chiplet::plan_chiplet_pair(np.logic_nl.io_signals, np.mem_nl.io_signals,
                                             np.logic_nl.cell_area_um2, np.mem_nl.cell_area_um2,
                                             technology);
@@ -362,6 +480,22 @@ ArtifactPtr run_stage(const Ctx& c, StageId id) {
     }
     case StageId::Interposer: {
       const auto& np = dep<NetlistPartitionArtifact>(c, StageId::NetlistPartition);
+      if (!o.system.is_legacy()) {
+        const int k = o.system.chiplets;
+        interposer::SystemInputs si;
+        si.signal_ios.reserve(static_cast<std::size_t>(k));
+        si.cell_area_um2.reserve(static_cast<std::size_t>(k));
+        for (int i = 0; i < k; ++i) {
+          const auto& part = np.parts[static_cast<std::size_t>(i)];
+          si.signal_ios.push_back(part.io_signals);
+          si.cell_area_um2.push_back(part.cell_area_um2);
+        }
+        si.pairs.reserve(np.pairs.size());
+        for (const auto& pc : np.pairs) si.pairs.push_back({pc.a, pc.b, pc.wires});
+        auto a = std::make_shared<InterposerArtifact>();
+        a->design = interposer::build_system_design(c.kind, o.system, si, o.router);
+        return a;
+      }
       interposer::ChipletInputs inputs;
       inputs.logic_signal_ios = np.logic_nl.io_signals;
       inputs.memory_signal_ios = np.mem_nl.io_signals;
@@ -393,7 +527,19 @@ ArtifactPtr run_stage(const Ctx& c, StageId id) {
       a->model = pdn::build_pdn_model(ip.design);
       a->impedance = pdn::impedance_profile(a->model);
       if (ip.design.technology.has_interposer()) {
-        a->ir_drop = pdn::solve_ir_drop(ip.design);
+        if (!o.system.is_legacy()) {
+          // Load current scales with the system's power classes (legacy
+          // baseline: 4 unit-power dies); the mesh tracks the bounding
+          // floorplan so cell size stays roughly constant.
+          pdn::IrDropOptions io;
+          double power_units = 0;
+          for (int i = 0; i < o.system.chiplets; ++i) power_units += o.system.power_scale_of(i);
+          io.total_current_a *= power_units / 4.0;
+          io.grid_n = std::min(96, io.grid_n * system_mesh_factor(o.system.chiplets));
+          a->ir_drop = pdn::solve_ir_drop(ip.design, io);
+        } else {
+          a->ir_drop = pdn::solve_ir_drop(ip.design);
+        }
       }
       a->settling = pdn::simulate_settling(a->model);
       return a;
@@ -402,7 +548,17 @@ ArtifactPtr run_stage(const Ctx& c, StageId id) {
       auto a = std::make_shared<ThermalArtifact>();
       if (o.with_thermal) {
         const auto& ip = dep<InterposerArtifact>(c, StageId::Interposer);
-        a->report = thermal::run_thermal(ip.design, o.thermal_mesh);
+        if (!o.system.is_legacy()) {
+          thermal::MeshOptions mo = o.thermal_mesh;
+          mo.logic_power_w *= o.system.power_scale;
+          mo.memory_power_w *= o.system.power_scale * o.system.memory_power_scale;
+          const int f = system_mesh_factor(o.system.chiplets);
+          mo.nx = std::min(192, mo.nx * f);
+          mo.ny = std::min(192, mo.ny * f);
+          a->report = thermal::run_thermal(ip.design, mo);
+        } else {
+          a->report = thermal::run_thermal(ip.design, o.thermal_mesh);
+        }
       }
       return a;
     }
@@ -411,6 +567,33 @@ ArtifactPtr run_stage(const Ctx& c, StageId id) {
       const auto& pn = dep<ChipletPnrArtifact>(c, StageId::ChipletPnr);
       const auto& ln = dep<LinksArtifact>(c, StageId::Links);
       auto a = std::make_shared<RollupArtifact>();
+      if (!o.system.is_legacy()) {
+        double chip_power_w = 0;
+        double fmax = std::numeric_limits<double>::infinity();
+        for (int i = 0; i < o.system.chiplets; ++i) {
+          const auto& pr = pn.sys_pnr[static_cast<std::size_t>(i)];
+          chip_power_w += pr.power.total_w * o.system.power_scale_of(i);
+          fmax = std::min(fmax, pr.fmax_hz);
+        }
+        // Lane wires by class: a pair with exactly one memory-class endpoint
+        // carries L2M lanes, all others L2L.
+        long l2m_wires = 0, l2l_wires = 0;
+        for (const auto& pc : np.pairs) {
+          const bool mixed = o.system.memory_class(pc.a) != o.system.memory_class(pc.b);
+          (mixed ? l2m_wires : l2l_wires) += pc.wires;
+        }
+        const double lane_l2m = ln.l2m.result.driver_power_w +
+                                o.rollup_activity_scale * ln.l2m.result.interconnect_power_w;
+        const double lane_l2l = ln.l2l.result.driver_power_w +
+                                o.rollup_activity_scale * ln.l2l.result.interconnect_power_w;
+        a->total_power_w = chip_power_w + static_cast<double>(l2m_wires) * lane_l2m +
+                           static_cast<double>(l2l_wires) * lane_l2l;
+        a->system_fmax_hz = fmax;
+        const double period = 1.0 / o.pnr.target_freq_hz;
+        a->link_timing_met = ln.l2m.result.total_delay_s < period &&
+                             ln.l2l.result.total_delay_s < period;
+        return a;
+      }
       const int l2m_lanes = 2 * np.mem_nl.io_signals;
       const int l2l_lanes = np.serdes.wires_after;
       const double lane_power_l2m = ln.l2m.result.driver_power_w +
@@ -510,6 +693,16 @@ TechnologyResult execute_flow(tech::TechnologyKind kind, const FlowOptions& opts
                               StageRunRecord* record) {
   if (kind == tech::TechnologyKind::Monolithic2D) {
     throw std::invalid_argument("use run_monolithic_reference for the 2D reference");
+  }
+  chiplet::validate_system(opts.system);
+  if (!opts.system.is_legacy()) {
+    const tech::Technology t = tech::make_technology(kind);
+    if (t.integration != tech::IntegrationStyle::SideBySide &&
+        t.integration != tech::IntegrationStyle::EmbeddedDie) {
+      throw std::invalid_argument(
+          "N-chiplet arrangements need an interposer technology (2.5D or embedded-die): " +
+          std::string(tech::short_name(kind)));
+    }
   }
   Ctx c{kind, opts, compute_stage_keys(kind, opts), {}};
   for (const auto& wave : waves()) {

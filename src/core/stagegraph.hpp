@@ -6,7 +6,10 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "core/flow.hpp"
+#include "partition/kway.hpp"
 
 /// \file stagegraph.hpp
 /// The co-design flow of Fig 4 as an explicit stage DAG. Each stage
@@ -94,11 +97,20 @@ struct NetlistPartitionArtifact {
   netlist::SerDesReport serdes;
   partition::PartitionResult partition;
   netlist::ChipletNetlist logic_nl, mem_nl;
+  // Generalized N-chiplet mode (system.arrangement != legacy) only; empty
+  // in legacy runs. `partition` then summarizes the K-way cut (side = die
+  // class per instance).
+  partition::KwayResult kway;
+  std::vector<netlist::ChipletNetlist> parts;  ///< per-chiplet views
+  std::vector<partition::PairCut> pairs;       ///< inter-chiplet wire demand
 };
 
 struct ChipletPnrArtifact {
   chiplet::ChipletPair plans;               // Table II
   chiplet::ChipletPnrResult logic, memory;  // Table III
+  /// Generalized mode: per-chiplet PnR results (`logic`/`memory` then hold
+  /// the first logic-/memory-class representatives). Empty in legacy runs.
+  std::vector<chiplet::ChipletPnrResult> sys_pnr;
 };
 
 struct InterposerArtifact {

@@ -1,0 +1,169 @@
+#include "interposer/arrangement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace gia::interposer {
+
+using geometry::Point;
+using geometry::Rect;
+using netlist::ChipletSide;
+
+namespace {
+
+double margin_for(const tech::Technology& tech, const FloorplanOptions& opts) {
+  if (tech.kind == tech::TechnologyKind::Glass25D ||
+      tech.kind == tech::TechnologyKind::Glass3D) {
+    return opts.glass_margin_um;
+  }
+  if (tech.kind == tech::TechnologyKind::Shinko || tech.kind == tech::TechnologyKind::APX) {
+    return opts.organic_margin_um;
+  }
+  return opts.silicon_margin_um;
+}
+
+void add_die(ArrangedSystem& arr, const chiplet::SystemConfig& sys,
+             const std::vector<chiplet::BumpPlan>& plans, int i, Point center) {
+  const double w = plans[static_cast<std::size_t>(i)].width_um;
+  const bool mem = sys.memory_class(i);
+  PlacedDie die;
+  die.name = "chiplet" + std::to_string(i) + (mem ? "/mem" : "/logic");
+  die.side = mem ? ChipletSide::Memory : ChipletSide::Logic;
+  die.tile = i;
+  die.outline = Rect::from_center(center, w, w);
+  die.embedded = false;
+  die.plan = &plans[static_cast<std::size_t>(i)];
+  arr.floorplan.dies.push_back(std::move(die));
+}
+
+void add_pair(ArrangedSystem& arr, int a, int b) {
+  if (a > b) std::swap(a, b);
+  arr.adjacency.push_back({a, b});
+}
+
+}  // namespace
+
+ArrangedSystem arrange_chiplets(const tech::Technology& tech,
+                                const chiplet::SystemConfig& sys,
+                                const std::vector<chiplet::BumpPlan>& plans,
+                                const FloorplanOptions& opts) {
+  const int k = static_cast<int>(plans.size());
+  if (k < 1) throw std::invalid_argument("arrange_chiplets: no chiplets");
+  if (sys.arrangement == chiplet::Arrangement::Legacy) {
+    throw std::invalid_argument("arrange_chiplets: legacy uses place_dies");
+  }
+
+  double max_w = 0;
+  for (const auto& p : plans) max_w = std::max(max_w, p.width_um);
+  const double gap = tech.rules.die_to_die_spacing_um * sys.pitch_scale;
+  const double pitch = max_w + gap;
+  const double margin = margin_for(tech, opts);
+
+  ArrangedSystem arr;
+  switch (sys.arrangement) {
+    case chiplet::Arrangement::Grid: {
+      const int cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(k))));
+      const int rows = (k + cols - 1) / cols;
+      arr.cols = cols;
+      arr.rows = rows;
+      for (int i = 0; i < k; ++i) {
+        const int r = i / cols, c = i % cols;
+        add_die(arr, sys, plans, i,
+                {margin + c * pitch + max_w / 2, margin + r * pitch + max_w / 2});
+        if (c + 1 < cols && i + 1 < k && (i + 1) / cols == r) add_pair(arr, i, i + 1);
+        if (i + cols < k) add_pair(arr, i, i + cols);
+      }
+      arr.floorplan.outline = {0, 0, margin * 2 + (cols - 1) * pitch + max_w,
+                               margin * 2 + (rows - 1) * pitch + max_w};
+      break;
+    }
+    case chiplet::Arrangement::Hex: {
+      // HexaMesh-style offset rows: odd rows shift half a pitch right, row
+      // spacing is the hexagonal-packing pitch * sqrt(3)/2, and interior
+      // chiplets see 6 neighbors (2 in-row + 2 per adjacent row).
+      const int cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(k))));
+      const int rows = (k + cols - 1) / cols;
+      arr.cols = cols;
+      arr.rows = rows;
+      const double vpitch = pitch * std::sqrt(3.0) / 2.0;
+      auto index_of = [&](int r, int c) {
+        const int i = r * cols + c;
+        return (r >= 0 && c >= 0 && c < cols && i < k) ? i : -1;
+      };
+      for (int i = 0; i < k; ++i) {
+        const int r = i / cols, c = i % cols;
+        const double shift = (r % 2 == 1) ? pitch / 2 : 0.0;
+        add_die(arr, sys, plans, i,
+                {margin + shift + c * pitch + max_w / 2,
+                 margin + r * vpitch + max_w / 2});
+        // odd-r offset neighbors: row above pairs with (c-1, c) for even
+        // rows and (c, c+1) for odd rows.
+        if (index_of(r, c + 1) >= 0) add_pair(arr, i, index_of(r, c + 1));
+        const int dc = (r % 2 == 1) ? 0 : -1;
+        for (int j = 0; j < 2; ++j) {
+          const int n = index_of(r + 1, c + dc + j);
+          if (n >= 0) add_pair(arr, i, n);
+        }
+      }
+      arr.floorplan.outline = {0, 0,
+                               margin * 2 + (cols - 1) * pitch + max_w +
+                                   (rows > 1 ? pitch / 2 : 0.0),
+                               margin * 2 + (rows - 1) * vpitch + max_w};
+      break;
+    }
+    case chiplet::Arrangement::Placed: {
+      const auto pos = sys.placed_positions();
+      if (static_cast<int>(pos.size()) != k) {
+        throw std::invalid_argument("arrange_chiplets: placed positions != chiplets");
+      }
+      // Normalize so the lowest die corner sits at the margin.
+      double min_x = 0, min_y = 0;
+      for (int i = 0; i < k; ++i) {
+        const double w = plans[static_cast<std::size_t>(i)].width_um;
+        const double lx = pos[static_cast<std::size_t>(i)].x_um - w / 2;
+        const double ly = pos[static_cast<std::size_t>(i)].y_um - w / 2;
+        if (i == 0 || lx < min_x) min_x = lx;
+        if (i == 0 || ly < min_y) min_y = ly;
+      }
+      double max_x = 0, max_y = 0;
+      for (int i = 0; i < k; ++i) {
+        add_die(arr, sys, plans, i,
+                {pos[static_cast<std::size_t>(i)].x_um - min_x + margin,
+                 pos[static_cast<std::size_t>(i)].y_um - min_y + margin});
+        const auto& o = arr.floorplan.dies.back().outline;
+        max_x = std::max(max_x, o.ux);
+        max_y = std::max(max_y, o.uy);
+      }
+      // PlaceIT-style placement-derived adjacency: dies whose centers sit
+      // within 1.25 pitches are neighbors (excludes grid diagonals at
+      // sqrt(2) pitches).
+      const double reach = 1.25 * pitch;
+      for (int a = 0; a < k; ++a) {
+        for (int b = a + 1; b < k; ++b) {
+          const Point ca = arr.floorplan.dies[static_cast<std::size_t>(a)].outline.center();
+          const Point cb = arr.floorplan.dies[static_cast<std::size_t>(b)].outline.center();
+          if (std::hypot(cb.x - ca.x, cb.y - ca.y) <= reach) add_pair(arr, a, b);
+        }
+      }
+      arr.floorplan.outline = {0, 0, max_x + margin, max_y + margin};
+      break;
+    }
+    case chiplet::Arrangement::Legacy:
+      break;  // unreachable; rejected above
+  }
+  std::sort(arr.adjacency.begin(), arr.adjacency.end());
+  return arr;
+}
+
+std::vector<int> neighbor_counts(const ArrangedSystem& arr) {
+  std::vector<int> deg(arr.floorplan.dies.size(), 0);
+  for (const auto& [a, b] : arr.adjacency) {
+    ++deg[static_cast<std::size_t>(a)];
+    ++deg[static_cast<std::size_t>(b)];
+  }
+  return deg;
+}
+
+}  // namespace gia::interposer

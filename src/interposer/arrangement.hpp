@@ -1,0 +1,43 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "chiplet/system.hpp"
+#include "interposer/floorplan.hpp"
+
+/// \file arrangement.hpp
+/// N-chiplet die placement and neighbor adjacency. Grid arrangements are the
+/// classic row-major near-square array with 4-neighbor adjacency; hex
+/// arrangements are HexaMesh-style offset rows (odd rows shifted half a
+/// pitch) with 6-neighbor adjacency, trading a slightly taller bounding box
+/// for a lower network diameter; placed arrangements take explicit die
+/// centers (PlaceIT-style placement-derived topologies) and infer adjacency
+/// from center distance. The bounding floorplan this layer produces is what
+/// sizes the router grid, the PDN mesh, and the thermal mesh downstream.
+
+namespace gia::interposer {
+
+struct ArrangedSystem {
+  /// One die per chiplet, in chiplet order (dies[i] is chiplet i).
+  InterposerFloorplan floorplan;
+  /// Neighbor chiplet pairs (a < b), sorted lexicographically.
+  std::vector<std::pair<int, int>> adjacency;
+  /// Lattice dimensions (grid/hex); 0 for placed arrangements.
+  int cols = 0;
+  int rows = 0;
+};
+
+/// Place `plans.size()` chiplet dies for the given technology and system.
+/// `plans` must outlive the result: floorplan dies point into it. Throws
+/// std::invalid_argument for Arrangement::Legacy (use place_dies) or a
+/// placed-position count mismatch.
+ArrangedSystem arrange_chiplets(const tech::Technology& tech,
+                                const chiplet::SystemConfig& sys,
+                                const std::vector<chiplet::BumpPlan>& plans,
+                                const FloorplanOptions& opts = {});
+
+/// Per-chiplet neighbor degree from the adjacency list.
+std::vector<int> neighbor_counts(const ArrangedSystem& arr);
+
+}  // namespace gia::interposer

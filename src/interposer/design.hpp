@@ -1,6 +1,10 @@
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "chiplet/bump_plan.hpp"
+#include "chiplet/system.hpp"
 #include "interposer/floorplan.hpp"
 #include "interposer/net_assign.hpp"
 #include "interposer/router.hpp"
@@ -26,6 +30,12 @@ struct InterposerDesign {
   InterposerFloorplan floorplan;
   std::vector<TopNet> top_nets;
   RouteResult routes;
+  /// Generalized N-chiplet mode only: per-chiplet bump plans (the floorplan
+  /// dies of a freshly built design point into this vector, like legacy dies
+  /// point into `plans`) and the arrangement's neighbor pairs. Empty in
+  /// legacy two-tile designs.
+  std::vector<chiplet::BumpPlan> chiplet_plans;
+  std::vector<std::pair<int, int>> adjacency;
 
   double footprint_w_mm() const { return floorplan.outline.width() * 1e-3; }
   double footprint_h_mm() const { return floorplan.outline.height() * 1e-3; }
@@ -43,5 +53,29 @@ InterposerDesign build_interposer_design(tech::TechnologyKind kind,
                                          const ChipletInputs& inputs = {},
                                          const RouterOptions& router_opts = {},
                                          const FloorplanOptions& fp_opts = {});
+
+/// Per-chiplet inputs to a generalized N-chiplet design. Vectors are indexed
+/// by chiplet; `pairs` is the inter-chiplet wire demand from the K-way cut.
+struct SystemInputs {
+  std::vector<int> signal_ios;
+  std::vector<double> cell_area_um2;
+  std::vector<SystemPairDemand> pairs;
+};
+
+/// Router grid scaling for a K-chiplet bounding floorplan: the grid grows
+/// with the arrangement's lattice side so cell size (and per-cell track
+/// capacity) stays roughly constant, capped at 256 to bound router cost.
+int scaled_router_grid(int base, int chiplets);
+
+/// End-to-end interposer design for an N-chiplet arrangement: per-chiplet
+/// bump plans (with the system's die-class scaling), grid/hex/placed die
+/// placement, pairwise lane assignment, and lateral routing on a grid scaled
+/// to the bounding floorplan. Requires an interposer technology (SideBySide
+/// or EmbeddedDie; EmbeddedDie routes laterally like 2.5D here).
+InterposerDesign build_system_design(tech::TechnologyKind kind,
+                                     const chiplet::SystemConfig& sys,
+                                     const SystemInputs& inputs,
+                                     const RouterOptions& router_opts = {},
+                                     const FloorplanOptions& fp_opts = {});
 
 }  // namespace gia::interposer

@@ -9,13 +9,11 @@ namespace gia::interposer {
 using geometry::Point;
 using netlist::ChipletSide;
 
-namespace {
-
 /// Signal bump sites of a die in interposer coordinates, ordered by the
 /// projection onto `axis` (pairing facing edges in the same order avoids
 /// crossings, like the structured pattern assignment in the paper's flow).
 std::vector<Point> ordered_signal_sites(const PlacedDie& die, Point toward, int count,
-                                        int skip = 0) {
+                                        int skip) {
   struct Scored {
     Point p;
     double toward_d;
@@ -51,8 +49,6 @@ std::vector<Point> ordered_signal_sites(const PlacedDie& die, Point toward, int 
   for (const auto& s : pick) out.push_back(s.p);
   return out;
 }
-
-}  // namespace
 
 std::vector<TopNet> assign_top_nets(const tech::Technology& tech, const InterposerFloorplan& fp,
                                     const NetAssignOptions& opts) {
@@ -115,6 +111,42 @@ std::vector<TopNet> assign_top_nets(const tech::Technology& tech, const Interpos
       n.tile = t;
       n.a = a_sites[static_cast<std::size_t>(i)];
       n.b = b_sites[static_cast<std::size_t>(i)];
+      nets.push_back(n);
+    }
+  }
+  return nets;
+}
+
+std::vector<TopNet> assign_system_nets(const InterposerFloorplan& fp,
+                                       const std::vector<SystemPairDemand>& pairs,
+                                       const SystemNetOptions& opts) {
+  if (opts.lane_bits < 1) throw std::invalid_argument("lane_bits must be >= 1");
+  std::vector<TopNet> nets;
+  int id = 0;
+  for (const auto& pr : pairs) {
+    if (pr.a < 0 || pr.b < 0 || pr.a >= static_cast<int>(fp.dies.size()) ||
+        pr.b >= static_cast<int>(fp.dies.size()) || pr.a == pr.b) {
+      throw std::invalid_argument("system pair references a missing die");
+    }
+    if (pr.wires <= 0) continue;
+    const auto& da = fp.dies[static_cast<std::size_t>(pr.a)];
+    const auto& db = fp.dies[static_cast<std::size_t>(pr.b)];
+    const int lanes = (pr.wires + opts.lane_bits - 1) / opts.lane_bits;
+    const auto a_sites = ordered_signal_sites(da, db.outline.center(), lanes);
+    const auto b_sites = ordered_signal_sites(db, da.outline.center(), lanes);
+    const bool l2m = (da.side == ChipletSide::Memory) != (db.side == ChipletSide::Memory);
+    int remaining = pr.wires;
+    for (int i = 0; i < lanes; ++i) {
+      TopNet n;
+      n.id = id++;
+      n.name = "c" + std::to_string(pr.a) + "_c" + std::to_string(pr.b) + "_" +
+               std::to_string(i);
+      n.kind = l2m ? TopNetKind::LogicToMemory : TopNetKind::LogicToLogic;
+      n.tile = pr.a;
+      n.a = a_sites[static_cast<std::size_t>(i)];
+      n.b = b_sites[static_cast<std::size_t>(i)];
+      n.bits = std::min(remaining, opts.lane_bits);
+      remaining -= n.bits;
       nets.push_back(n);
     }
   }

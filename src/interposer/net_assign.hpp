@@ -25,6 +25,10 @@ struct TopNet {
   TopNetKind kind = TopNetKind::LogicToMemory;
   int tile = 0;  ///< owning tile for L2M; 0 for the L2L bundle
   geometry::Point a, b;  ///< bump positions in interposer coordinates
+  /// Scalar wires following this topology. Legacy nets are single-bit;
+  /// generalized N-chiplet lanes bundle up to SystemNetOptions::lane_bits
+  /// wires and the router books `bits` tracks per crossed cell.
+  int bits = 1;
   /// True when the two bumps are vertically aligned (Glass 3D stacked-via
   /// nets) and no lateral routing is needed.
   bool vertical = false;
@@ -40,5 +44,36 @@ struct NetAssignOptions {
 std::vector<TopNet> assign_top_nets(const tech::Technology& tech,
                                     const InterposerFloorplan& fp,
                                     const NetAssignOptions& opts = {});
+
+/// Signal bump sites of a die in interposer coordinates, ordered by the
+/// projection toward `toward` (pairing facing edges in the same order avoids
+/// crossings, like the structured pattern assignment in the paper's flow).
+/// `skip` drops the nearest sites (already claimed by another window).
+std::vector<geometry::Point> ordered_signal_sites(const PlacedDie& die,
+                                                  geometry::Point toward,
+                                                  int count, int skip = 0);
+
+/// Inter-chiplet wire demand between one pair of dies of an N-chiplet
+/// arrangement (indices into InterposerFloorplan::dies, a < b).
+struct SystemPairDemand {
+  int a = 0;
+  int b = 0;
+  int wires = 0;
+};
+
+struct SystemNetOptions {
+  /// Wires bundled per routed lane: each pair's demand becomes
+  /// ceil(wires / lane_bits) TopNets whose `bits` sum to the demand.
+  int lane_bits = 8;
+};
+
+/// Build the top-level netlist for an N-chiplet arrangement: one bundle of
+/// lanes per demanded pair, endpoints on the facing signal-bump windows.
+/// Expects one die per chiplet, ordered by chiplet index (the arrangement
+/// engine's layout). A lane is L2M when exactly one endpoint die is
+/// memory-class, L2L otherwise; all lanes route laterally.
+std::vector<TopNet> assign_system_nets(const InterposerFloorplan& fp,
+                                       const std::vector<SystemPairDemand>& pairs,
+                                       const SystemNetOptions& opts = {});
 
 }  // namespace gia::interposer

@@ -62,6 +62,8 @@ void route_one(Workspace& ws, const TopNet& net, RoutedNet& rn,
   const auto& g = ws.g;
   const auto& opts = *ws.opts;
   const double dw = g.cell_w, dh = g.cell_h;
+  // A bundle of `bits` wires books that many tracks per crossed cell.
+  const double track_demand = static_cast<double>(net.bits);
 
   const int ax = g.cell_of_x(net.a.x), ay = g.cell_of_y(net.a.y);
   const int bx = g.cell_of_x(net.b.x), by = g.cell_of_y(net.b.y);
@@ -139,11 +141,11 @@ void route_one(Workspace& ws, const TopNet& net, RoutedNet& rn,
         ++vias;
       } else {
         lateral += std::hypot((x - prev_x) * dw, (y - prev_y) * dh);
-        ws.usage[n] += 1.0;
+        ws.usage[n] += track_demand;
         cells.push_back(n);
       }
     } else {
-      ws.usage[n] += 1.0;
+      ws.usage[n] += track_demand;
       cells.push_back(n);
     }
     path.append({g.x_of(x), g.y_of(y)}, l);
@@ -244,6 +246,7 @@ RouteResult route_interposer(const tech::Technology& tech, const InterposerFloor
     auto& rn = routed[static_cast<std::size_t>(ni)];
     rn.net_id = net.id;
     rn.kind = net.kind;
+    rn.bits = net.bits;
     rn.vertical = net.vertical;
     if (net.vertical) {
       rn.length_um = 0;
@@ -269,7 +272,8 @@ RouteResult route_interposer(const tech::Technology& tech, const InterposerFloor
     if (offenders.empty()) break;
     std::sort(offenders.begin(), offenders.end(), std::greater<>());
     for (const auto& [over, ni] : offenders) {
-      for (std::size_t c : used_cells[static_cast<std::size_t>(ni)]) ws.usage[c] -= 1.0;
+      const double demand = static_cast<double>(nets[static_cast<std::size_t>(ni)].bits);
+      for (std::size_t c : used_cells[static_cast<std::size_t>(ni)]) ws.usage[c] -= demand;
       route_one(ws, nets[static_cast<std::size_t>(ni)], routed[static_cast<std::size_t>(ni)],
                 used_cells[static_cast<std::size_t>(ni)]);
     }

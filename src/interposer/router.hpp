@@ -40,6 +40,7 @@ struct RoutedNet {
   geometry::Polyline path;   ///< lateral path (empty for vertical nets)
   double length_um = 0;      ///< lateral routed length
   int vias = 0;              ///< escape + layer-change vias (2 for vertical)
+  int bits = 1;              ///< wires bundled on this path (TopNet::bits)
   bool vertical = false;
 };
 

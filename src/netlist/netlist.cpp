@@ -99,4 +99,38 @@ ChipletNetlist extract_chiplet(const Netlist& nl, const std::vector<ChipletSide>
   return out;
 }
 
+ChipletNetlist extract_part(const Netlist& nl, const std::vector<int>& part,
+                            int want, ChipletSide cls) {
+  if (static_cast<int>(part.size()) != nl.instance_count()) {
+    throw std::invalid_argument("part assignment size mismatch");
+  }
+  ChipletNetlist out;
+  out.side = cls;
+  out.tile = want;
+  for (int i = 0; i < nl.instance_count(); ++i) {
+    if (part[static_cast<std::size_t>(i)] != want) continue;
+    const auto& inst = nl.instance(i);
+    out.instance_ids.push_back(i);
+    out.cells += inst.cell_count;
+    out.cell_area_um2 += inst.cell_area_um2;
+  }
+  for (int n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    bool touches = false, leaves = false;
+    for (int t : net.terminals) {
+      const bool inside = part[static_cast<std::size_t>(t)] == want;
+      touches |= inside;
+      leaves |= !inside;
+    }
+    if (!touches) continue;
+    if (leaves) {
+      out.cut_net_ids.push_back(n);
+      out.io_signals += net.bits;
+    } else {
+      out.internal_net_ids.push_back(n);
+    }
+  }
+  return out;
+}
+
 }  // namespace gia::netlist

@@ -90,4 +90,11 @@ struct ChipletNetlist {
 ChipletNetlist extract_chiplet(const Netlist& nl, const std::vector<ChipletSide>& side,
                                ChipletSide want, int tile);
 
+/// Extract chiplet `want` of a K-way partition given a part id per instance
+/// (parallel to netlist.instances()). `cls` sets the view's ChipletSide so
+/// downstream bump/PnR rules treat the die as logic- or memory-class; the
+/// view's tile is the part id.
+ChipletNetlist extract_part(const Netlist& nl, const std::vector<int>& part,
+                            int want, ChipletSide cls = ChipletSide::Logic);
+
 }  // namespace gia::netlist

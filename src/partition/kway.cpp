@@ -1,0 +1,188 @@
+#include "partition/kway.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace gia::partition {
+namespace {
+
+/// Distinct parts touched by a net given its per-part terminal counts.
+int distinct_parts(const std::vector<int>& cnt) {
+  int d = 0;
+  for (int c : cnt) d += c > 0;
+  return d;
+}
+
+}  // namespace
+
+long kway_cut_wires(const netlist::Netlist& nl, const std::vector<int>& part,
+                    int parts) {
+  long cut = 0;
+  std::vector<int> cnt(static_cast<std::size_t>(parts));
+  for (int n = 0; n < nl.net_count(); ++n) {
+    std::fill(cnt.begin(), cnt.end(), 0);
+    for (int t : nl.net(n).terminals) ++cnt[static_cast<std::size_t>(part[static_cast<std::size_t>(t)])];
+    const int d = distinct_parts(cnt);
+    if (d > 1) cut += static_cast<long>(nl.net(n).bits) * (d - 1);
+  }
+  return cut;
+}
+
+std::vector<PairCut> pair_cuts(const netlist::Netlist& nl,
+                               const std::vector<int>& part, int parts) {
+  // Dense upper-triangular accumulation: parts is <= 256, so the K^2 matrix
+  // stays small.
+  std::vector<int> wires(static_cast<std::size_t>(parts) * static_cast<std::size_t>(parts), 0);
+  std::vector<int> touched;
+  for (int n = 0; n < nl.net_count(); ++n) {
+    touched.clear();
+    for (int t : nl.net(n).terminals) touched.push_back(part[static_cast<std::size_t>(t)]);
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    if (touched.size() < 2) continue;
+    // A net spanning >2 parts books its bits on every touched pair: each pair
+    // needs that bus's wires between them (a conservative star expansion).
+    for (std::size_t i = 0; i < touched.size(); ++i) {
+      for (std::size_t j = i + 1; j < touched.size(); ++j) {
+        wires[static_cast<std::size_t>(touched[i]) * static_cast<std::size_t>(parts) +
+              static_cast<std::size_t>(touched[j])] += nl.net(n).bits;
+      }
+    }
+  }
+  std::vector<PairCut> out;
+  for (int a = 0; a < parts; ++a) {
+    for (int b = a + 1; b < parts; ++b) {
+      const int w = wires[static_cast<std::size_t>(a) * static_cast<std::size_t>(parts) +
+                          static_cast<std::size_t>(b)];
+      if (w > 0) out.push_back({a, b, w});
+    }
+  }
+  return out;
+}
+
+KwayResult kway_partition(const netlist::Netlist& nl, const KwayConfig& cfg,
+                          const std::vector<int>& initial) {
+  if (cfg.parts < 1) throw std::invalid_argument("kway: parts must be >= 1");
+  const int n_inst = nl.instance_count();
+  const int k = cfg.parts;
+
+  std::vector<int> part = initial;
+  if (part.empty()) {
+    part.reserve(static_cast<std::size_t>(n_inst));
+    for (int i = 0; i < n_inst; ++i) part.push_back(nl.instance(i).tile % k);
+  }
+  if (static_cast<int>(part.size()) != n_inst) throw std::invalid_argument("kway: initial size mismatch");
+  for (int p : part) {
+    if (p < 0 || p >= k) throw std::invalid_argument("kway: initial part id out of range");
+  }
+
+  // Adjacency and per-net part counts (the K-way NetSideCount).
+  std::vector<std::vector<int>> nets_of(static_cast<std::size_t>(n_inst));
+  for (int n = 0; n < nl.net_count(); ++n) {
+    for (int t : nl.net(n).terminals) nets_of[static_cast<std::size_t>(t)].push_back(n);
+  }
+  std::vector<std::vector<int>> count(static_cast<std::size_t>(nl.net_count()),
+                                      std::vector<int>(static_cast<std::size_t>(k), 0));
+  for (int n = 0; n < nl.net_count(); ++n) {
+    for (int t : nl.net(n).terminals) {
+      ++count[static_cast<std::size_t>(n)][static_cast<std::size_t>(part[static_cast<std::size_t>(t)])];
+    }
+  }
+
+  // Balance: every part's cell count within +/- tolerance of the mean.
+  std::vector<long> part_cells(static_cast<std::size_t>(k), 0);
+  for (int i = 0; i < n_inst; ++i) {
+    part_cells[static_cast<std::size_t>(part[static_cast<std::size_t>(i)])] += nl.instance(i).cell_count;
+  }
+  const double mean =
+      static_cast<double>(nl.total_cells()) / static_cast<double>(std::max(1, k));
+  const double lo = mean * (1.0 - cfg.balance_tolerance);
+  const double hi = mean * (1.0 + cfg.balance_tolerance);
+  auto dev = [&](long cells) { return std::abs(static_cast<double>(cells) - mean); };
+
+  // FM-style refinement passes: seeded shuffle order, best balance-legal
+  // target per instance, gain from per-net part counts. Moves apply
+  // immediately and only when they do not increase the cut, so no prefix
+  // rollback is needed; a pass with no moves ends refinement. K = 1 has no
+  // legal moves and falls straight through.
+  std::mt19937 rng(cfg.seed);
+  std::vector<int> order(static_cast<std::size_t>(n_inst));
+  for (int i = 0; i < n_inst; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::vector<int> cand;
+
+  for (int pass = 0; pass < cfg.max_passes && k > 1; ++pass) {
+    std::shuffle(order.begin(), order.end(), rng);
+    int moved = 0;
+    for (int v : order) {
+      const int from = part[static_cast<std::size_t>(v)];
+      const long cells = nl.instance(v).cell_count;
+
+      // Candidate targets: only parts v's nets already touch -- moving
+      // anywhere else can never uncut a net.
+      cand.clear();
+      for (int n : nets_of[static_cast<std::size_t>(v)]) {
+        const auto& cnt = count[static_cast<std::size_t>(n)];
+        for (int q = 0; q < k; ++q) {
+          if (q != from && cnt[static_cast<std::size_t>(q)] > 0) cand.push_back(q);
+        }
+      }
+      std::sort(cand.begin(), cand.end());
+      cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+
+      int best_q = -1;
+      long best_gain = 0;
+      double best_balance = 0;
+      for (int q : cand) {
+        const double from_after = static_cast<double>(part_cells[static_cast<std::size_t>(from)] - cells);
+        const double to_after = static_cast<double>(part_cells[static_cast<std::size_t>(q)] + cells);
+        const bool in_band = from_after >= lo && to_after <= hi;
+        const double worst_before = std::max(dev(part_cells[static_cast<std::size_t>(from)]),
+                                             dev(part_cells[static_cast<std::size_t>(q)]));
+        const double worst_after =
+            std::max(std::abs(from_after - mean), std::abs(to_after - mean));
+        if (!in_band && worst_after >= worst_before) continue;
+
+        long gain = 0;
+        for (int n : nets_of[static_cast<std::size_t>(v)]) {
+          const auto& cnt = count[static_cast<std::size_t>(n)];
+          const int bits = nl.net(n).bits;
+          if (cnt[static_cast<std::size_t>(from)] == 1) gain += bits;  // net leaves `from`
+          if (cnt[static_cast<std::size_t>(q)] == 0) gain -= bits;     // net enters `q`
+        }
+        const double balance_gain = worst_before - worst_after;
+        const bool better = gain > best_gain ||
+                            (gain == best_gain && balance_gain > best_balance);
+        if (better && (gain > 0 || (gain == 0 && balance_gain > 0))) {
+          best_q = q;
+          best_gain = gain;
+          best_balance = balance_gain;
+        }
+      }
+      if (best_q < 0) continue;
+
+      part[static_cast<std::size_t>(v)] = best_q;
+      part_cells[static_cast<std::size_t>(from)] -= cells;
+      part_cells[static_cast<std::size_t>(best_q)] += cells;
+      for (int n : nets_of[static_cast<std::size_t>(v)]) {
+        auto& cnt = count[static_cast<std::size_t>(n)];
+        --cnt[static_cast<std::size_t>(from)];
+        ++cnt[static_cast<std::size_t>(best_q)];
+      }
+      ++moved;
+    }
+    if (moved == 0) break;
+  }
+
+  KwayResult out;
+  out.part = std::move(part);
+  out.cut_wires = kway_cut_wires(nl, out.part, k);
+  out.part_cells = std::move(part_cells);
+  double worst = 0;
+  for (long c : out.part_cells) worst = std::max(worst, dev(c));
+  out.max_imbalance = mean > 0 ? worst / mean : 0.0;
+  return out;
+}
+
+}  // namespace gia::partition

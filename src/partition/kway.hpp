@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+/// \file kway.hpp
+/// K-way min-cut refinement for N-chiplet systems. Generalizes the 2-way
+/// FM partitioner (fm.hpp) to K parts: the cut objective is the standard
+/// connectivity metric sum over nets of bits * (lambda - 1), where lambda is
+/// the number of distinct parts a net touches (it reduces to cut_wires at
+/// K = 2), and refinement keeps FM's pass structure -- seeded shuffle order,
+/// best balance-legal move per step, prefix-best rollback.
+
+namespace gia::partition {
+
+struct KwayConfig {
+  int parts = 2;
+  /// Max relative deviation of any part's cell count from the mean.
+  double balance_tolerance = 0.10;
+  int max_passes = 8;
+  unsigned seed = 1;
+};
+
+struct KwayResult {
+  /// Part id per instance (parallel to netlist.instances()).
+  std::vector<int> part;
+  /// Connectivity cut: sum over nets of bits * (parts touched - 1).
+  long cut_wires = 0;
+  /// Standard cells per part.
+  std::vector<long> part_cells;
+  /// max_p |cells_p - mean| / mean.
+  double max_imbalance = 0;
+};
+
+/// Inter-chiplet wire demand between one pair of parts: every cut net that
+/// touches both a and b contributes its bits.
+struct PairCut {
+  int a = 0;
+  int b = 0;
+  int wires = 0;
+};
+
+/// Partition the netlist into cfg.parts parts. `initial` (part id per
+/// instance) seeds the refinement; when empty, instances start on
+/// tile % parts (the natural assignment for a K-tile netlist). Serial and
+/// deterministic for a given seed regardless of GIA_THREADS.
+KwayResult kway_partition(const netlist::Netlist& nl, const KwayConfig& cfg,
+                          const std::vector<int>& initial = {});
+
+/// Connectivity cut of an arbitrary assignment (for comparisons/tests).
+long kway_cut_wires(const netlist::Netlist& nl, const std::vector<int>& part,
+                    int parts);
+
+/// Pairwise inter-part wire demand, sorted by (a, b) with a < b. Only pairs
+/// with nonzero demand appear.
+std::vector<PairCut> pair_cuts(const netlist::Netlist& nl,
+                               const std::vector<int>& part, int parts);
+
+}  // namespace gia::partition

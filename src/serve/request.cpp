@@ -118,6 +118,32 @@ void walk(FlowRequest& r, V& v) {
   v.field("with_thermal", o.with_thermal);
   v.field("eye_bits", o.eye_bits);
   v.field("rollup_activity_scale", o.rollup_activity_scale);
+
+  // Optional N-chiplet system block. An all-default block is omitted from
+  // canonical text and JSON so the request hashes to the legacy (pre-system)
+  // form; readers enter the block only when the wire document carries it.
+  {
+    auto& s = o.system;
+    if (v.begin_optional("system", !s.is_default())) {
+      v.field("chiplets", s.chiplets);
+      {
+        std::string a = chiplet::to_string(s.arrangement);
+        v.token("arrangement", a, [&s](const std::string& t) {
+          if (!chiplet::parse_arrangement(t, &s.arrangement)) {
+            throw std::runtime_error("flow_request: unknown system.arrangement \"" + t + "\"");
+          }
+        });
+      }
+      v.field("memory_every", s.memory_every);
+      v.field("die_scale", s.die_scale);
+      v.field("power_scale", s.power_scale);
+      v.field("memory_die_scale", s.memory_die_scale);
+      v.field("memory_power_scale", s.memory_power_scale);
+      v.field("pitch_scale", s.pitch_scale);
+      v.token("placed", s.placed, [&s](const std::string& t) { s.placed = t; });
+      v.end();
+    }
+  }
 }
 
 // The "section.subsection.key=value" canonical rendering is
@@ -139,6 +165,10 @@ struct JsonWriter {
   void begin(const char* name) {
     k(name);
     out.push_back('{');
+  }
+  bool begin_optional(const char* name, bool nondefault) {
+    if (nondefault) begin(name);
+    return nondefault;
   }
   void end() { out.push_back('}'); }
   void token(const char* name, std::string& cur, const std::function<void(const std::string&)>&) {
@@ -188,6 +218,18 @@ struct JsonReader {
       throw std::runtime_error(std::string("flow_request: \"") + name + "\" must be an object");
     }
     stack.push_back({v, {}});
+  }
+  /// Present-in-document gates entry (not the writer-side default test): an
+  /// explicitly spelled all-default block parses fine and still hashes to
+  /// the legacy key, because re-rendering omits it.
+  bool begin_optional(const char* name, bool) {
+    const json::Value* v = get(name);
+    if (v == nullptr) return false;
+    if (v->kind != json::Value::Kind::Object) {
+      throw std::runtime_error(std::string("flow_request: \"") + name + "\" must be an object");
+    }
+    stack.push_back({v, {}});
+    return true;
   }
   void end() {
     check_consumed();

@@ -5,6 +5,7 @@
 #include "netlist/openpiton.hpp"
 #include "partition/fm.hpp"
 #include "partition/hierarchical.hpp"
+#include "partition/kway.hpp"
 #include "partition/metrics.hpp"
 
 namespace nl = gia::netlist;
@@ -96,3 +97,117 @@ TEST_P(FmRandomGraph, ImprovesOrMaintainsCut) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FmRandomGraph, ::testing::Values(1u, 2u, 3u, 7u, 42u));
+
+namespace {
+
+gia::netlist::Netlist kway_bench_net(int tiles) {
+  nl::OpenPitonConfig cfg;
+  cfg.tiles = tiles;
+  cfg.cluster_cells = 2000;  // coarse clusters keep the suite in `unit` time
+  return nl::build_openpiton(cfg);
+}
+
+}  // namespace
+
+TEST(Kway, BalancedAtK4) {
+  auto net = kway_bench_net(4);
+  pt::KwayConfig cfg;
+  cfg.parts = 4;
+  cfg.balance_tolerance = 0.10;
+  auto res = pt::kway_partition(net, cfg);
+  ASSERT_EQ(res.part_cells.size(), 4u);
+  for (long cells : res.part_cells) EXPECT_GT(cells, 0);
+  EXPECT_LE(res.max_imbalance, cfg.balance_tolerance + 1e-9);
+  EXPECT_GT(res.cut_wires, 0);
+}
+
+TEST(Kway, BalancedAtK8) {
+  auto net = kway_bench_net(8);
+  pt::KwayConfig cfg;
+  cfg.parts = 8;
+  cfg.balance_tolerance = 0.10;
+  auto res = pt::kway_partition(net, cfg);
+  ASSERT_EQ(res.part_cells.size(), 8u);
+  for (long cells : res.part_cells) EXPECT_GT(cells, 0);
+  EXPECT_LE(res.max_imbalance, cfg.balance_tolerance + 1e-9);
+}
+
+TEST(Kway, BeatsRandomAssignment) {
+  auto net = kway_bench_net(4);
+  const int k = 4;
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> pick(0, k - 1);
+  std::vector<int> random_part(net.instances().size());
+  for (auto& p : random_part) p = pick(rng);
+  const long random_cut = pt::kway_cut_wires(net, random_part, k);
+
+  pt::KwayConfig cfg;
+  cfg.parts = k;
+  auto res = pt::kway_partition(net, cfg);
+  EXPECT_LE(res.cut_wires, random_cut);
+  EXPECT_EQ(res.cut_wires, pt::kway_cut_wires(net, res.part, k));
+}
+
+TEST(Kway, RefinementDoesNotWorsenInitial) {
+  auto net = kway_bench_net(4);
+  pt::KwayConfig cfg;
+  cfg.parts = 4;
+  // tile % parts is the refinement's own starting point.
+  std::vector<int> initial(net.instances().size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    initial[i] = net.instances()[i].tile % cfg.parts;
+  }
+  const long cut0 = pt::kway_cut_wires(net, initial, cfg.parts);
+  auto res = pt::kway_partition(net, cfg, initial);
+  EXPECT_LE(res.cut_wires, cut0);
+}
+
+// The partitioner is serial and seeded: repeated runs (the determinism
+// contract holds regardless of GIA_THREADS, since no parallel_for is
+// involved) must produce bit-identical assignments.
+TEST(Kway, DeterministicAcrossRuns) {
+  auto net = kway_bench_net(8);
+  pt::KwayConfig cfg;
+  cfg.parts = 8;
+  cfg.seed = 7;
+  auto a = pt::kway_partition(net, cfg);
+  auto b = pt::kway_partition(net, cfg);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_EQ(a.cut_wires, b.cut_wires);
+  EXPECT_EQ(a.part_cells, b.part_cells);
+}
+
+TEST(Kway, PairCutsAreSortedAndCoverCut) {
+  auto net = kway_bench_net(4);
+  pt::KwayConfig cfg;
+  cfg.parts = 4;
+  auto res = pt::kway_partition(net, cfg);
+  auto pairs = pt::pair_cuts(net, res.part, cfg.parts);
+  ASSERT_FALSE(pairs.empty());
+  long pair_total = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i].a, pairs[i].b);
+    EXPECT_GT(pairs[i].wires, 0);
+    if (i > 0) {
+      EXPECT_TRUE(pairs[i - 1].a < pairs[i].a ||
+                  (pairs[i - 1].a == pairs[i].a && pairs[i - 1].b < pairs[i].b));
+    }
+    pair_total += pairs[i].wires;
+  }
+  // Star expansion books a multi-part net on every touched pair, so the
+  // pairwise total is at least the connectivity cut.
+  EXPECT_GE(pair_total, res.cut_wires);
+}
+
+TEST(Kway, ReducesToCutWiresAtK2) {
+  auto net = kway_bench_net(2);
+  std::mt19937 rng(3);
+  std::bernoulli_distribution coin(0.5);
+  std::vector<int> part(net.instances().size());
+  pt::Assignment side(net.instances().size());
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    part[i] = coin(rng) ? 1 : 0;
+    side[i] = part[i] == 1 ? nl::ChipletSide::Memory : nl::ChipletSide::Logic;
+  }
+  EXPECT_EQ(pt::kway_cut_wires(net, part, 2), pt::cut_wires(net, side));
+}
