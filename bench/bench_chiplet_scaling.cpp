@@ -120,7 +120,10 @@ int main(int argc, char** argv) {
                                         chiplet::Arrangement::Hex};
   std::vector<Point> series;
   for (const auto arr : kArrs) {
-    const Point* prev = nullptr;
+    // Previous point kept by value: push_back may reallocate `series`, so a
+    // pointer/reference into it would dangle across iterations.
+    Point prev;
+    bool has_prev = false;
     for (const int k : kCounts) {
       series.push_back(run_point(k, arr));
       const Point& p = series.back();
@@ -134,15 +137,16 @@ int main(int argc, char** argv) {
       if (p.routed_nets <= 0) {
         rc = fail("router completed no nets", json_of(p));
       }
-      if (prev != nullptr) {
-        if (p.area_mm2 <= prev->area_mm2) {
+      if (has_prev) {
+        if (p.area_mm2 <= prev.area_mm2) {
           rc = fail("interposer area must grow with chiplet count", json_of(p));
         }
-        if (p.total_wl_um <= prev->total_wl_um) {
+        if (p.total_wl_um <= prev.total_wl_um) {
           rc = fail("routed wirelength must grow with chiplet count", json_of(p));
         }
       }
-      prev = &series.back();
+      prev = p;
+      has_prev = true;
     }
   }
 

@@ -24,9 +24,12 @@
 ///
 /// Technology names: glass25d glass3d si25d si3d shinko apx
 
+#include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -51,6 +54,33 @@ namespace {
 
 bool parse_tech(const char* s, tech::TechnologyKind* out) {
   return tech::parse_kind(s, out);
+}
+
+/// Strict integer flag parse: whole-token decimal, within [min_value, ...).
+/// atoi would silently map a typo ("--chiplets x") to 0 and pass it through
+/// to validate_system, which throws out of main.
+bool parse_int_flag(const char* flag, const char* text, long min_value, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < min_value || v > INT_MAX) {
+    std::fprintf(stderr, "giaflow flow: %s expects an integer >= %ld, got '%s'\n", flag,
+                 min_value, text);
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+/// Strict positive-real flag parse (whole token, finite, > 0).
+bool parse_double_flag(const char* flag, const char* text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !std::isfinite(v) || v <= 0) {
+    std::fprintf(stderr, "giaflow flow: %s expects a positive number, got '%s'\n", flag, text);
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 int usage() {
@@ -116,16 +146,16 @@ int main(int argc, char** argv) {
     for (int i = 2; i < n; ++i) {
       const std::string a = args[i];
       if (a == "--chiplets" && i + 1 < n) {
-        opts.system.chiplets = std::atoi(args[++i]);
+        ok = parse_int_flag("--chiplets", args[++i], 1, &opts.system.chiplets) && ok;
       } else if (a == "--arrangement" && i + 1 < n) {
         if (!chiplet::parse_arrangement(args[++i], &opts.system.arrangement)) {
           std::fprintf(stderr, "giaflow flow: unknown arrangement %s\n", args[i]);
           ok = false;
         }
       } else if (a == "--memory-every" && i + 1 < n) {
-        opts.system.memory_every = std::atoi(args[++i]);
+        ok = parse_int_flag("--memory-every", args[++i], 0, &opts.system.memory_every) && ok;
       } else if (a == "--pitch-scale" && i + 1 < n) {
-        opts.system.pitch_scale = std::atof(args[++i]);
+        ok = parse_double_flag("--pitch-scale", args[++i], &opts.system.pitch_scale) && ok;
       } else if (a == "--placed" && i + 1 < n) {
         opts.system.placed = args[++i];
       } else {
@@ -139,19 +169,26 @@ int main(int argc, char** argv) {
       opts.system.arrangement = chiplet::Arrangement::Grid;
     }
     if (!ok) return usage();
-    const auto r = core::run_full_flow(kind, opts);
-    if (!opts.system.is_legacy()) {
-      std::printf("%s: %zu chiplets (%s), %zu die-to-die lanes\n",
-                  r.technology.name.c_str(), r.interposer.floorplan.dies.size(),
-                  chiplet::to_string(opts.system.arrangement), r.interposer.adjacency.size());
+    try {
+      const auto r = core::run_full_flow(kind, opts);
+      if (!opts.system.is_legacy()) {
+        std::printf("%s: %zu chiplets (%s), %zu die-to-die lanes\n",
+                    r.technology.name.c_str(), r.interposer.floorplan.dies.size(),
+                    chiplet::to_string(opts.system.arrangement), r.interposer.adjacency.size());
+      }
+      std::printf("%s: power %.1f mW, Fmax %.0f MHz, interposer %.2f mm2, "
+                  "L2M %.1f ps / eye %.2f ns, PDN Z(1GHz) %.3f ohm, IR %.1f mV\n",
+                  r.technology.name.c_str(), r.total_power_w * 1e3, r.system_fmax_hz / 1e6,
+                  r.interposer.area_mm2(), r.l2m.result.total_delay_s * 1e12,
+                  r.l2m.eye->width_s * 1e9, r.pdn_impedance.high_band(),
+                  r.ir_drop.max_drop_v * 1e3);
+      rc = 0;
+    } catch (const std::exception& e) {
+      // validate_system and the flow stages report bad requests by throwing;
+      // surface the message instead of std::terminate.
+      std::fprintf(stderr, "giaflow flow: %s\n", e.what());
+      rc = 1;
     }
-    std::printf("%s: power %.1f mW, Fmax %.0f MHz, interposer %.2f mm2, "
-                "L2M %.1f ps / eye %.2f ns, PDN Z(1GHz) %.3f ohm, IR %.1f mV\n",
-                r.technology.name.c_str(), r.total_power_w * 1e3, r.system_fmax_hz / 1e6,
-                r.interposer.area_mm2(), r.l2m.result.total_delay_s * 1e12,
-                r.l2m.eye->width_s * 1e9, r.pdn_impedance.high_band(),
-                r.ir_drop.max_drop_v * 1e3);
-    rc = 0;
   } else if (cmd == "netlist" && n == 2) {
     auto net = netlist::build_openpiton();
     const auto rpt = netlist::apply_serdes(net);

@@ -65,6 +65,10 @@ void write_system_knobs(StageId id, const FlowOptions& o, canon::Writer& w) {
   switch (id) {
     case StageId::NetlistPartition:
       w.field("chiplets", s.chiplets);
+      // The partition artifact bakes die classes in (extract_part side,
+      // partition.side, memory_fraction), so the class pattern is part of
+      // the key: requests differing only in memory_every must not alias.
+      w.field("memory_every", s.memory_every);
       break;
     case StageId::ChipletPnr:
       w.field("memory_every", s.memory_every);

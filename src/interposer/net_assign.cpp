@@ -117,10 +117,66 @@ std::vector<TopNet> assign_top_nets(const tech::Technology& tech, const Interpos
   return nets;
 }
 
+namespace {
+
+/// The `count` nearest still-free signal bumps of `die` toward `toward`,
+/// marked used in `used` and ordered along the facing edge (same canonical
+/// perpendicular as ordered_signal_sites, so the two dies of a pair match
+/// up without crossings). Requires count <= number of free sites.
+std::vector<Point> claim_signal_sites(const PlacedDie& die, Point toward, int count,
+                                      std::vector<char>& used) {
+  struct Scored {
+    int index;
+    Point p;
+    double toward_d;
+    double along;
+  };
+  const Point axis{die.outline.center().x - toward.x, die.outline.center().y - toward.y};
+  const double norm = std::hypot(axis.x, axis.y);
+  const Point dir = norm > 0 ? Point{axis.x / norm, axis.y / norm} : Point{1, 0};
+  Point perp{-dir.y, dir.x};
+  if (perp.y < 0 || (perp.y == 0 && perp.x < 0)) perp = {-perp.x, -perp.y};
+
+  std::vector<Scored> scored;
+  const int signal_count = die.plan->signal_bumps;
+  scored.reserve(static_cast<std::size_t>(signal_count));
+  for (int s = 0; s < signal_count; ++s) {
+    if (used[static_cast<std::size_t>(s)]) continue;
+    const Point p = die.bump_at(static_cast<std::size_t>(s));
+    scored.push_back({s, p, p.x * dir.x + p.y * dir.y, p.x * perp.x + p.y * perp.y});
+  }
+  if (count > static_cast<int>(scored.size())) throw std::logic_error("not enough bumps");
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.toward_d < b.toward_d;
+  });
+  std::vector<Scored> pick(scored.begin(), scored.begin() + count);
+  for (const auto& s : pick) used[static_cast<std::size_t>(s.index)] = 1;
+  std::sort(pick.begin(), pick.end(), [](const Scored& a, const Scored& b) {
+    return a.along < b.along;
+  });
+  std::vector<Point> out;
+  out.reserve(pick.size());
+  for (const auto& s : pick) out.push_back(s.p);
+  return out;
+}
+
+}  // namespace
+
 std::vector<TopNet> assign_system_nets(const InterposerFloorplan& fp,
                                        const std::vector<SystemPairDemand>& pairs,
                                        const SystemNetOptions& opts) {
   if (opts.lane_bits < 1) throw std::invalid_argument("lane_bits must be >= 1");
+  // Bundles of different pairs touching the same die must sit on disjoint
+  // physical bumps: track a used mask per die and claim nearest-free sites.
+  std::vector<std::vector<char>> used(fp.dies.size());
+  for (std::size_t i = 0; i < fp.dies.size(); ++i) {
+    used[i].assign(static_cast<std::size_t>(fp.dies[i].plan->signal_bumps), 0);
+  }
+  const auto free_sites = [&](int die) {
+    int n = 0;
+    for (const char u : used[static_cast<std::size_t>(die)]) n += u == 0 ? 1 : 0;
+    return n;
+  };
   std::vector<TopNet> nets;
   int id = 0;
   for (const auto& pr : pairs) {
@@ -131,9 +187,22 @@ std::vector<TopNet> assign_system_nets(const InterposerFloorplan& fp,
     if (pr.wires <= 0) continue;
     const auto& da = fp.dies[static_cast<std::size_t>(pr.a)];
     const auto& db = fp.dies[static_cast<std::size_t>(pr.b)];
-    const int lanes = (pr.wires + opts.lane_bits - 1) / opts.lane_bits;
-    const auto a_sites = ordered_signal_sites(da, db.outline.center(), lanes);
-    const auto b_sites = ordered_signal_sites(db, da.outline.center(), lanes);
+    // Star-expanded pair demand can exceed a die's planned signal bumps:
+    // clamp the lane count to the free sites on both endpoints (the clamped
+    // lanes then bundle more than lane_bits wires each) and surface true
+    // exhaustion with the pair and die named.
+    const int avail = std::min(free_sites(pr.a), free_sites(pr.b));
+    if (avail <= 0) {
+      const int starved = free_sites(pr.a) <= 0 ? pr.a : pr.b;
+      throw std::invalid_argument("assign_system_nets: no free signal bumps on die c" +
+                                  std::to_string(starved) + " for pair c" +
+                                  std::to_string(pr.a) + "_c" + std::to_string(pr.b));
+    }
+    const int lanes = std::min((pr.wires + opts.lane_bits - 1) / opts.lane_bits, avail);
+    const auto a_sites =
+        claim_signal_sites(da, db.outline.center(), lanes, used[static_cast<std::size_t>(pr.a)]);
+    const auto b_sites =
+        claim_signal_sites(db, da.outline.center(), lanes, used[static_cast<std::size_t>(pr.b)]);
     const bool l2m = (da.side == ChipletSide::Memory) != (db.side == ChipletSide::Memory);
     int remaining = pr.wires;
     for (int i = 0; i < lanes; ++i) {
@@ -145,7 +214,9 @@ std::vector<TopNet> assign_system_nets(const InterposerFloorplan& fp,
       n.tile = pr.a;
       n.a = a_sites[static_cast<std::size_t>(i)];
       n.b = b_sites[static_cast<std::size_t>(i)];
-      n.bits = std::min(remaining, opts.lane_bits);
+      // Spread the demand evenly over the claimed lanes so every lane's
+      // width stays within one wire of its peers even when clamped.
+      n.bits = (remaining + (lanes - i) - 1) / (lanes - i);
       remaining -= n.bits;
       nets.push_back(n);
     }

@@ -63,7 +63,9 @@ struct SystemPairDemand {
 
 struct SystemNetOptions {
   /// Wires bundled per routed lane: each pair's demand becomes
-  /// ceil(wires / lane_bits) TopNets whose `bits` sum to the demand.
+  /// ceil(wires / lane_bits) TopNets whose `bits` sum to the demand. When a
+  /// die's free signal bumps run short of that lane count, the bundle is
+  /// clamped to the free sites and its lanes carry more than lane_bits wires.
   int lane_bits = 8;
 };
 
@@ -71,7 +73,10 @@ struct SystemNetOptions {
 /// lanes per demanded pair, endpoints on the facing signal-bump windows.
 /// Expects one die per chiplet, ordered by chiplet index (the arrangement
 /// engine's layout). A lane is L2M when exactly one endpoint die is
-/// memory-class, L2L otherwise; all lanes route laterally.
+/// memory-class, L2L otherwise; all lanes route laterally. Bundles touching
+/// the same die claim disjoint bump sites (nearest free sites toward the
+/// paired die); a pair arriving after a die's sites are exhausted raises
+/// std::invalid_argument naming the die and pair.
 std::vector<TopNet> assign_system_nets(const InterposerFloorplan& fp,
                                        const std::vector<SystemPairDemand>& pairs,
                                        const SystemNetOptions& opts = {});

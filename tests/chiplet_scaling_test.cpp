@@ -2,10 +2,13 @@
 
 #include <cmath>
 #include <set>
+#include <string>
+#include <utility>
 
 #include "chiplet/system.hpp"
 #include "core/stagegraph.hpp"
 #include "interposer/arrangement.hpp"
+#include "interposer/net_assign.hpp"
 #include "serve/request.hpp"
 #include "tech/library.hpp"
 
@@ -232,6 +235,90 @@ TEST(SystemRequestTest, SystemKnobsFeedOnlyDeclaredStages) {
             std::string::npos);
   EXPECT_NE(st::stage_knob_text(st::StageId::NetlistPartition, grid).find("system.chiplets"),
             std::string::npos);
+}
+
+// --- SystemNetAssignTest: bump-site bookkeeping for N-chiplet bundles.
+
+TEST(SystemNetAssignTest, BundlesClaimDisjointBumpSites) {
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto plans = uniform_plans(4, t);
+  auto arr = ip::arrange_chiplets(t, make_system(4, ch::Arrangement::Grid, 0), plans);
+  // Die 0 serves two bundles, die 3 serves two: each bundle must sit on its
+  // own physical bumps.
+  const std::vector<ip::SystemPairDemand> pairs = {
+      {0, 1, 64}, {0, 2, 64}, {1, 3, 64}, {2, 3, 64}};
+  const auto nets = ip::assign_system_nets(arr.floorplan, pairs);
+  ASSERT_EQ(nets.size(), 32u);  // 4 pairs x 8 lanes of 8 wires
+  for (int die = 0; die < 4; ++die) {
+    std::set<std::pair<double, double>> sites;
+    std::size_t endpoints = 0;
+    const std::string tag = "c" + std::to_string(die);
+    for (const auto& n : nets) {
+      // Names are "cA_cB_i" with a < b: endpoint `a` belongs to die A,
+      // endpoint `b` to die B.
+      const auto us = n.name.find('_');
+      const std::string a_tag = n.name.substr(0, us);
+      const std::string b_tag = n.name.substr(us + 1, n.name.rfind('_') - us - 1);
+      if (a_tag == tag) {
+        sites.insert({n.a.x, n.a.y});
+        ++endpoints;
+      }
+      if (b_tag == tag) {
+        sites.insert({n.b.x, n.b.y});
+        ++endpoints;
+      }
+    }
+    EXPECT_EQ(endpoints, 16u) << "die " << die;
+    EXPECT_EQ(sites.size(), endpoints) << "die " << die;  // no shared bumps
+  }
+}
+
+TEST(SystemNetAssignTest, LaneCountClampsToFreeBumps) {
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto plans = uniform_plans(2, t);  // 200 signal bumps per die
+  auto arr = ip::arrange_chiplets(t, make_system(2, ch::Arrangement::Grid, 0), plans);
+  // 2000 wires want 250 lanes of 8; only 200 sites exist, so the bundle
+  // clamps to 200 lanes carrying the full demand evenly.
+  const auto nets = ip::assign_system_nets(arr.floorplan, {{0, 1, 2000}});
+  ASSERT_EQ(nets.size(), 200u);
+  long total = 0;
+  for (const auto& n : nets) {
+    EXPECT_EQ(n.bits, 10);
+    total += n.bits;
+  }
+  EXPECT_EQ(total, 2000);
+}
+
+TEST(SystemNetAssignTest, ExhaustedDieNamedInError) {
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto plans = uniform_plans(3, t);
+  auto arr = ip::arrange_chiplets(t, make_system(3, ch::Arrangement::Grid, 0), plans);
+  // The first pair consumes all 200 sites on dies 0 and 1; the second pair
+  // then finds die 0 exhausted.
+  const std::vector<ip::SystemPairDemand> pairs = {{0, 1, 1600}, {0, 2, 8}};
+  try {
+    ip::assign_system_nets(arr.floorplan, pairs);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("die c0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("c0_c2"), std::string::npos) << msg;
+  }
+}
+
+TEST(SystemRequestTest, MemoryClassingChangesPartitionKey) {
+  // The netlist_partition artifact bakes die classes in (per-part ChipletSide,
+  // partition.side, memory_fraction). Two requests differing only in
+  // memory_every must hash to distinct partition keys, or the process-wide
+  // stage cache serves one request's die classes to the other.
+  auto every2 = scaling_options(make_system(16, ch::Arrangement::Grid, 2));
+  auto every4 = scaling_options(make_system(16, ch::Arrangement::Grid, 4));
+  const auto k2 = st::compute_stage_keys(tech::TechnologyKind::Glass25D, every2);
+  const auto k4 = st::compute_stage_keys(tech::TechnologyKind::Glass25D, every4);
+  EXPECT_NE(k2.of(st::StageId::NetlistPartition), k4.of(st::StageId::NetlistPartition));
+  // And the dependency chain must propagate the distinction downstream.
+  EXPECT_NE(k2.of(st::StageId::ChipletPnr), k4.of(st::StageId::ChipletPnr));
+  EXPECT_NE(k2.of(st::StageId::Interposer), k4.of(st::StageId::Interposer));
 }
 
 // --- ChipletScalingTest: end-to-end generalized flows.
