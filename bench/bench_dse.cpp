@@ -1,0 +1,151 @@
+/// bench_dse: serving-integration contract of the design-space exploration
+/// engine (src/dse). Three phases over one 8-point search space (four
+/// interposer technologies x two memory interleavings at 8 chiplets):
+///
+///   1. cold   -- fresh result cache, cleared stage cache: every candidate
+///      runs the full flow. This is the price of the first search.
+///   2. warm   -- identical spec re-run against the same scheduler: every
+///      point answers from the content-addressed result cache. Contract:
+///      >= 5x faster than cold and every point a cache hit -- a repeated
+///      search (a dashboard refresh, a restarted client) must cost
+///      approximately nothing.
+///   3. refine -- a deeper variant (larger seed + extra refine rounds) on a
+///      fresh result cache but the now-hot stage cache: new points still
+///      reuse resident upstream stage artifacts, so the engine's
+///      cache-aware ordering and stage reuse make exploration *around* a
+///      known front much cheaper than the cold sweep's per-point average.
+///
+/// Emits per-phase wall times, the warm speedup and cache/assist counters
+/// in the standard bench JSON line; exits non-zero when the warm contract
+/// is violated, so CI can gate on it.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/stagegraph.hpp"
+#include "dse/search.hpp"
+#include "dse/space.hpp"
+#include "serve/cache.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace gia;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+const char* kSpec =
+    R"({"space":{"tech":["glass25d","glass3d","si25d","si3d"],)"
+    R"("system.memory_every":[0,2]},)"
+    R"("base":{"system":{"chiplets":8}},"seed_points":8,"refine_rounds":0})";
+
+const char* kRefineSpec =
+    R"({"space":{"tech":["glass25d","glass3d","si25d","si3d"],)"
+    R"("system.memory_every":[0,2,4]},)"
+    R"("base":{"system":{"chiplets":8}},"seed_points":4,"refine_rounds":2})";
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Phase {
+  double wall_s = 0;
+  dse::SearchSummary sum;
+};
+
+Phase run_phase(serve::JobScheduler& sched, const dse::SearchSpec& spec) {
+  Phase p;
+  const auto t0 = Clock::now();
+  p.sum = dse::run_search(sched, spec, {});
+  p.wall_s = seconds_since(t0);
+  return p;
+}
+
+int fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "bench_dse: %s (%s)\n", what, detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  const auto t0 = Clock::now();
+  const auto spec = dse::spec_from_json(kSpec);
+  const auto refine_spec = dse::spec_from_json(kRefineSpec);
+
+  serve::ResultCache::Config ccfg;
+  ccfg.disk_dir = "-";
+  serve::ResultCache cache(ccfg);
+  serve::JobScheduler::Options sopts;
+  sopts.workers = 2;
+  sopts.cache = &cache;
+  serve::JobScheduler sched(sopts);
+
+  core::stage::set_stage_cache_enabled(true);
+  core::stage::stage_cache_clear();
+
+  const Phase cold = run_phase(sched, spec);
+  const Phase warm = run_phase(sched, spec);
+
+  // Refine phase: a fresh result cache (no whole-request answers) but the
+  // stage cache stays hot from the cold sweep.
+  serve::ResultCache refine_cache(ccfg);
+  serve::JobScheduler::Options ropts;
+  ropts.workers = 2;
+  ropts.cache = &refine_cache;
+  serve::JobScheduler refine_sched(ropts);
+  const Phase refine = run_phase(refine_sched, refine_spec);
+
+  const double warm_speedup = warm.wall_s > 0 ? cold.wall_s / warm.wall_s : 0;
+
+  int rc = 0;
+  if (cold.sum.status != "done" || warm.sum.status != "done" || refine.sum.status != "done") {
+    rc = fail("every phase must complete", cold.sum.status + "/" + warm.sum.status + "/" +
+                                               refine.sum.status);
+  }
+  if (warm_speedup < 5.0) {
+    rc = fail("warm re-search must be >= 5x faster than cold",
+              "speedup=" + std::to_string(warm_speedup));
+  }
+  // Failed points (invalid knob combinations, e.g. grid arrangements on a
+  // 3D TSV stack) are reported, not cached; every *successful* point must
+  // answer from the result cache on the re-run.
+  const std::uint64_t warm_ok = warm.sum.points_evaluated - warm.sum.points_failed;
+  if (warm.sum.cache_hits != warm_ok || warm.sum.points_failed != cold.sum.points_failed) {
+    rc = fail("every successful warm point must answer from the result cache",
+              "hits=" + std::to_string(warm.sum.cache_hits) + "/" + std::to_string(warm_ok) +
+                  " failed=" + std::to_string(warm.sum.points_failed));
+  }
+  if (refine.sum.cache_assisted == 0) {
+    rc = fail("refine points must reuse resident stage artifacts",
+              "cache_assisted=" + std::to_string(refine.sum.cache_assisted));
+  }
+
+  std::printf("bench_dse: cold %.3fs (%llu points, front v%llu, hv %.3f)\n", cold.wall_s,
+              static_cast<unsigned long long>(cold.sum.points_evaluated),
+              static_cast<unsigned long long>(cold.sum.front_version), cold.sum.hypervolume);
+  std::printf("bench_dse: warm %.3fs -> %.1fx (%llu/%llu cache hits)\n", warm.wall_s,
+              warm_speedup, static_cast<unsigned long long>(warm.sum.cache_hits),
+              static_cast<unsigned long long>(warm.sum.points_evaluated));
+  std::printf("bench_dse: refine %.3fs (%llu points, %llu cache-assisted, %d rounds)\n",
+              refine.wall_s, static_cast<unsigned long long>(refine.sum.points_evaluated),
+              static_cast<unsigned long long>(refine.sum.cache_assisted),
+              refine.sum.rounds_run);
+
+  std::string extra = "\"cold_s\":" + std::to_string(cold.wall_s);
+  extra += ",\"cold_points\":" + std::to_string(cold.sum.points_evaluated);
+  extra += ",\"warm_s\":" + std::to_string(warm.wall_s);
+  extra += ",\"warm_speedup\":" + std::to_string(warm_speedup);
+  extra += ",\"warm_cache_hits\":" + std::to_string(warm.sum.cache_hits);
+  extra += ",\"refine_s\":" + std::to_string(refine.wall_s);
+  extra += ",\"refine_points\":" + std::to_string(refine.sum.points_evaluated);
+  extra += ",\"refine_cache_assisted\":" + std::to_string(refine.sum.cache_assisted);
+  extra += ",\"front_version\":" + std::to_string(cold.sum.front_version);
+  extra += ",\"hypervolume\":" + std::to_string(cold.sum.hypervolume);
+  extra += ",\"stage_cache\":" + core::stage::stage_cache_stats_json();
+  gia::bench::print_json_line(argv[0], seconds_since(t0), extra);
+  core::instrument::emit_report();
+  return rc;
+}

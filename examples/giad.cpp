@@ -7,7 +7,8 @@
 ///   giad [--port N] [--workers N] [--conn-workers N]
 ///        [--cache-capacity N] [--cache-dir DIR]
 ///        [--idle-timeout-ms N] [--io-timeout-ms N] [--max-conn-ms N]
-///        [--max-line-bytes N]
+///        [--max-line-bytes N] [--max-search-points N]
+///        [--max-active-searches N] [--max-search-ms N]
 ///
 /// --port 0 picks an ephemeral port (printed on stdout at startup and
 /// reported as "port" in the stats verb).
@@ -47,12 +48,20 @@ int main(int argc, char** argv) {
       opts.max_connection_ms = std::atoi(argv[++i]);
     } else if (!std::strcmp(a, "--max-line-bytes") && i + 1 < argc) {
       opts.max_line_bytes = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (!std::strcmp(a, "--max-search-points") && i + 1 < argc) {
+      opts.max_search_points = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(a, "--max-active-searches") && i + 1 < argc) {
+      opts.max_active_searches = std::atoi(argv[++i]);
+    } else if (!std::strcmp(a, "--max-search-ms") && i + 1 < argc) {
+      opts.max_search_ms = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: giad [--port N] [--workers N] [--conn-workers N]\n"
                    "            [--cache-capacity N] [--cache-dir DIR]\n"
                    "            [--idle-timeout-ms N] [--io-timeout-ms N]\n"
-                   "            [--max-conn-ms N] [--max-line-bytes N]\n");
+                   "            [--max-conn-ms N] [--max-line-bytes N]\n"
+                   "            [--max-search-points N] [--max-active-searches N]\n"
+                   "            [--max-search-ms N]\n");
       return 2;
     }
   }

@@ -11,9 +11,22 @@
 ///   giaflow cost                        cost comparison across all designs
 ///   giaflow serve [--port N] [--workers N] [--cache-capacity N]
 ///                 [--cache-dir DIR] [--idle-timeout-ms N] [--io-timeout-ms N]
-///                 [--max-line-bytes N]  run the giad serving daemon
+///                 [--max-line-bytes N] [--max-search-points N]
+///                 [--max-active-searches N] [--max-search-ms N]
+///                                       run the giad serving daemon
 ///   giaflow client <port> <tech>        submit one flow request to a daemon
 ///                                       (retries with jittered backoff)
+///   giaflow search <port> [--spec FILE | --spec-json JSON] [--deadline-ms N]
+///                                       stream a dse Pareto search from a
+///                                       daemon (default spec: 16-die
+///                                       grid-vs-hex across the four
+///                                       interposer technologies). A search
+///                                       is stateful -- the stream is never
+///                                       blindly resubmitted on error.
+///   giaflow search-cancel <port> <id>   cancel a running search by search_id
+///   giaflow search-refine <port> <id> [rounds]
+///                                       grant a running search extra refine
+///                                       rounds around its current front
 ///   giaflow stats <port>                print a running daemon's counters
 ///   giaflow shutdown <port>             ask a daemon to drain and exit
 ///
@@ -36,6 +49,7 @@
 #include "chiplet/system.hpp"
 #include "core/flow.hpp"
 #include "core/instrument.hpp"
+#include "core/json.hpp"
 #include "core/links.hpp"
 #include "core/parallel.hpp"
 #include "core/svg_export.hpp"
@@ -97,7 +111,13 @@ int usage() {
                "[--cache-dir DIR]\n"
                "                [--idle-timeout-ms N] [--io-timeout-ms N] "
                "[--max-line-bytes N]\n"
+               "                [--max-search-points N] [--max-active-searches N] "
+               "[--max-search-ms N]\n"
                "  giaflow client <port> <tech>\n"
+               "  giaflow search <port> [--spec FILE | --spec-json JSON] "
+               "[--deadline-ms N]\n"
+               "  giaflow search-cancel <port> <id>\n"
+               "  giaflow search-refine <port> <id> [rounds]\n"
                "  giaflow stats <port>\n"
                "  giaflow shutdown <port>\n"
                "tech: glass25d glass3d si25d si3d shinko apx\n");
@@ -115,6 +135,124 @@ int client_roundtrip(int port, const std::string& line) {
   }
   std::printf("%s\n", resp.c_str());
   return 0;
+}
+
+bool read_whole_file(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) out->append(chunk, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// The built-in demo spec: the paper's question at 16 dies. Sweep the four
+/// interposer technologies against grid vs hex arrangements and two memory
+/// interleavings, minimizing power and cost.
+const char* demo_search_spec() {
+  return R"({"space":{"tech":["glass25d","glass3d","si25d","si3d"],)"
+         R"("system.arrangement":["grid","hex"],"system.memory_every":[2,4]},)"
+         R"("base":{"system":{"chiplets":16}},)"
+         R"("objectives":[{"metric":"power_mW","direction":"min"},)"
+         R"({"metric":"cost_usd","direction":"min"}],)"
+         R"("seed_points":8,"refine_rounds":1,"batch":4})";
+}
+
+unsigned long long u64_field(const core::json::Value& v, const char* name) {
+  const core::json::Value* f = v.find(name);
+  if (f == nullptr || f->kind != core::json::Value::Kind::Number) return 0;
+  return static_cast<unsigned long long>(f->as_u64());
+}
+
+double double_field(const core::json::Value& v, const char* name) {
+  const core::json::Value* f = v.find(name);
+  if (f == nullptr || f->kind != core::json::Value::Kind::Number) return 0;
+  return f->as_double();
+}
+
+/// Render one streamed search event as a human-readable progress line on
+/// stderr (the raw NDJSON goes to stdout for scripting).
+void render_search_event(const core::json::Value& v) {
+  const core::json::Value* ev = v.find("event");
+  if (ev == nullptr || ev->kind != core::json::Value::Kind::String) return;
+  if (ev->str == "search_started") {
+    std::fprintf(stderr, "search %llu: %llu points in space, budget %llu\n",
+                 u64_field(v, "search_id"), u64_field(v, "space_points"),
+                 u64_field(v, "budget"));
+  } else if (ev->str == "front_updated") {
+    std::string labels;
+    if (const core::json::Value* front = v.find("front")) {
+      for (const auto& m : front->arr) {
+        if (const core::json::Value* l = m.find("label")) {
+          labels += ' ';
+          labels += l->str;
+        }
+      }
+    }
+    std::fprintf(stderr, "  front v%llu (hv %.3f):%s\n", u64_field(v, "version"),
+                 double_field(v, "hypervolume"), labels.c_str());
+  } else if (ev->str == "search_done") {
+    const core::json::Value* st = v.find("status");
+    std::fprintf(stderr, "search %s: %llu evaluated, %llu cache-assisted, front v%llu\n",
+                 st != nullptr ? st->str.c_str() : "?", u64_field(v, "points_evaluated"),
+                 u64_field(v, "cache_assisted"), u64_field(v, "front_version"));
+  }
+}
+
+/// Stream one search. A search is stateful server-side (it books budget and
+/// an active-search slot), so unlike `client` there is NO retry/resubmit
+/// here: any transport error after the request is sent surfaces as a hard
+/// failure for the operator to inspect.
+int run_search_stream(int port, const std::string& spec_json, long deadline_ms) {
+  std::string line = "{\"search\":" + spec_json;
+  if (deadline_ms > 0) {
+    line += ",\"deadline_ms\":";
+    line += std::to_string(deadline_ms);
+  }
+  line += "}";
+
+  serve::Client client;
+  std::string err;
+  if (!client.connect(port, &err)) {
+    std::fprintf(stderr, "giaflow search: %s\n", err.c_str());
+    return 1;
+  }
+  if (!client.send_line(line, &err)) {
+    std::fprintf(stderr, "giaflow search: %s\n", err.c_str());
+    return 1;
+  }
+  for (;;) {
+    std::string resp;
+    if (!client.read_line(&resp, &err)) {
+      std::fprintf(stderr, "giaflow search: stream ended early: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%s\n", resp.c_str());
+    std::fflush(stdout);
+    try {
+      const core::json::Value v = core::json::parse(resp);
+      if (const core::json::Value* okv = v.find("ok")) {
+        if (okv->kind == core::json::Value::Kind::Bool && !okv->as_bool()) {
+          const core::json::Value* e = v.find("error");
+          std::fprintf(stderr, "giaflow search: %s\n",
+                       e != nullptr ? e->str.c_str() : "server error");
+          return 1;
+        }
+      }
+      render_search_event(v);
+      const core::json::Value* ev = v.find("event");
+      if (ev != nullptr && ev->kind == core::json::Value::Kind::String &&
+          ev->str == "search_done") {
+        const core::json::Value* st = v.find("status");
+        return st != nullptr && st->str == "done" ? 0 : 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "giaflow search: bad event line: %s\n", e.what());
+      return 1;
+    }
+  }
 }
 
 }  // namespace
@@ -237,6 +375,12 @@ int main(int argc, char** argv) {
         opts.io_timeout_ms = std::atoi(args[++i]);
       } else if (a == "--max-line-bytes" && i + 1 < n) {
         opts.max_line_bytes = static_cast<std::size_t>(std::atol(args[++i]));
+      } else if (a == "--max-search-points" && i + 1 < n) {
+        opts.max_search_points = static_cast<std::uint64_t>(std::atoll(args[++i]));
+      } else if (a == "--max-active-searches" && i + 1 < n) {
+        opts.max_active_searches = std::atoi(args[++i]);
+      } else if (a == "--max-search-ms" && i + 1 < n) {
+        opts.max_search_ms = std::atoi(args[++i]);
       } else {
         std::fprintf(stderr, "giaflow serve: unknown option %s\n", a.c_str());
         ok = false;
@@ -248,6 +392,48 @@ int main(int argc, char** argv) {
     req.tech = kind;
     req.options.with_eyes = true;
     rc = client_roundtrip(std::atoi(args[1]), serve::request_to_json(req));
+  } else if (cmd == "search" && n >= 2) {
+    std::string spec = demo_search_spec();
+    long deadline_ms = 0;
+    bool ok = true;
+    for (int i = 2; i < n; ++i) {
+      const std::string a = args[i];
+      if (a == "--spec" && i + 1 < n) {
+        spec.clear();
+        if (!read_whole_file(args[++i], &spec)) {
+          std::fprintf(stderr, "giaflow search: cannot read %s\n", args[i]);
+          ok = false;
+        }
+      } else if (a == "--spec-json" && i + 1 < n) {
+        spec = args[++i];
+      } else if (a == "--deadline-ms" && i + 1 < n) {
+        deadline_ms = std::atol(args[++i]);
+      } else {
+        std::fprintf(stderr, "giaflow search: unknown option %s\n", a.c_str());
+        ok = false;
+      }
+    }
+    // Trailing newlines from a spec file would split the request line.
+    while (!spec.empty() && (spec.back() == '\n' || spec.back() == '\r')) spec.pop_back();
+    rc = ok ? run_search_stream(std::atoi(args[1]), spec, deadline_ms) : usage();
+  } else if (cmd == "search-cancel" && n == 3) {
+    // Cancellation is idempotent server-side, so the retrying client is safe.
+    rc = client_roundtrip(std::atoi(args[1]),
+                          std::string("{\"search_cancel\":") + args[2] + "}");
+  } else if (cmd == "search-refine" && (n == 3 || n == 4)) {
+    // NOT idempotent (every accepted request adds rounds): one shot, no retry.
+    serve::Client client;
+    std::string err, resp;
+    std::string line = std::string("{\"search_refine\":") + args[2];
+    if (n == 4) line += std::string(",\"rounds\":") + args[3];
+    line += "}";
+    if (!client.connect(std::atoi(args[1]), &err) || !client.roundtrip(line, &resp, &err)) {
+      std::fprintf(stderr, "giaflow search-refine: %s\n", err.c_str());
+      rc = 1;
+    } else {
+      std::printf("%s\n", resp.c_str());
+      rc = 0;
+    }
   } else if (cmd == "stats" && n == 2) {
     rc = client_roundtrip(std::atoi(args[1]), "{\"stats\":true}");
   } else if (cmd == "shutdown" && n == 2) {

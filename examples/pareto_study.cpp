@@ -1,15 +1,17 @@
 /// pareto_study: the architect's closing question -- with power, cost,
 /// thermal and signal integrity all on the table, which integration options
 /// are actually efficient choices? Builds multi-objective design points
-/// from the full flows plus the cost model and prints the Pareto front.
-/// (The paper argues Glass 3D is the sweet spot; this makes that claim a
-/// computation.)
+/// from the full flows plus the cost model and feeds them through the
+/// dse:: incremental Pareto front (the same core the giad `search` verb
+/// streams). (The paper argues Glass 3D is the sweet spot; this makes that
+/// claim a computation.)
 
 #include <cstdio>
 
 #include "core/flow.hpp"
 #include "core/sweep.hpp"
-#include "cost/cost_model.hpp"
+#include "dse/pareto.hpp"
+#include "dse/search.hpp"
 #include "tech/library.hpp"
 
 using namespace gia;
@@ -23,15 +25,7 @@ int main() {
   for (auto k : tech::table_order()) {
     std::fprintf(stderr, "evaluating %s...\n", tech::to_string(k));
     const auto r = core::run_full_flow(k, opts);
-    const auto c = cost::system_cost(r.interposer);
-    double hottest = 0;
-    for (const auto& [n, d] : r.thermal->dies) hottest = std::max(hottest, d.hotspot_c);
-    points.push_back({tech::to_string(k),
-                      {{"power_mW", r.total_power_w * 1e3},
-                       {"cost_usd", c.total()},
-                       {"hotspot_C", hottest},
-                       {"eye_opening", r.l2m.eye->width_ratio()},
-                       {"area_mm2", r.interposer.area_mm2()}}});
+    points.push_back({tech::to_string(k), dse::metrics_of(r)});
   }
 
   std::printf("design,power_mW,cost_usd,hotspot_C,eye_opening,area_mm2\n");
@@ -41,19 +35,18 @@ int main() {
                 p.metric("area_mm2"));
   }
 
-  const std::vector<core::Objective> objectives = {
-      {"power_mW", core::Direction::Minimize},
-      {"cost_usd", core::Direction::Minimize},
-      {"hotspot_C", core::Direction::Minimize},
-      {"eye_opening", core::Direction::Maximize}};
-  const auto front = core::pareto_front(points, objectives);
+  dse::ParetoFront front({{"power_mW", core::Direction::Minimize},
+                          {"cost_usd", core::Direction::Minimize},
+                          {"hotspot_C", core::Direction::Minimize},
+                          {"eye_opening", core::Direction::Maximize}});
+  for (const auto& p : points) front.add(p);
 
   std::printf("\nPareto-efficient options (power, cost, thermal, SI):\n");
-  for (const auto& p : front) std::printf("  %s\n", p.label.c_str());
+  for (const auto& p : front.members()) std::printf("  %s\n", p.label.c_str());
   std::printf("\nDominated options:\n");
   for (const auto& p : points) {
     bool on_front = false;
-    for (const auto& f : front) on_front |= (f.label == p.label);
+    for (const auto& f : front.members()) on_front |= (f.label == p.label);
     if (!on_front) std::printf("  %s\n", p.label.c_str());
   }
   return 0;

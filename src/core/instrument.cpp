@@ -32,7 +32,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "cache_misses",          "cache_coalesced",
     "stage_runs",            "stage_cache_hits",
     "stage_cache_misses",    "krylov_iterations",
-    "mg_vcycles",
+    "mg_vcycles",            "dse_points_evaluated",
+    "dse_front_updates",     "dse_cache_assisted_points",
 };
 
 struct SpanNode {

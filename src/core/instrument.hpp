@@ -63,6 +63,10 @@ enum class Counter : int {
   StageCacheMisses,       ///< stage lookups that had to run the stage body
   KrylovIterations,       ///< CG/BiCGSTAB iterations across all sparse solves
   MgVcycles,              ///< thermal geometric-multigrid V-cycles
+  DsePointsEvaluated,     ///< design points evaluated by dse:: searches
+  DseFrontUpdates,        ///< Pareto-front versions published by dse:: searches
+  DseCacheAssistedPoints, ///< dse points served with result-cache / coalesce /
+                          ///  resident-stage-artifact help
   kCount
 };
 

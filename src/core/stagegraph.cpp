@@ -326,6 +326,16 @@ class StageCache {
     for (auto& c : coalesced_) c.store(0);
   }
 
+  /// Passive residency probe: true when `key` is stored or in flight.
+  /// No LRU touch, no counter updates -- callers (the dse:: cache-aware
+  /// batch ordering) must not perturb hit/miss accounting or recency.
+  bool resident(std::uint64_t key) const {
+    if (!enabled_.load(std::memory_order_relaxed)) return false;
+    const Shard& sh = shards_[shard_of(key)];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    return sh.map.find(key) != sh.map.end() || sh.pending.find(key) != sh.pending.end();
+  }
+
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   std::size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
@@ -815,6 +825,7 @@ std::string stage_cache_stats_json() {
   return out;
 }
 
+bool stage_cache_resident(std::uint64_t key) { return cache().resident(key); }
 void stage_cache_clear() { cache().clear(); }
 bool stage_cache_enabled() { return cache().enabled(); }
 void set_stage_cache_enabled(bool on) { cache().set_enabled(on); }

@@ -186,6 +186,11 @@ struct StageCacheStats {
 };
 
 StageCacheStats stage_cache_stats();
+/// Passive residency probe: true when the artifact for `key` is currently
+/// stored or being computed. Never touches LRU recency or hit/miss
+/// counters -- used by the dse:: cache-aware batch ordering, which must
+/// observe the cache without perturbing it. Always false when disabled.
+bool stage_cache_resident(std::uint64_t key);
 /// Canonical single-line JSON of `stage_cache_stats()` (embedded in the
 /// daemon `stats` verb and bench JSON lines).
 std::string stage_cache_stats_json();

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/sweep.hpp"
+#include "dse/pareto.hpp"
+#include "dse/space.hpp"
+#include "serve/scheduler.hpp"
+
+/// \file search.hpp
+/// The streaming Pareto-search engine. `run_search` walks a `SearchSpec`'s
+/// space in two phases -- a low-discrepancy seed sweep (a golden-ratio
+/// stride over the flat index, a bijection that spreads early points across
+/// every axis) followed by refine rounds that expand ±1 neighbors around
+/// current front members -- and evaluates candidates by submitting batches
+/// through the serving `JobScheduler`. Evaluations therefore coalesce with
+/// concurrent daemon traffic, answer from the result cache, and reuse
+/// stage artifacts between neighboring points; within each batch,
+/// candidates whose upstream stage keys are already resident in the stage
+/// cache are submitted first (cache-aware ordering), so warm work
+/// completes while cold work runs.
+///
+/// Progress streams through callbacks: one `PointEvent` per evaluation
+/// (including failures and constraint-infeasible points) and one
+/// `FrontEvent` per front version. A shared `SearchControl` makes the
+/// search cancellable mid-batch -- queued scheduler jobs are cancelled,
+/// running ones are drained, and the summary reports "cancelled" -- and
+/// lets `search_refine` append extra refine rounds while the search runs.
+
+namespace gia::dse {
+
+/// Shared cancel/refine handle; safe to poke from any thread.
+class SearchControl {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Queue `n` additional refine rounds (search_refine verb).
+  void add_refine_rounds(int n) { extra_rounds_.fetch_add(n, std::memory_order_relaxed); }
+  /// Drain queued extra rounds (engine side).
+  int take_refine_rounds() { return extra_rounds_.exchange(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int> extra_rounds_{0};
+};
+
+/// One evaluated candidate.
+struct PointEvent {
+  std::uint64_t index = 0;       ///< flat index into the space
+  std::string label;             ///< SearchSpace::label(index)
+  std::uint64_t request_key = 0; ///< serve::request_key of the materialized request
+  bool ok = false;               ///< flow ran (or was served) successfully
+  bool feasible = false;         ///< ok and every constraint satisfied
+  core::MetricMap metrics;       ///< empty when !ok
+  std::string error;             ///< failure reason when !ok
+  bool cache_hit = false;        ///< answered from the result cache
+  bool coalesced = false;        ///< attached to an in-flight duplicate
+  int resident_stages = 0;       ///< upstream stage artifacts resident at submit
+  /// Served with help from prior work: result-cache hit, coalesce, or at
+  /// least one resident stage artifact.
+  bool cache_assisted = false;
+};
+
+/// Emitted whenever the front version advances.
+struct FrontEvent {
+  std::uint64_t version = 0;
+  double hypervolume = 0;
+  std::vector<core::DesignPoint> front;  ///< current members, insertion order
+};
+
+struct SearchCallbacks {
+  std::function<void(const PointEvent&)> on_point;  ///< may be empty
+  std::function<void(const FrontEvent&)> on_front;  ///< may be empty
+};
+
+struct SearchSummary {
+  std::string status;  ///< "done" | "cancelled" | "deadline"
+  std::uint64_t space_points = 0;      ///< SearchSpace::size()
+  std::uint64_t points_evaluated = 0;  ///< evaluations attempted (all outcomes)
+  std::uint64_t points_failed = 0;     ///< flow errors (invalid combinations)
+  std::uint64_t points_infeasible = 0; ///< ok but constraint-violating
+  std::uint64_t cache_hits = 0;        ///< result-cache answers
+  std::uint64_t coalesced = 0;         ///< attached to in-flight duplicates
+  std::uint64_t cache_assisted = 0;    ///< PointEvent::cache_assisted count
+  int rounds_run = 0;                  ///< refine rounds completed
+  std::uint64_t front_version = 0;
+  double hypervolume = 0;
+  std::vector<core::DesignPoint> front;
+  double wall_s = 0;
+};
+
+/// Compute the standard DSE metrics from one flow result:
+///   power_mW, cost_usd, area_mm2, fmax_MHz, energy_pj_bit always;
+///   hotspot_C when the thermal solve ran; eye_opening when eyes ran.
+core::MetricMap metrics_of(const core::TechnologyResult& r);
+
+/// Run one search to completion (or cancel/deadline). `control` may be
+/// null (uncancellable); `deadline` of epoch zero means none. Blocks the
+/// calling thread; evaluations run on the scheduler's workers.
+SearchSummary run_search(serve::JobScheduler& sched, const SearchSpec& spec,
+                         const SearchCallbacks& callbacks,
+                         const std::shared_ptr<SearchControl>& control = nullptr,
+                         std::chrono::steady_clock::time_point deadline = {});
+
+}  // namespace gia::dse

@@ -21,12 +21,15 @@
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/instrument.hpp"
 #include "core/json.hpp"
 #include "core/serialize.hpp"
 #include "core/stagegraph.hpp"
+#include "dse/search.hpp"
+#include "dse/space.hpp"
 #include "serve/faultinject.hpp"
 #include "serve/request.hpp"
 
@@ -106,6 +109,26 @@ struct Server::Impl {
       n_protocol_errors{0}, n_timeouts{0}, n_oversize{0};
   std::chrono::steady_clock::time_point start_time{};
 
+  /// Running searches, addressable by search_id from any connection
+  /// (search_cancel / search_refine cross-connection verbs).
+  struct ActiveSearch {
+    std::uint64_t key = 0;  ///< SearchSpec content key
+    std::shared_ptr<dse::SearchControl> ctl;
+  };
+  mutable std::mutex search_mu;
+  std::unordered_map<std::uint64_t, ActiveSearch> active_searches;
+  std::uint64_t next_search_id = 1;
+
+  std::uint64_t active_search_count() const {
+    std::lock_guard<std::mutex> lk(search_mu);
+    return active_searches.size();
+  }
+  /// Always-on dse counters (the instrument-layer dse_* counters only
+  /// count when GIA_TRACE is set; the stats verb must not depend on that).
+  std::atomic<std::uint64_t> n_searches{0}, n_search_done{0}, n_search_cancelled{0},
+      n_search_expired{0}, n_search_rejected{0}, n_search_points{0}, n_front_updates{0},
+      n_search_cache_assisted{0};
+
   ~Impl() {
     if (stop_pipe[0] >= 0) ::close(stop_pipe[0]);
     if (stop_pipe[1] >= 0) ::close(stop_pipe[1]);
@@ -125,6 +148,13 @@ struct Server::Impl {
       (void)!::write(stop_pipe[1], &b, 1);
     }
     conn_cv.notify_all();
+    // Cancel running searches, or the drain would block behind their
+    // remaining rounds; each stream still flushes a "cancelled"
+    // search_done before its connection winds down.
+    {
+      std::lock_guard<std::mutex> lk(search_mu);
+      for (auto& [sid, as] : active_searches) as.ctl->cancel();
+    }
   }
 
   void accept_loop() {
@@ -205,7 +235,13 @@ struct Server::Impl {
         buf.erase(0, pos + 1);
         if (!line.empty() && line.back() == '\r') line.pop_back();
         if (line.empty()) continue;
-        std::string resp = handle_line(line);
+        std::string resp = handle_line(fd, line);
+        if (resp.empty()) {
+          // A streaming handler lost the peer mid-stream; the connection
+          // cannot be resynchronised.
+          open = false;
+          break;
+        }
         resp.push_back('\n');
         if (!send_all(fd, resp)) {
           if (errno == EAGAIN || errno == EWOULDBLOCK)
@@ -279,7 +315,11 @@ struct Server::Impl {
     return out;
   }
 
-  std::string handle_line(const std::string& line) {
+  /// Dispatch one request line. Most verbs return their single response
+  /// line (no trailing newline); the streaming `search` verb additionally
+  /// writes intermediate event lines straight to `fd`. An empty return
+  /// means the peer vanished mid-stream and the connection must close.
+  std::string handle_line(int fd, const std::string& line) {
     GIA_SPAN("serve/request");
     n_requests.fetch_add(1, std::memory_order_relaxed);
     std::string id_field;
@@ -303,6 +343,11 @@ struct Server::Impl {
 
       if (const json::Value* frv = v.find("flow_request"))
         return handle_flow(v, *frv, id_field);
+      if (v.find("search")) return handle_search(fd, v, id_field);
+      if (const json::Value* cv = v.find("search_cancel"))
+        return handle_search_cancel(v, *cv, id_field);
+      if (const json::Value* rv = v.find("search_refine"))
+        return handle_search_refine(v, *rv, id_field);
       if (v.find("stats")) {
         std::string out = "{\"ok\":true";
         out += id_field;
@@ -319,7 +364,8 @@ struct Server::Impl {
         return "{\"ok\":true" + id_field + ",\"draining\":true}";
       }
       return error_response(id_field,
-                            "unknown request (expected flow_request, stats, ping or shutdown)");
+                            "unknown request (expected flow_request, search, search_cancel, "
+                            "search_refine, stats, ping or shutdown)");
     } catch (const std::exception& e) {
       return error_response(id_field, e.what());
     }
@@ -406,6 +452,278 @@ struct Server::Impl {
     return out;
   }
 
+  static void append_metrics(const core::MetricMap& m, std::string& out) {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [name, value] : m) {
+      if (!first) out.push_back(',');
+      first = false;
+      json::escape(name, out);
+      out.push_back(':');
+      json::append_double(value, out);
+    }
+    out.push_back('}');
+  }
+
+  static void append_front(const std::vector<core::DesignPoint>& front, std::string& out) {
+    out.push_back('[');
+    for (std::size_t i = 0; i < front.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += "{\"label\":";
+      json::escape(front[i].label, out);
+      out += ",\"metrics\":";
+      append_metrics(front[i].metrics, out);
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
+
+  std::string handle_search(int fd, const json::Value& v, const std::string& id_field) {
+    static const char* const kAllowed[] = {"search", "id", "deadline_ms"};
+    for (const auto& kv : v.obj) {
+      bool known = false;
+      for (const char* k : kAllowed) known = known || kv.first == k;
+      if (!known) return error_response(id_field, "unknown request field: " + kv.first);
+    }
+
+    const dse::SearchSpec spec = dse::spec_from_value(v);  // throws -> handle_line
+
+    Clock::time_point deadline{};
+    if (const json::Value* d = v.find("deadline_ms")) {
+      if (d->kind != json::Value::Kind::Number || d->raw[0] == '-')
+        return error_response(id_field, "deadline_ms must be a non-negative number");
+      deadline = Clock::now() + std::chrono::milliseconds(d->as_u64());
+    }
+    if (opts.max_search_ms > 0) {
+      const auto cap = Clock::now() + std::chrono::milliseconds(opts.max_search_ms);
+      if (deadline == Clock::time_point{} || cap < deadline) deadline = cap;
+    }
+
+    const std::uint64_t space_points = spec.space.size();
+    std::uint64_t budget = space_points;
+    if (spec.max_points > 0) budget = std::min(budget, spec.max_points);
+    if (opts.max_search_points > 0 && budget > opts.max_search_points) {
+      n_search_rejected.fetch_add(1, std::memory_order_relaxed);
+      return error_response(id_field, "search budget of " + std::to_string(budget) +
+                                          " points exceeds max_search_points=" +
+                                          std::to_string(opts.max_search_points) +
+                                          " (set \"max_points\" to sample the space)");
+    }
+
+    auto ctl = std::make_shared<dse::SearchControl>();
+    std::uint64_t sid = 0;
+    {
+      std::lock_guard<std::mutex> lk(search_mu);
+      if (opts.max_active_searches > 0 &&
+          static_cast<int>(active_searches.size()) >= opts.max_active_searches) {
+        n_search_rejected.fetch_add(1, std::memory_order_relaxed);
+        return error_response(id_field, "too many active searches (max_active_searches=" +
+                                            std::to_string(opts.max_active_searches) + ")");
+      }
+      // A stop that raced this registration still cancels us: re-check
+      // under search_mu, where request_stop's cancel sweep also runs.
+      if (stopping.load(std::memory_order_relaxed)) ctl->cancel();
+      sid = next_search_id++;
+      active_searches.emplace(sid, ActiveSearch{spec.key(), ctl});
+    }
+    n_searches.fetch_add(1, std::memory_order_relaxed);
+
+    // Events stream on this thread (run_search blocks here and invokes the
+    // callbacks synchronously), so plain sends on fd cannot interleave. A
+    // failed send cancels the search: the peer is gone, stop paying.
+    bool stream_ok = true;
+    auto emit = [&](std::string body) {
+      if (!stream_ok) return;
+      body.push_back('\n');
+      if (!send_all(fd, body)) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+          n_timeouts.fetch_add(1, std::memory_order_relaxed);
+        stream_ok = false;
+        ctl->cancel();
+      }
+    };
+
+    {
+      std::string out = "{\"ok\":true";
+      out += id_field;
+      out += ",\"event\":\"search_started\",\"search_id\":";
+      json::append_u64(sid, out);
+      out += ",\"key\":\"";
+      out += key_hex(spec.key());
+      out += "\",\"space_points\":";
+      json::append_u64(space_points, out);
+      out += ",\"budget\":";
+      json::append_u64(budget, out);
+      out.push_back('}');
+      emit(std::move(out));
+    }
+
+    dse::SearchCallbacks cbs;
+    cbs.on_point = [&](const dse::PointEvent& ev) {
+      std::string out = "{\"ok\":true";
+      out += id_field;
+      out += ",\"event\":\"point_evaluated\",\"search_id\":";
+      json::append_u64(sid, out);
+      out += ",\"index\":";
+      json::append_u64(ev.index, out);
+      out += ",\"label\":";
+      json::escape(ev.label, out);
+      out += ",\"key\":\"";
+      out += key_hex(ev.request_key);
+      out += "\",\"point_ok\":";
+      json::append_bool(ev.ok, out);
+      out += ",\"feasible\":";
+      json::append_bool(ev.feasible, out);
+      out += ",\"cache\":\"";
+      out += ev.cache_hit ? "hit" : (ev.coalesced ? "coalesced" : "miss");
+      out += "\",\"resident_stages\":";
+      json::append_i64(ev.resident_stages, out);
+      out += ",\"cache_assisted\":";
+      json::append_bool(ev.cache_assisted, out);
+      if (ev.ok) {
+        out += ",\"metrics\":";
+        append_metrics(ev.metrics, out);
+      } else {
+        out += ",\"error\":";
+        json::escape(ev.error, out);
+      }
+      out.push_back('}');
+      emit(std::move(out));
+    };
+    cbs.on_front = [&](const dse::FrontEvent& ev) {
+      std::string out = "{\"ok\":true";
+      out += id_field;
+      out += ",\"event\":\"front_updated\",\"search_id\":";
+      json::append_u64(sid, out);
+      out += ",\"version\":";
+      json::append_u64(ev.version, out);
+      out += ",\"hypervolume\":";
+      json::append_double(ev.hypervolume, out);
+      out += ",\"front\":";
+      append_front(ev.front, out);
+      out.push_back('}');
+      emit(std::move(out));
+    };
+
+    dse::SearchSummary sum;
+    try {
+      GIA_SPAN("serve/search");
+      sum = dse::run_search(*scheduler, spec, cbs, ctl, deadline);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(search_mu);
+      active_searches.erase(sid);
+      throw;  // handle_line turns it into a structured error line
+    }
+    {
+      std::lock_guard<std::mutex> lk(search_mu);
+      active_searches.erase(sid);
+    }
+    n_search_points.fetch_add(sum.points_evaluated, std::memory_order_relaxed);
+    n_front_updates.fetch_add(sum.front_version, std::memory_order_relaxed);
+    n_search_cache_assisted.fetch_add(sum.cache_assisted, std::memory_order_relaxed);
+    if (sum.status == "done")
+      n_search_done.fetch_add(1, std::memory_order_relaxed);
+    else if (sum.status == "cancelled")
+      n_search_cancelled.fetch_add(1, std::memory_order_relaxed);
+    else
+      n_search_expired.fetch_add(1, std::memory_order_relaxed);
+
+    if (!stream_ok) return std::string();  // peer gone: close the connection
+
+    std::string out = "{\"ok\":true";
+    out += id_field;
+    out += ",\"event\":\"search_done\",\"search_id\":";
+    json::append_u64(sid, out);
+    out += ",\"status\":\"";
+    out += sum.status;
+    out += "\",\"space_points\":";
+    json::append_u64(sum.space_points, out);
+    out += ",\"points_evaluated\":";
+    json::append_u64(sum.points_evaluated, out);
+    out += ",\"points_failed\":";
+    json::append_u64(sum.points_failed, out);
+    out += ",\"points_infeasible\":";
+    json::append_u64(sum.points_infeasible, out);
+    out += ",\"cache_hits\":";
+    json::append_u64(sum.cache_hits, out);
+    out += ",\"coalesced\":";
+    json::append_u64(sum.coalesced, out);
+    out += ",\"cache_assisted\":";
+    json::append_u64(sum.cache_assisted, out);
+    out += ",\"rounds\":";
+    json::append_i64(sum.rounds_run, out);
+    out += ",\"front_version\":";
+    json::append_u64(sum.front_version, out);
+    out += ",\"hypervolume\":";
+    json::append_double(sum.hypervolume, out);
+    out += ",\"front\":";
+    append_front(sum.front, out);
+    out += ",\"wall_s\":";
+    json::append_double(sum.wall_s, out);
+    out.push_back('}');
+    return out;
+  }
+
+  std::string handle_search_cancel(const json::Value& v, const json::Value& cv,
+                                   const std::string& id_field) {
+    static const char* const kAllowed[] = {"search_cancel", "id"};
+    for (const auto& kv : v.obj) {
+      bool known = false;
+      for (const char* k : kAllowed) known = known || kv.first == k;
+      if (!known) return error_response(id_field, "unknown request field: " + kv.first);
+    }
+    if (cv.kind != json::Value::Kind::Number || cv.raw[0] == '-')
+      return error_response(id_field, "search_cancel must be a search id");
+    const std::uint64_t sid = cv.as_u64();
+    {
+      std::lock_guard<std::mutex> lk(search_mu);
+      auto it = active_searches.find(sid);
+      if (it == active_searches.end())
+        return error_response(id_field, "unknown search id " + std::to_string(sid));
+      it->second.ctl->cancel();
+    }
+    std::string out = "{\"ok\":true";
+    out += id_field;
+    out += ",\"search_id\":";
+    json::append_u64(sid, out);
+    out += ",\"cancelling\":true}";
+    return out;
+  }
+
+  std::string handle_search_refine(const json::Value& v, const json::Value& rv,
+                                   const std::string& id_field) {
+    static const char* const kAllowed[] = {"search_refine", "rounds", "id"};
+    for (const auto& kv : v.obj) {
+      bool known = false;
+      for (const char* k : kAllowed) known = known || kv.first == k;
+      if (!known) return error_response(id_field, "unknown request field: " + kv.first);
+    }
+    if (rv.kind != json::Value::Kind::Number || rv.raw[0] == '-')
+      return error_response(id_field, "search_refine must be a search id");
+    const std::uint64_t sid = rv.as_u64();
+    int rounds = 1;
+    if (const json::Value* r = v.find("rounds")) {
+      if (r->kind != json::Value::Kind::Number || r->as_i64() < 1)
+        return error_response(id_field, "rounds must be a positive number");
+      rounds = static_cast<int>(r->as_i64());
+    }
+    {
+      std::lock_guard<std::mutex> lk(search_mu);
+      auto it = active_searches.find(sid);
+      if (it == active_searches.end())
+        return error_response(id_field, "unknown search id " + std::to_string(sid));
+      it->second.ctl->add_refine_rounds(rounds);
+    }
+    std::string out = "{\"ok\":true";
+    out += id_field;
+    out += ",\"search_id\":";
+    json::append_u64(sid, out);
+    out += ",\"refine_rounds_added\":";
+    json::append_i64(rounds, out);
+    out.push_back('}');
+    return out;
+  }
+
   std::string stats_body() const {
     const auto sched = scheduler->counters();
     const auto cst = cache->stats();
@@ -427,7 +745,27 @@ struct Server::Impl {
     json::append_u64(n_oversize.load(std::memory_order_relaxed), out);
     out += ",\"uptime_s\":";
     json::append_double(uptime, out);
-    out += ",\"scheduler\":{\"submitted\":";
+    out += ",\"dse\":{\"searches\":";
+    json::append_u64(n_searches.load(std::memory_order_relaxed), out);
+    out += ",\"completed\":";
+    json::append_u64(n_search_done.load(std::memory_order_relaxed), out);
+    out += ",\"cancelled\":";
+    json::append_u64(n_search_cancelled.load(std::memory_order_relaxed), out);
+    out += ",\"expired\":";
+    json::append_u64(n_search_expired.load(std::memory_order_relaxed), out);
+    out += ",\"rejected\":";
+    json::append_u64(n_search_rejected.load(std::memory_order_relaxed), out);
+    out += ",\"active\":";
+    json::append_u64(active_search_count(), out);
+    out += ",\"points_evaluated\":";
+    json::append_u64(n_search_points.load(std::memory_order_relaxed), out);
+    out += ",\"front_updates\":";
+    json::append_u64(n_front_updates.load(std::memory_order_relaxed), out);
+    out += ",\"cache_assisted_points\":";
+    json::append_u64(n_search_cache_assisted.load(std::memory_order_relaxed), out);
+    out += "},\"scheduler\":{\"pending\":";
+    json::append_u64(scheduler->pending(), out);
+    out += ",\"submitted\":";
     json::append_u64(sched.submitted, out);
     out += ",\"cache_hits\":";
     json::append_u64(sched.cache_hits, out);
@@ -591,7 +929,19 @@ Server::Stats Server::stats() const {
   s.protocol_errors = impl_->n_protocol_errors.load(std::memory_order_relaxed);
   s.timeouts = impl_->n_timeouts.load(std::memory_order_relaxed);
   s.oversize_rejections = impl_->n_oversize.load(std::memory_order_relaxed);
-  if (impl_->scheduler) s.scheduler = impl_->scheduler->counters();
+  s.dse.searches = impl_->n_searches.load(std::memory_order_relaxed);
+  s.dse.completed = impl_->n_search_done.load(std::memory_order_relaxed);
+  s.dse.cancelled = impl_->n_search_cancelled.load(std::memory_order_relaxed);
+  s.dse.expired = impl_->n_search_expired.load(std::memory_order_relaxed);
+  s.dse.rejected = impl_->n_search_rejected.load(std::memory_order_relaxed);
+  s.dse.active = impl_->active_search_count();
+  s.dse.points_evaluated = impl_->n_search_points.load(std::memory_order_relaxed);
+  s.dse.front_updates = impl_->n_front_updates.load(std::memory_order_relaxed);
+  s.dse.cache_assisted_points = impl_->n_search_cache_assisted.load(std::memory_order_relaxed);
+  if (impl_->scheduler) {
+    s.scheduler = impl_->scheduler->counters();
+    s.scheduler_pending = impl_->scheduler->pending();
+  }
   if (impl_->cache) s.cache = impl_->cache->stats();
   s.stage_cache = core::stage::stage_cache_stats();
   s.uptime_s =
@@ -735,6 +1085,10 @@ bool Client::connect(int port, std::string* err) {
 }
 
 bool Client::roundtrip(const std::string& line, std::string* response, std::string* err) {
+  return send_line(line, err) && read_line(response, err);
+}
+
+bool Client::send_line(const std::string& line, std::string* err) {
   if (fd_ < 0) {
     if (err) *err = "not connected";
     return false;
@@ -744,6 +1098,14 @@ bool Client::roundtrip(const std::string& line, std::string* response, std::stri
   if (!send_all(fd_, out)) {
     if (err)
       *err = (errno == EAGAIN || errno == EWOULDBLOCK) ? "send timeout" : errno_str("send");
+    return false;
+  }
+  return true;
+}
+
+bool Client::read_line(std::string* response, std::string* err) {
+  if (fd_ < 0) {
+    if (err) *err = "not connected";
     return false;
   }
   for (;;) {

@@ -20,6 +20,22 @@
 ///   {"ping":true}     -> {"ok":true,"pong":true}
 ///   {"shutdown":true} -> {"ok":true,"draining":true}  (then graceful drain)
 ///
+/// The `search` verb is the one streaming exception to one-line-in /
+/// one-line-out: it runs a dse:: Pareto search (dse/search.hpp) and streams
+/// NDJSON progress events over the same connection --
+///
+///   {"search":{"space":{...},...}, "id":7, "deadline_ms":60000}
+///     -> {"ok":true,"id":7,"event":"search_started","search_id":1,...}
+///        {"ok":true,"id":7,"event":"point_evaluated",...}   (per point)
+///        {"ok":true,"id":7,"event":"front_updated","version":V,...}
+///        {"ok":true,"id":7,"event":"search_done","status":"done",...}
+///
+/// while `{"search_cancel":1}` and `{"search_refine":1,"rounds":2}` (from
+/// any connection) cancel or extend a running search by its search_id;
+/// cancellation cascades through the scheduler's cancellation machinery and
+/// the stream ends with a "cancelled" search_done. Searches are bounded by
+/// max_search_points / max_active_searches / max_search_ms below.
+///
 /// Architecture: a bounded accept/worker model. One accept thread polls the
 /// listening socket and hands accepted connections to a fixed pool of
 /// connection workers over a bounded queue (backpressure: the accept thread
@@ -61,6 +77,18 @@ struct ServerOptions {
   int io_timeout_ms = 10000;
   /// Wall-clock budget for one connection, counting from accept. 0 = none.
   int max_connection_ms = 0;
+
+  // --- Search (dse) limits. A search is a long-running streaming workload;
+  // these bound how much of the daemon one client can book.
+  /// Cap on one search's evaluation budget (space size clamped by the
+  /// spec's max_points). Larger searches are rejected with a structured
+  /// error telling the client to set max_points. 0 = unlimited.
+  std::uint64_t max_search_points = 512;
+  /// Concurrent searches across all connections; excess is rejected.
+  int max_active_searches = 2;
+  /// Hard wall-clock bound applied to every search on top of the request's
+  /// own deadline_ms. 0 = none.
+  int max_search_ms = 0;
 };
 
 class Server {
@@ -95,6 +123,22 @@ class Server {
     /// Requests rejected for exceeding max_line_bytes (also counted in
     /// protocol_errors).
     std::uint64_t oversize_rejections = 0;
+    /// Streaming dse search workload (always-on counters, independent of
+    /// the GIA_TRACE-gated instrument layer).
+    struct Dse {
+      std::uint64_t searches = 0;   ///< search verbs accepted (started)
+      std::uint64_t completed = 0;  ///< finished with status "done"
+      std::uint64_t cancelled = 0;  ///< finished with status "cancelled"
+      std::uint64_t expired = 0;    ///< finished with status "deadline"
+      std::uint64_t rejected = 0;   ///< over max_search_points / max_active_searches
+      std::uint64_t active = 0;     ///< currently running
+      std::uint64_t points_evaluated = 0;
+      std::uint64_t front_updates = 0;
+      std::uint64_t cache_assisted_points = 0;
+    };
+    Dse dse;
+    /// Scheduler jobs not yet terminal at snapshot time.
+    std::uint64_t scheduler_pending = 0;
     JobScheduler::Counters scheduler;
     ResultCache::Stats cache;
     /// Process-wide stage-artifact cache (core/stagegraph.hpp): per-stage
@@ -155,6 +199,12 @@ class Client {
   bool connect(int port, std::string* err = nullptr);
   /// Send one line (newline appended) and read one response line.
   bool roundtrip(const std::string& line, std::string* response, std::string* err = nullptr);
+  /// Send one line without waiting for a response (streaming verbs).
+  bool send_line(const std::string& line, std::string* err = nullptr);
+  /// Read the next response line (streamed search events arrive one per
+  /// line until the "search_done" event). Bounded by io_timeout_ms per
+  /// recv and max_response_bytes per line.
+  bool read_line(std::string* response, std::string* err = nullptr);
   /// Connect (or reconnect) and roundtrip, retrying per `policy`. On failure
   /// the stream is reset so the next attempt starts on a fresh connection.
   /// `attempts_out` (optional) reports the number of attempts made.

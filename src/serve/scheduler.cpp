@@ -356,6 +356,11 @@ void JobScheduler::drain() {
   impl_->cv_idle.wait(lk, [&] { return impl_->idle_locked(); });
 }
 
+std::size_t JobScheduler::pending() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->by_id.size();
+}
+
 JobScheduler::Counters JobScheduler::counters() const {
   Counters c;
   c.submitted = impl_->n_submitted.load(std::memory_order_relaxed);

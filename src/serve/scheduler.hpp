@@ -126,6 +126,10 @@ class JobScheduler {
   /// Block until every submitted job has reached a terminal state.
   void drain();
 
+  /// Jobs not yet terminal (queued, dependency-held or running). A live
+  /// load signal for the daemon `stats` verb and the dse:: search loop.
+  std::size_t pending() const;
+
   Counters counters() const;
 
  private:
