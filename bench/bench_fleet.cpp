@@ -1,0 +1,237 @@
+/// bench_fleet: load generator for the sharded serving fleet. Boots two
+/// in-process giad workers on ephemeral loopback ports, pre-warms the same
+/// request set on both (so every fleet attempt below is a worker cache hit),
+/// then drives three phases through the coordinator-side `Fleet`:
+///
+///   1. one-worker hot throughput  -- a fleet over worker A alone
+///   2. two-worker hot throughput  -- the same load over the full ring
+///   3. hedged tail latency        -- `fleet_slow_worker` injection makes a
+///      deterministic fraction of attempts stall; the same hot load runs
+///      once with hedging off and once with a tight hedge window, and the
+///      hedge must cut the mean latency
+///
+/// Reports the 1->2 worker throughput ratio, p50/p99 for both tail runs, and
+/// the fleet counters. Exits non-zero when a forward is shed or fails, when
+/// adding a worker craters throughput, or when hedging does not help, so CI
+/// can gate on it.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/daemon.hpp"
+#include "serve/faultinject.hpp"
+#include "serve/fleet.hpp"
+#include "serve/request.hpp"
+#include "tech/library.hpp"
+
+using namespace gia;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (static_cast<double>(v.size()) - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+double mean(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return v.empty() ? 0 : s / static_cast<double>(v.size());
+}
+
+std::string flow_line(int seed) {
+  std::string out = "{\"flow_request\":{\"tech\":\"shinko\",\"openpiton\":{\"seed\":";
+  out += std::to_string(seed);
+  out += "}},\"result\":false}";
+  return out;
+}
+
+std::uint64_t key_of(int seed) {
+  serve::FlowRequest req;
+  req.tech = tech::TechnologyKind::Shinko;
+  req.options.openpiton.seed = seed;
+  return serve::request_key(req);
+}
+
+int fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "bench_fleet: %s (%s)\n", what, detail.c_str());
+  return 1;
+}
+
+/// Hot load through a fleet: `threads` workers each issue `per_thread`
+/// requests round-robin over the warmed key set. Returns req/s; counts any
+/// non-ok forward in `failures`.
+double drive(serve::Fleet& fleet, int threads, int per_thread, int distinct,
+             std::atomic<int>& failures) {
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        const int seed = 9000 + (t * per_thread + i) % distinct;
+        const auto r = fleet.forward(key_of(seed), flow_line(seed));
+        if (!r.ok || r.response.find("\"cache\":\"hit\"") == std::string::npos)
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double wall_s = ms_since(t0) / 1e3;
+  return static_cast<double>(threads * per_thread) / wall_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  const auto t0 = Clock::now();
+
+  // --- Two in-process workers.
+  serve::ServerOptions wopts;
+  wopts.port = 0;
+  wopts.connection_workers = 8;
+  wopts.scheduler_workers = 2;
+  wopts.cache_capacity = 64;
+  wopts.cache_dir = "-";
+  serve::Server w1(wopts), w2(wopts);
+  std::string err;
+  if (!w1.start(&err)) return fail("worker 1 start failed", err);
+  if (!w2.start(&err)) return fail("worker 2 start failed", err);
+  const std::vector<std::string> pool = {"127.0.0.1:" + std::to_string(w1.port()),
+                                         "127.0.0.1:" + std::to_string(w2.port())};
+
+  const int kDistinct = 4;
+  const int kThreads = 4;
+  const int kPerThread = 40;
+  const int kTailReqs = 80;
+
+  // --- Pre-warm every key on BOTH workers directly, so every fleet attempt
+  // below (including hedges landing on the non-primary replica) is a cache
+  // hit and the phases measure routing, not flow runs.
+  for (const serve::Server* w : {&w1, &w2}) {
+    serve::Client client;
+    std::string resp;
+    if (!client.connect(w->port(), &err)) return fail("warm connect failed", err);
+    for (int i = 0; i < kDistinct; ++i)
+      if (!client.roundtrip(flow_line(9000 + i), &resp, &err) ||
+          resp.find("\"ok\":true") == std::string::npos)
+        return fail("warm roundtrip failed", err + " " + resp);
+  }
+
+  // --- Phase 1 + 2: hot throughput, one worker vs the full ring.
+  serve::FleetOptions one;
+  one.workers = {pool[0]};
+  one.hedge_ms = 0;
+  serve::FleetOptions two;
+  two.workers = pool;
+  two.hedge_ms = 0;
+  std::atomic<int> failures{0};
+  double rps1 = 0, rps2 = 0;
+  {
+    serve::Fleet fleet(one);
+    rps1 = drive(fleet, kThreads, kPerThread, kDistinct, failures);
+  }
+  {
+    serve::Fleet fleet(two);
+    rps2 = drive(fleet, kThreads, kPerThread, kDistinct, failures);
+  }
+  if (failures.load() != 0)
+    return fail("hot forwards must all answer from cache",
+                "failures=" + std::to_string(failures.load()));
+
+  // --- Phase 3: hedged tail. A deterministic 30% of forward attempts stall
+  // 150 ms (seeded injection, identical rolls every run). Hedging off: the
+  // stall is the tail. Hedge at 15 ms: the re-issued attempt answers unless
+  // both replicas' rolls stall.
+  serve::FleetOptions nohedge = two;
+  serve::FleetOptions hedged = two;
+  hedged.hedge_ms = 15;
+  std::vector<double> tail_off, tail_on;
+  std::uint64_t hedges = 0, hedge_wins = 0, shed = 0;
+  serve::fault::configure("fleet_slow_worker=0.3:150");
+  {
+    serve::Fleet fleet(nohedge);
+    for (int i = 0; i < kTailReqs; ++i) {
+      const int seed = 9000 + i % kDistinct;
+      const auto t = Clock::now();
+      const auto r = fleet.forward(key_of(seed), flow_line(seed));
+      tail_off.push_back(ms_since(t));
+      if (!r.ok) failures.fetch_add(1);
+    }
+  }
+  {
+    serve::Fleet fleet(hedged);
+    for (int i = 0; i < kTailReqs; ++i) {
+      const int seed = 9000 + i % kDistinct;
+      const auto t = Clock::now();
+      const auto r = fleet.forward(key_of(seed), flow_line(seed));
+      tail_on.push_back(ms_since(t));
+      if (!r.ok) failures.fetch_add(1);
+    }
+    const auto c = fleet.counters();
+    hedges = c.hedges;
+    hedge_wins = c.hedge_wins;
+    shed = c.shed;
+  }
+  serve::fault::configure("");
+
+  w1.request_stop();
+  w2.request_stop();
+  w1.wait();
+  w2.wait();
+
+  // --- Contract checks.
+  int rc = 0;
+  if (failures.load() != 0)
+    rc = fail("every tail forward must answer", "failures=" + std::to_string(failures.load()));
+  if (shed != 0) rc = fail("hot load must not shed", "shed=" + std::to_string(shed));
+  if (hedges == 0) rc = fail("slow-worker injection must trigger hedges", "hedges=0");
+  const double mean_off = mean(tail_off), mean_on = mean(tail_on);
+  if (mean_on >= mean_off)
+    rc = fail("hedging must cut the injected-stall mean latency",
+              "off=" + std::to_string(mean_off) + "ms on=" + std::to_string(mean_on) + "ms");
+  if (rps2 < 0.5 * rps1)
+    rc = fail("adding a worker must not crater throughput",
+              "rps1=" + std::to_string(rps1) + " rps2=" + std::to_string(rps2));
+
+  std::printf("bench_fleet: hot throughput %0.f req/s (1 worker) -> %0.f req/s (2 workers, %.2fx)\n",
+              rps1, rps2, rps1 > 0 ? rps2 / rps1 : 0);
+  std::printf("bench_fleet: injected-stall tail p50/p99 %.1f/%.1f ms unhedged -> %.1f/%.1f ms hedged\n",
+              percentile(tail_off, 0.50), percentile(tail_off, 0.99), percentile(tail_on, 0.50),
+              percentile(tail_on, 0.99));
+  std::printf("bench_fleet: mean %.1f ms -> %.1f ms, %llu hedges, %llu hedge wins\n", mean_off,
+              mean_on, static_cast<unsigned long long>(hedges),
+              static_cast<unsigned long long>(hedge_wins));
+
+  std::string extra = "\"fleet1_rps\":" + std::to_string(rps1);
+  extra += ",\"fleet2_rps\":" + std::to_string(rps2);
+  extra += ",\"scaling_x\":" + std::to_string(rps1 > 0 ? rps2 / rps1 : 0);
+  extra += ",\"tail_off_p50_ms\":" + std::to_string(percentile(tail_off, 0.50));
+  extra += ",\"tail_off_p99_ms\":" + std::to_string(percentile(tail_off, 0.99));
+  extra += ",\"tail_on_p50_ms\":" + std::to_string(percentile(tail_on, 0.50));
+  extra += ",\"tail_on_p99_ms\":" + std::to_string(percentile(tail_on, 0.99));
+  extra += ",\"tail_off_mean_ms\":" + std::to_string(mean_off);
+  extra += ",\"tail_on_mean_ms\":" + std::to_string(mean_on);
+  extra += ",\"hedges\":" + std::to_string(hedges);
+  extra += ",\"hedge_wins\":" + std::to_string(hedge_wins);
+  extra += ",\"shed\":" + std::to_string(shed);
+  const std::chrono::duration<double> wall = Clock::now() - t0;
+  gia::bench::print_json_line(argv[0], wall.count(), extra);
+  core::instrument::emit_report();
+  return rc;
+}

@@ -113,6 +113,9 @@ int usage() {
                "[--max-line-bytes N]\n"
                "                [--max-search-points N] [--max-active-searches N] "
                "[--max-search-ms N]\n"
+               "                [--coordinator --worker HOST:PORT [--worker ...] "
+               "[--hedge-ms N]\n"
+               "                 [--fleet-replicas N] [--fleet-max-inflight N]]\n"
                "  giaflow client <port> <tech>\n"
                "  giaflow search <port> [--spec FILE | --spec-json JSON] "
                "[--deadline-ms N]\n"
@@ -381,10 +384,24 @@ int main(int argc, char** argv) {
         opts.max_active_searches = std::atoi(args[++i]);
       } else if (a == "--max-search-ms" && i + 1 < n) {
         opts.max_search_ms = std::atoi(args[++i]);
+      } else if (a == "--coordinator") {
+        opts.coordinator = true;
+      } else if (a == "--worker" && i + 1 < n) {
+        opts.fleet_workers.push_back(args[++i]);
+      } else if (a == "--hedge-ms" && i + 1 < n) {
+        opts.hedge_ms = std::atoi(args[++i]);
+      } else if (a == "--fleet-replicas" && i + 1 < n) {
+        opts.fleet_replicas = std::atoi(args[++i]);
+      } else if (a == "--fleet-max-inflight" && i + 1 < n) {
+        opts.fleet_max_inflight = std::atoi(args[++i]);
       } else {
         std::fprintf(stderr, "giaflow serve: unknown option %s\n", a.c_str());
         ok = false;
       }
+    }
+    if (opts.coordinator && opts.fleet_workers.empty()) {
+      std::fprintf(stderr, "giaflow serve: --coordinator requires at least one --worker\n");
+      ok = false;
     }
     rc = ok ? serve::run_daemon(opts) : usage();
   } else if (cmd == "client" && n == 3 && parse_tech(args[2], &kind)) {

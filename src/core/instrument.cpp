@@ -34,6 +34,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "stage_cache_misses",    "krylov_iterations",
     "mg_vcycles",            "dse_points_evaluated",
     "dse_front_updates",     "dse_cache_assisted_points",
+    "fleet_forwards",        "fleet_hedges",
+    "fleet_shed",            "fleet_worker_failures",
 };
 
 struct SpanNode {

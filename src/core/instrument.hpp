@@ -67,6 +67,10 @@ enum class Counter : int {
   DseFrontUpdates,        ///< Pareto-front versions published by dse:: searches
   DseCacheAssistedPoints, ///< dse points served with result-cache / coalesce /
                           ///  resident-stage-artifact help
+  FleetForwards,          ///< requests a coordinator forwarded to fleet workers
+  FleetHedges,            ///< hedged re-issues to a secondary replica
+  FleetShed,              ///< requests shed with a structured "overloaded" error
+  FleetWorkerFailures,    ///< forward attempts that failed against a worker
   kCount
 };
 

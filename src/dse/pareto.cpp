@@ -62,16 +62,39 @@ ParetoFront::AddOutcome ParetoFront::add(const core::DesignPoint& p) {
   }
   any_ranked_ = true;
 
-  for (const auto& m : members_) {
-    bool same = m.label == p.label;
-    for (std::size_t i = 0; same && i < objectives_.size(); ++i) {
-      same = (m.metric(objectives_[i].metric) == vals[i]);
+  // Exact duplicate (same label, equal objective values): a no-op. A
+  // same-label member with *different* values is a stale measurement of the
+  // same design point -- the re-add supersedes it, so evict it before
+  // ranking (otherwise the predecessor could keep its successor off the
+  // front, or the two could coexist as "distinct" members).
+  bool evicted_same_label = false;
+  {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i].label == p.label) {
+        bool same = true;
+        for (std::size_t j = 0; same && j < objectives_.size(); ++j) {
+          same = (members_[i].metric(objectives_[j].metric) == vals[j]);
+        }
+        if (same) {
+          out.duplicate = true;
+          return out;
+        }
+        ++out.removed;
+        evicted_same_label = true;
+        continue;
+      }
+      if (kept != i) members_[kept] = std::move(members_[i]);
+      ++kept;
     }
-    if (same) {
-      out.duplicate = true;
+    members_.resize(kept);
+  }
+
+  for (const auto& m : members_) {
+    if (core::dominates(m, p, objectives_)) {  // strictly worse
+      if (evicted_same_label) out.version = ++version_;  // front still mutated
       return out;
     }
-    if (core::dominates(m, p, objectives_)) return out;  // strictly worse
   }
 
   // p joins: evict everything it dominates, keep ties (equal vectors under

@@ -38,16 +38,20 @@ class ParetoFront {
 
   /// Ingest one evaluated point. A point missing any objective metric is
   /// rejected (it cannot be ranked). A duplicate (same label, equal
-  /// objective values as a current member) is a no-op. Two distinct labels
-  /// with identical objective vectors tie: neither dominates, both stay on
-  /// the front.
+  /// objective values as a current member) is a no-op. A same-label member
+  /// with *different* values is a stale measurement of the same design: it
+  /// is evicted before ranking (counted in `removed`), and the re-add wins
+  /// whatever dominance then says -- the front never carries two members
+  /// with one label. Two distinct labels with identical objective vectors
+  /// tie: neither dominates, both stay on the front.
   AddOutcome add(const core::DesignPoint& p);
 
   /// Current non-dominated set, in insertion order of surviving members.
   const std::vector<core::DesignPoint>& members() const { return members_; }
   const std::vector<core::Objective>& objectives() const { return objectives_; }
 
-  /// Mutation count: bumped once per add that changed the front.
+  /// Mutation count: bumped once per add that changed the front (including
+  /// a same-label eviction whose replacement then failed to join).
   std::uint64_t version() const { return version_; }
   /// Every point ever offered to add(), including rejects and duplicates.
   std::uint64_t points_seen() const { return seen_; }

@@ -137,7 +137,10 @@ struct Engine {
         if (v == nullptr || !con.satisfied(*v)) ev.feasible = false;
       }
       if (ev.feasible) {
-        index_of_label.emplace(ev.label, c.index);
+        // Assign, don't emplace: a same-label point rejoining the front with
+        // fresh metrics must re-point the label at the flat index actually
+        // evaluated, or refine_phase expands a stale neighborhood.
+        index_of_label[ev.label] = c.index;
         const auto outcome = front.add({ev.label, ev.metrics});
         if (outcome.added) {
           ins::counter_add(ins::Counter::DseFrontUpdates);

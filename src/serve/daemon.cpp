@@ -31,6 +31,7 @@
 #include "dse/search.hpp"
 #include "dse/space.hpp"
 #include "serve/faultinject.hpp"
+#include "serve/fleet.hpp"
 #include "serve/request.hpp"
 
 namespace gia::serve {
@@ -90,6 +91,9 @@ struct Server::Impl {
 
   std::unique_ptr<ResultCache> cache;
   std::unique_ptr<JobScheduler> scheduler;
+  /// Coordinator mode only: the worker pool router. When set there is no
+  /// local cache/scheduler; flow requests are forwarded (serve/fleet.hpp).
+  std::unique_ptr<Fleet> fleet;
 
   std::thread accept_thread;
   std::vector<std::thread> conn_workers;
@@ -342,7 +346,12 @@ struct Server::Impl {
       }
 
       if (const json::Value* frv = v.find("flow_request"))
-        return handle_flow(v, *frv, id_field);
+        return fleet ? handle_flow_fleet(v, *frv, id_field, line)
+                     : handle_flow(v, *frv, id_field);
+      if (fleet && (v.find("search") || v.find("search_cancel") || v.find("search_refine")))
+        return error_response(id_field,
+                              "search verbs are worker-local (streams and search ids live on "
+                              "one worker); connect to a worker directly");
       if (v.find("search")) return handle_search(fd, v, id_field);
       if (const json::Value* cv = v.find("search_cancel"))
         return handle_search_cancel(v, *cv, id_field);
@@ -448,6 +457,48 @@ struct Server::Impl {
       out += ",\"error\":";
       json::escape(ticket.error(), out);
     }
+    out.push_back('}');
+    return out;
+  }
+
+  /// Coordinator-mode flow handling: validate locally (same field rules as
+  /// handle_flow, so a malformed request is rejected at the edge without a
+  /// network hop), key the request by its content address, and forward the
+  /// ORIGINAL line verbatim -- the worker's response already echoes the
+  /// client's id, so it passes straight back. When every replica for the
+  /// key is down or saturated the request is shed with a structured
+  /// "overloaded" error instead of queueing.
+  std::string handle_flow_fleet(const json::Value& v, const json::Value& frv,
+                                const std::string& id_field, const std::string& line) {
+    static const char* const kAllowed[] = {"flow_request", "id",     "priority",
+                                           "deadline_ms",  "after", "result"};
+    for (const auto& kv : v.obj) {
+      bool known = false;
+      for (const char* k : kAllowed) known = known || kv.first == k;
+      if (!known) return error_response(id_field, "unknown request field: " + kv.first);
+    }
+    // Job ids are worker-local; a dependency forwarded to a different
+    // worker than the one that issued the id would silently mis-resolve.
+    if (v.find("after"))
+      return error_response(id_field,
+                            "after (job dependencies) is not available in coordinator mode");
+
+    const FlowRequest req = request_from_value(frv);  // throws -> handle_line
+    const std::uint64_t key = request_key(req);
+    n_flow_requests.fetch_add(1, std::memory_order_relaxed);
+    ins::counter_add(ins::Counter::ServeRequests);
+
+    const Fleet::ForwardResult fr = fleet->forward(key, line);
+    if (fr.ok) return fr.response;
+
+    std::string out = "{\"ok\":false";
+    out += id_field;
+    out += ",\"error\":\"overloaded\",\"shed\":true,\"key\":\"";
+    out += key_hex(key);
+    out += "\",\"attempts\":";
+    json::append_i64(fr.attempts, out);
+    out += ",\"detail\":";
+    json::escape(fr.error, out);
     out.push_back('}');
     return out;
   }
@@ -725,6 +776,7 @@ struct Server::Impl {
   }
 
   std::string stats_body() const {
+    if (fleet) return stats_body_fleet();
     const auto sched = scheduler->counters();
     const auto cst = cache->stats();
     const double uptime =
@@ -809,6 +861,37 @@ struct Server::Impl {
     out.push_back('}');
     return out;
   }
+
+  /// Coordinator stats: local protocol counters + the fleet view (which
+  /// roundtrips a stats verb to every live worker and merges).
+  std::string stats_body_fleet() const {
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    std::string out = "{\"port\":";
+    json::append_i64(bound_port, out);
+    out += ",\"coordinator\":true,\"connections\":";
+    json::append_u64(n_connections.load(std::memory_order_relaxed), out);
+    out += ",\"requests\":";
+    json::append_u64(n_requests.load(std::memory_order_relaxed), out);
+    out += ",\"flow_requests\":";
+    json::append_u64(n_flow_requests.load(std::memory_order_relaxed), out);
+    out += ",\"protocol_errors\":";
+    json::append_u64(n_protocol_errors.load(std::memory_order_relaxed), out);
+    out += ",\"timeouts\":";
+    json::append_u64(n_timeouts.load(std::memory_order_relaxed), out);
+    out += ",\"oversize_rejections\":";
+    json::append_u64(n_oversize.load(std::memory_order_relaxed), out);
+    out += ",\"uptime_s\":";
+    json::append_double(uptime, out);
+    out += ",\"fleet\":";
+    out += fleet->stats_json();
+    if (fault::enabled()) {
+      out += ",\"faults\":";
+      out += fault::counters_json();
+    }
+    out.push_back('}');
+    return out;
+  }
 };
 
 Server::Server(const ServerOptions& opts) : impl_(std::make_unique<Impl>()) {
@@ -832,6 +915,24 @@ bool Server::start(std::string* err) {
   if (im.started) {
     if (err) *err = "server already started";
     return false;
+  }
+  if (im.opts.coordinator) {
+    // Build the fleet before touching sockets so a bad pool config fails
+    // fast with nothing to unwind.
+    FleetOptions fopts;
+    fopts.workers = im.opts.fleet_workers;
+    fopts.replicas = im.opts.fleet_replicas;
+    fopts.hedge_ms = im.opts.hedge_ms;
+    fopts.max_inflight_per_worker = im.opts.fleet_max_inflight;
+    fopts.client.io_timeout_ms = im.opts.fleet_io_timeout_ms;
+    fopts.retry.overall_deadline_ms =
+        im.opts.fleet_io_timeout_ms > 0 ? 2 * im.opts.fleet_io_timeout_ms : 0;
+    try {
+      im.fleet = std::make_unique<Fleet>(fopts);
+    } catch (const std::exception& e) {
+      if (err) *err = e.what();
+      return false;
+    }
   }
   if (::pipe(im.stop_pipe) != 0) {
     if (err) *err = errno_str("pipe");
@@ -867,15 +968,17 @@ bool Server::start(std::string* err) {
   else
     im.bound_port = im.opts.port;
 
-  ResultCache::Config ccfg;
-  ccfg.capacity = im.opts.cache_capacity;
-  ccfg.shards = im.opts.cache_shards;
-  ccfg.disk_dir = im.opts.cache_dir;
-  im.cache = std::make_unique<ResultCache>(ccfg);
-  JobScheduler::Options sopts;
-  sopts.workers = im.opts.scheduler_workers;
-  sopts.cache = im.cache.get();
-  im.scheduler = std::make_unique<JobScheduler>(sopts);
+  if (!im.opts.coordinator) {
+    ResultCache::Config ccfg;
+    ccfg.capacity = im.opts.cache_capacity;
+    ccfg.shards = im.opts.cache_shards;
+    ccfg.disk_dir = im.opts.cache_dir;
+    im.cache = std::make_unique<ResultCache>(ccfg);
+    JobScheduler::Options sopts;
+    sopts.workers = im.opts.scheduler_workers;
+    sopts.cache = im.cache.get();
+    im.scheduler = std::make_unique<JobScheduler>(sopts);
+  }
 
   im.start_time = std::chrono::steady_clock::now();
   im.accept_thread = std::thread([&im] { im.accept_loop(); });
@@ -944,6 +1047,21 @@ Server::Stats Server::stats() const {
   }
   if (impl_->cache) s.cache = impl_->cache->stats();
   s.stage_cache = core::stage::stage_cache_stats();
+  if (impl_->fleet) {
+    const auto fc = impl_->fleet->counters();
+    s.fleet.enabled = true;
+    s.fleet.forwarded = fc.forwarded;
+    s.fleet.answered = fc.answered;
+    s.fleet.hedges = fc.hedges;
+    s.fleet.hedge_wins = fc.hedge_wins;
+    s.fleet.failovers = fc.failovers;
+    s.fleet.shed = fc.shed;
+    s.fleet.worker_failures = fc.worker_failures;
+    for (const auto& w : impl_->fleet->workers()) {
+      ++s.fleet.workers_total;
+      if (w.up) ++s.fleet.workers_up;
+    }
+  }
   s.uptime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - impl_->start_time)
           .count();
@@ -984,6 +1102,8 @@ int run_daemon(const ServerOptions& opts) {
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
 
+  if (opts.coordinator)
+    std::printf("giad: coordinating %zu workers\n", opts.fleet_workers.size());
   std::printf("giad: listening on 127.0.0.1:%d\n", server.port());
   std::fflush(stdout);
 
@@ -1008,14 +1128,25 @@ int run_daemon(const ServerOptions& opts) {
   g_sig_pipe[0] = g_sig_pipe[1] = -1;
 
   const Server::Stats st = server.stats();
-  std::printf(
-      "giad: drained cleanly after %llu requests (%llu flow, %llu hits, %llu coalesced, "
-      "%llu executed)\n",
-      static_cast<unsigned long long>(st.requests),
-      static_cast<unsigned long long>(st.flow_requests),
-      static_cast<unsigned long long>(st.scheduler.cache_hits),
-      static_cast<unsigned long long>(st.scheduler.coalesced),
-      static_cast<unsigned long long>(st.scheduler.executed));
+  if (st.fleet.enabled) {
+    std::printf(
+        "giad: drained cleanly after %llu requests (%llu forwarded, %llu hedges, "
+        "%llu failovers, %llu shed)\n",
+        static_cast<unsigned long long>(st.requests),
+        static_cast<unsigned long long>(st.fleet.forwarded),
+        static_cast<unsigned long long>(st.fleet.hedges),
+        static_cast<unsigned long long>(st.fleet.failovers),
+        static_cast<unsigned long long>(st.fleet.shed));
+  } else {
+    std::printf(
+        "giad: drained cleanly after %llu requests (%llu flow, %llu hits, %llu coalesced, "
+        "%llu executed)\n",
+        static_cast<unsigned long long>(st.requests),
+        static_cast<unsigned long long>(st.flow_requests),
+        static_cast<unsigned long long>(st.scheduler.cache_hits),
+        static_cast<unsigned long long>(st.scheduler.coalesced),
+        static_cast<unsigned long long>(st.scheduler.executed));
+  }
   std::fflush(stdout);
   return 0;
 }
@@ -1033,18 +1164,25 @@ void Client::close() {
   rxbuf_.clear();
 }
 
-bool Client::connect(int port, std::string* err) {
+bool Client::connect(int port, std::string* err) { return connect("127.0.0.1", port, err); }
+
+bool Client::connect(const std::string& host, int port, std::string* err) {
   close();
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (host.empty() || host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "bad host address: " + host;
+    return false;
+  }
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     if (err) *err = errno_str("socket");
     return false;
   }
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof addr);
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
 
   if (opts_.connect_timeout_ms > 0) {
     // Non-blocking connect bounded by poll: a black-holed SYN fails with
@@ -1137,6 +1275,12 @@ bool Client::read_line(std::string* response, std::string* err) {
 
 bool Client::request_with_retry(int port, const std::string& line, const RetryPolicy& policy,
                                 std::string* response, std::string* err, int* attempts_out) {
+  return request_with_retry("127.0.0.1", port, line, policy, response, err, attempts_out);
+}
+
+bool Client::request_with_retry(const std::string& host, int port, const std::string& line,
+                                const RetryPolicy& policy, std::string* response,
+                                std::string* err, int* attempts_out) {
   const int max_attempts = std::max(1, policy.max_attempts);
   const auto t0 = Clock::now();
   const auto deadline =
@@ -1148,7 +1292,7 @@ bool Client::request_with_retry(int port, const std::string& line, const RetryPo
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempts_out) *attempts_out = attempt;
-    bool ok = connected() || connect(port, &last_err);
+    bool ok = connected() || connect(host, port, &last_err);
     if (ok) {
       ok = roundtrip(line, response, &last_err);
       // A failed roundtrip leaves the stream in an unknown state (half-sent

@@ -116,41 +116,62 @@ struct JobScheduler::Impl {
 
   std::vector<std::thread> workers;
 
-  /// Move a job to a terminal state and unlink it. Caller holds `mu`.
+  /// Move a job to a terminal state and unlink it, then walk its dependents
+  /// with an explicit worklist. Caller holds `mu`. Dependent cancellation
+  /// must NOT recurse: a failed job at the head of a deep dependency chain
+  /// would otherwise cancel the whole chain by nested calls while holding
+  /// the scheduler mutex and overflow the stack.
   void finish_locked(const StatePtr& st, Status status, ResultCache::ResultPtr result,
                      std::string error) {
-    {
-      std::lock_guard<std::mutex> lk(st->mu);
-      if (st->terminal_locked()) return;
-      st->status = status;
-      st->result = std::move(result);
-      st->error = std::move(error);
-      st->finish_seq = finish_counter.fetch_add(1, std::memory_order_relaxed) + 1;
-    }
-    st->cv.notify_all();
+    struct Item {
+      StatePtr st;
+      Status status;
+      ResultCache::ResultPtr result;
+      std::string error;
+      bool cascade;  ///< counted in n_cancelled when it actually transitions
+    };
+    std::vector<Item> work;
+    work.push_back({st, status, std::move(result), std::move(error), /*cascade=*/false});
 
-    auto fl = inflight.find(st->key);
-    if (fl != inflight.end() && fl->second == st) inflight.erase(fl);
-    by_id.erase(st->id);
-
-    const bool ok = status == Status::Done;
-    for (const auto& dep : st->dependents) {
-      bool already_terminal;
+    while (!work.empty()) {
+      Item it = std::move(work.back());
+      work.pop_back();
       {
-        std::lock_guard<std::mutex> lk(dep->mu);
-        already_terminal = dep->terminal_locked();
+        std::lock_guard<std::mutex> lk(it.st->mu);
+        // A job may be queued twice here (a dependent of two failing jobs in
+        // one cascade); only the first pop transitions it.
+        if (it.st->terminal_locked()) continue;
+        it.st->status = it.status;
+        it.st->result = std::move(it.result);
+        it.st->error = std::move(it.error);
+        it.st->finish_seq = finish_counter.fetch_add(1, std::memory_order_relaxed) + 1;
       }
-      if (already_terminal) continue;
-      if (!ok) {
-        n_cancelled.fetch_add(1, std::memory_order_relaxed);
-        finish_locked(dep, Status::Cancelled, nullptr,
-                      "dependency " + std::to_string(st->id) + " did not complete");
-      } else if (--dep->deps_remaining == 0) {
-        queue.push(dep);
-        cv_work.notify_one();
+      it.st->cv.notify_all();
+      if (it.cascade) n_cancelled.fetch_add(1, std::memory_order_relaxed);
+
+      auto fl = inflight.find(it.st->key);
+      if (fl != inflight.end() && fl->second == it.st) inflight.erase(fl);
+      by_id.erase(it.st->id);
+
+      const bool ok = it.status == Status::Done;
+      for (const auto& dep : it.st->dependents) {
+        bool already_terminal;
+        {
+          std::lock_guard<std::mutex> lk(dep->mu);
+          already_terminal = dep->terminal_locked();
+        }
+        if (already_terminal) continue;
+        if (!ok) {
+          work.push_back({dep, Status::Cancelled, nullptr,
+                          "dependency " + std::to_string(it.st->id) + " did not complete",
+                          /*cascade=*/true});
+        } else if (--dep->deps_remaining == 0) {
+          queue.push(dep);
+          cv_work.notify_one();
+        }
       }
+      it.st->dependents.clear();
     }
-    st->dependents.clear();
     cv_idle.notify_all();
   }
 
@@ -275,6 +296,16 @@ JobTicket JobScheduler::submit(const FlowRequest& req, const SubmitOptions& opts
       st->key = key;
       st->status = JobTicket::Status::Done;
       st->result = hit;
+      // A hit is a job that completed at submit time: it gets a real id and
+      // a finish sequence number like any other job, so finish_order() is
+      // truthful for hits and cancel(job_id()) is a well-defined no-op
+      // (the id never enters by_id) instead of aliasing on id 0.
+      {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        st->id = impl_->next_id++;
+        st->seq = impl_->next_seq++;
+      }
+      st->finish_seq = impl_->finish_counter.fetch_add(1, std::memory_order_relaxed) + 1;
       return JobTicket(std::move(st), /*from_cache=*/true, /*coalesced=*/false);
     }
   }

@@ -42,7 +42,10 @@ class JobTicket {
  public:
   enum class Status { Queued, Running, Done, Failed, Cancelled, Expired };
 
-  /// Scheduler-assigned id of the underlying job (coalesced tickets share it).
+  /// Scheduler-assigned id of the underlying job (coalesced tickets share
+  /// it). Cache-hit tickets carry a real id too -- it is never registered
+  /// for cancellation (the job is already terminal), so cancel(job_id())
+  /// on a hit is a well-defined `false`.
   std::uint64_t job_id() const;
   /// Content-address of the request (see request_key).
   std::uint64_t key() const;
@@ -62,7 +65,10 @@ class JobTicket {
   /// Failure reason (Failed only).
   std::string error() const;
   /// Monotonic completion sequence number (1 = first job to finish); 0
-  /// while non-terminal. Lets tests and clients observe execution order.
+  /// while non-terminal. Cache-hit tickets complete at submit time and get
+  /// a real sequence number like any executed job, so the order is
+  /// truthful across hits and runs. Lets tests and clients observe
+  /// execution order.
   std::uint64_t finish_order() const;
 
  private:

@@ -89,6 +89,46 @@ TEST(DseParetoTest, DuplicateIsNoOpButDistinctLabelTieStays) {
   EXPECT_EQ(front.members().size(), 2u);
 }
 
+// Regression: a re-evaluated design (same label, different objective
+// values) used to coexist with its stale measurement on the front. The
+// same-label predecessor must be evicted before the new values are ranked.
+TEST(DseParetoTest, SameLabelReaddSupersedesStaleMember) {
+  dse::ParetoFront front(kMinMin);
+  front.add(point("a", 3, 3));
+  front.add(point("b", 1, 5));
+  const auto out = front.add(point("a", 2, 4));  // fresher measurement of a
+  EXPECT_TRUE(out.added);
+  EXPECT_EQ(out.removed, 1u);  // the stale "a", not "b"
+  ASSERT_EQ(front.members().size(), 2u);
+  int a_count = 0;
+  for (const auto& m : front.members()) a_count += m.label == "a";
+  EXPECT_EQ(a_count, 1) << "front must never carry two members with one label";
+  for (const auto& m : front.members()) {
+    if (m.label == "a") EXPECT_DOUBLE_EQ(m.metric("power_mW"), 2.0);
+  }
+}
+
+// The re-add may itself be dominated after its stale twin is gone; the
+// front still mutated (a member vanished), so the version must bump and
+// observers re-snapshot.
+TEST(DseParetoTest, SameLabelReaddThatEndsDominatedStillBumpsVersion) {
+  dse::ParetoFront front(kMinMin);
+  front.add(point("a", 1, 1));                     // version 1
+  front.add(point("b", 5, 5));                     // dominated, no bump
+  const auto out = front.add(point("b", 9, 9));    // fresh "b", still dominated
+  EXPECT_FALSE(out.added);
+  EXPECT_EQ(out.removed, 0u);  // its stale twin was not on the front
+  EXPECT_EQ(front.version(), 1u);
+
+  front.add(point("c", 0, 9));                     // joins: version 2
+  const auto gone = front.add(point("c", 2, 2));   // evicts stale c, then loses to a
+  EXPECT_FALSE(gone.added);
+  EXPECT_EQ(gone.removed, 1u);
+  EXPECT_EQ(gone.version, 3u) << "front shrank; observers must see a new version";
+  ASSERT_EQ(front.members().size(), 1u);
+  EXPECT_EQ(front.members()[0].label, "a");
+}
+
 TEST(DseParetoTest, MissingOrNonFiniteMetricIsRejected) {
   dse::ParetoFront front(kMinMin);
   const auto missing = front.add({"m", {{"power_mW", 1.0}}});

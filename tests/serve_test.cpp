@@ -17,6 +17,7 @@
 #include "core/parallel.hpp"
 #include "serve/cache.hpp"
 #include "serve/daemon.hpp"
+#include "serve/faultinject.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
 #include "tech/library.hpp"
@@ -386,6 +387,80 @@ TEST(ServeSchedulerTest, DependenciesOrderExecutionAndCascadeCancellation) {
   EXPECT_TRUE(sched.cancel(d.job_id()));
   EXPECT_EQ(d.wait(), serve::JobTicket::Status::Cancelled);
   EXPECT_EQ(e.wait(), serve::JobTicket::Status::Cancelled);
+  sched.drain();
+}
+
+// Regression: cache-hit tickets used to carry id 0 and finish order 0, so
+// every hit collided with every other hit, cancel-by-id of a hit was
+// undefined, and finish_order() lied about when hits were answered.
+TEST(ServeSchedulerTest, CacheHitTicketsCarryRealIdsAndFinishOrder) {
+  serve::ResultCache::Config ccfg;
+  ccfg.disk_dir = "-";
+  serve::ResultCache cache(ccfg);
+  serve::JobScheduler::Options opts;
+  opts.workers = 1;
+  opts.cache = &cache;
+  serve::JobScheduler sched(opts);
+
+  const auto req = request_for(tech::TechnologyKind::Glass25D, 42);
+  cache.put(serve::request_key(req), make_result(1.0));
+
+  const auto hit1 = sched.submit(req);
+  const auto hit2 = sched.submit(req);
+  ASSERT_TRUE(hit1.from_cache());
+  ASSERT_TRUE(hit2.from_cache());
+  EXPECT_GT(hit1.job_id(), 0u);
+  EXPECT_GT(hit2.job_id(), hit1.job_id());
+  EXPECT_GT(hit1.finish_order(), 0u);
+  EXPECT_GT(hit2.finish_order(), hit1.finish_order());
+  // A hit is terminal at birth: cancelling its id is a well-defined no.
+  EXPECT_FALSE(sched.cancel(hit1.job_id()));
+  EXPECT_EQ(hit1.wait(), serve::JobTicket::Status::Done);
+
+  // Hit ids draw from the same sequence as queued jobs: no collisions, and
+  // finish order stays truthful across the hit/run boundary.
+  const auto run = sched.submit(request_for(tech::TechnologyKind::Glass25D, 43));
+  EXPECT_GT(run.job_id(), hit2.job_id());
+  EXPECT_EQ(run.wait(), serve::JobTicket::Status::Done);
+  EXPECT_GT(run.finish_order(), hit2.finish_order());
+}
+
+// Regression: finish_locked used to cascade through dependents recursively,
+// one stack frame per link, so cancelling the root of a deep after-chain
+// overflowed the stack. The iterative worklist must absorb a 100k chain.
+TEST(ServeSchedulerTest, DeepDependencyChainCancelsIteratively) {
+  // Pin the single worker: the stall fires once the blocker starts, giving
+  // this thread a deterministic window to build and cancel the chain (the
+  // root additionally depends on the blocker, so it cannot start early).
+  serve::fault::configure("sched_stall=1:8000");
+  serve::JobScheduler::Options opts;
+  opts.workers = 1;
+  serve::JobScheduler sched(opts);
+
+  const auto blocker = sched.submit(request_for(tech::TechnologyKind::Glass25D, 1));
+  serve::JobScheduler::SubmitOptions after;
+  after.after = {blocker.job_id()};
+  const auto root = sched.submit(request_for(tech::TechnologyKind::Glass25D, 2), after);
+
+  constexpr int kDepth = 100000;
+  after.after = {root.job_id()};
+  std::vector<serve::JobTicket> chain;
+  chain.reserve(kDepth);
+  for (int i = 0; i < kDepth; ++i) {
+    chain.push_back(sched.submit(request_for(tech::TechnologyKind::Glass25D, 10 + i), after));
+    after.after = {chain.back().job_id()};
+  }
+
+  ASSERT_TRUE(sched.cancel(root.job_id()));  // must not overflow the stack
+  serve::fault::configure("");
+  EXPECT_EQ(root.wait(), serve::JobTicket::Status::Cancelled);
+  EXPECT_EQ(chain.front().wait(), serve::JobTicket::Status::Cancelled);
+  EXPECT_EQ(chain.back().wait(), serve::JobTicket::Status::Cancelled);
+  EXPECT_GE(sched.counters().cancelled, static_cast<std::uint64_t>(kDepth) + 1);
+  // The cascade finishes parents before their dependents.
+  EXPECT_LT(root.finish_order(), chain.front().finish_order());
+  EXPECT_LT(chain.front().finish_order(), chain.back().finish_order());
+  EXPECT_EQ(blocker.wait(), serve::JobTicket::Status::Done);
   sched.drain();
 }
 
