@@ -3,11 +3,12 @@
 /// Two parts, both on Glass 2.5D with a coarsened netlist so the lane stays
 /// CI-sized:
 ///
-///   1. scaling series -- 2 / 16 / 64 chiplets in grid and hex arrangements,
-///      end to end through the generalized flow. Contract: every metric is
-///      finite, routing completes (routed nets > 0), and for each
-///      arrangement the interposer area and total routed wirelength grow
-///      monotonically with the chiplet count.
+///   1. scaling series -- 2 / 16 / 64 chiplets in grid and hex arrangements
+///      (plus a 256-chiplet point on the hex series), end to end through the
+///      generalized flow. Contract: every metric is finite, routing
+///      completes (routed nets > 0), and for each arrangement the interposer
+///      area and total routed wirelength grow monotonically with the chiplet
+///      count.
 ///
 ///   2. arrangement-sweep reuse gate -- at 16 chiplets, sweep
 ///      {grid, hex} x {pitch_scale 1.0, 1.2}. These knobs feed only the
@@ -112,10 +113,13 @@ int main(int argc, char** argv) {
   const auto t0 = Clock::now();
   int rc = 0;
 
-  // --- Part 1: 2/16/64-chiplet grid + hex series.
+  // --- Part 1: 2/16/64-chiplet grid + hex series, with a 256-chiplet point
+  // on the hex series only (the denser lattice is the scaling frontier; one
+  // large point keeps the lane CI-sized).
   core::stage::set_stage_cache_enabled(false);
   core::stage::stage_cache_clear();
-  const int kCounts[] = {2, 16, 64};
+  const std::vector<int> kGridCounts = {2, 16, 64};
+  const std::vector<int> kHexCounts = {2, 16, 64, 256};
   const chiplet::Arrangement kArrs[] = {chiplet::Arrangement::Grid,
                                         chiplet::Arrangement::Hex};
   std::vector<Point> series;
@@ -124,7 +128,8 @@ int main(int argc, char** argv) {
     // pointer/reference into it would dangle across iterations.
     Point prev;
     bool has_prev = false;
-    for (const int k : kCounts) {
+    const auto& counts = arr == chiplet::Arrangement::Hex ? kHexCounts : kGridCounts;
+    for (const int k : counts) {
       series.push_back(run_point(k, arr));
       const Point& p = series.back();
       std::printf("bench_chiplet_scaling: %2d x %-5s %7.3fs area %8.2f mm2 wl %10.0f um "

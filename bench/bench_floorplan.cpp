@@ -1,0 +1,212 @@
+/// bench_floorplan: performance-aware floorplanner lane.
+///
+/// Three parts, all on Glass 2.5D:
+///
+///   1. wirelength gate (library) -- 16 heterogeneous dies (memory dies at
+///      roughly half the logic footprint) floorplanned against a
+///      paper-style demand pattern. Contract: the annealed floorplan's
+///      demand-weighted HPWL is strictly below the uniform-pitch grid's.
+///
+///   2. wirelength gate (flow) -- the same 16-die system end to end through
+///      the generalized flow (memory_every=2, memory_die_scale=0.5), grid vs
+///      floorplan arrangements. Contract: the floorplan flow's routed total
+///      wirelength is strictly below the grid flow's, and every metric is
+///      finite with routing complete.
+///
+///   3. arrangement-sweep reuse gate -- {grid, floorplan} x {pitch 1.0, 1.2}
+///      at 16 chiplets. The floorplan knobs feed only the interposer subtree
+///      of the stage DAG, so a warm sweep reuses netlist_partition and
+///      chiplet_pnr at every point. Contract: warm sweep >= 5x faster than
+///      the cache-disabled cold sweep with both upstream stages served from
+///      the cache.
+///
+/// Emits the standard bench JSON line; exits non-zero when a contract is
+/// violated so CI gates on it.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chiplet/bump_plan.hpp"
+#include "core/stagegraph.hpp"
+#include "interposer/arrangement.hpp"
+#include "interposer/floorplanner.hpp"
+
+using namespace gia;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr tech::TechnologyKind kTech = tech::TechnologyKind::Glass25D;
+constexpr int kDies = 16;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "bench_floorplan: %s (%s)\n", what, detail.c_str());
+  return 1;
+}
+
+chiplet::SystemConfig make_system(chiplet::Arrangement arr) {
+  chiplet::SystemConfig s;
+  s.chiplets = kDies;
+  s.arrangement = arr;
+  s.memory_every = 2;
+  s.memory_die_scale = 0.5;
+  return s;
+}
+
+/// Heterogeneous bump plans matching the flow's memory_die_scale=0.5 study:
+/// logic dies from the full tile area, memory dies from half.
+std::vector<chiplet::BumpPlan> hetero_plans(const tech::Technology& t) {
+  std::vector<chiplet::BumpPlan> plans;
+  plans.reserve(kDies);
+  for (int i = 0; i < kDies; ++i) {
+    const bool mem = (i + 1) % 2 == 0;
+    plans.push_back(mem ? chiplet::plan_bumps(200, 1.5e5, true, t)
+                        : chiplet::plan_bumps(200, 3.0e5, false, t));
+  }
+  return plans;
+}
+
+/// The demand pattern of a logic/memory pairing with a logic backbone: each
+/// logic die talks hard to its memory partner, the logic dies form a chain
+/// closed into a ring.
+std::vector<interposer::SystemPairDemand> demo_demands() {
+  std::vector<interposer::SystemPairDemand> d;
+  for (int i = 0; i + 1 < kDies; i += 2) d.push_back({i, i + 1, 200});
+  for (int i = 0; i + 2 < kDies; i += 2) d.push_back({i, i + 2, 64});
+  d.push_back({1, kDies - 1, 64});
+  return d;
+}
+
+core::FlowOptions flow_options(chiplet::Arrangement arr, double pitch_scale = 1.0) {
+  core::FlowOptions o;
+  o.openpiton.cluster_cells = 4000;
+  o.with_eyes = false;
+  o.with_thermal = false;
+  o.system = make_system(arr);
+  o.system.pitch_scale = pitch_scale;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  const auto t0 = Clock::now();
+  int rc = 0;
+
+  // --- Part 1: library-level HPWL gate at 16 heterogeneous dies.
+  const auto t = tech::make_technology(kTech);
+  const auto plans = hetero_plans(t);
+  const auto demands = demo_demands();
+  const auto grid_arr = interposer::arrange_chiplets(t, make_system(chiplet::Arrangement::Grid),
+                                                     plans);
+  const auto fp0 = Clock::now();
+  const auto fp_arr = interposer::floorplan_chiplets(
+      t, make_system(chiplet::Arrangement::Floorplan), plans, demands);
+  const double anneal_s = seconds_since(fp0);
+  const double grid_hpwl = interposer::weighted_hpwl_um(grid_arr, demands);
+  const double fp_hpwl = interposer::weighted_hpwl_um(fp_arr, demands);
+  std::printf("bench_floorplan: hpwl grid %10.0f um  floorplan %10.0f um  (%.1f%%, anneal %.3fs)\n",
+              grid_hpwl, fp_hpwl, 100.0 * (1.0 - fp_hpwl / grid_hpwl), anneal_s);
+  if (!(fp_hpwl < grid_hpwl)) {
+    rc = fail("floorplan must beat grid on demand-weighted HPWL",
+              "grid=" + std::to_string(grid_hpwl) + " floorplan=" + std::to_string(fp_hpwl));
+  }
+
+  // --- Part 2: flow-level routed-wirelength gate.
+  core::stage::set_stage_cache_enabled(false);
+  core::stage::stage_cache_clear();
+  const auto rg = core::stage::execute_flow(kTech, flow_options(chiplet::Arrangement::Grid));
+  const auto rf = core::stage::execute_flow(kTech, flow_options(chiplet::Arrangement::Floorplan));
+  const double grid_wl = rg.interposer.routes.stats.total_wl_um;
+  const double fp_wl = rf.interposer.routes.stats.total_wl_um;
+  std::printf("bench_floorplan: routed wl grid %10.0f um  floorplan %10.0f um  (%.1f%%)\n",
+              grid_wl, fp_wl, 100.0 * (1.0 - fp_wl / grid_wl));
+  for (const auto* r : {&rg, &rf}) {
+    if (!std::isfinite(r->interposer.routes.stats.total_wl_um) ||
+        !std::isfinite(r->total_power_w) || r->interposer.routes.stats.routed_nets <= 0) {
+      rc = fail("flow metrics must be finite with routing complete",
+                "routed_nets=" + std::to_string(r->interposer.routes.stats.routed_nets));
+    }
+  }
+  if (!(fp_wl < grid_wl)) {
+    rc = fail("floorplan flow must beat grid flow on routed wirelength",
+              "grid=" + std::to_string(grid_wl) + " floorplan=" + std::to_string(fp_wl));
+  }
+
+  // --- Part 3: arrangement-sweep stage-cache reuse gate. The sweep uses a
+  // finer netlist than the flow gate: the reused upstream stages (K-way
+  // partition + 16 chiplet PnRs) then dominate the cold cost, which is
+  // exactly the workload the cache exists for.
+  const auto sweep_options = [](chiplet::Arrangement arr, double pitch) {
+    core::FlowOptions o = flow_options(arr, pitch);
+    o.openpiton.cluster_cells = 1000;
+    return o;
+  };
+  const chiplet::Arrangement kArrs[] = {chiplet::Arrangement::Grid,
+                                        chiplet::Arrangement::Floorplan};
+  const double kPitches[] = {1.0, 1.2};
+
+  core::stage::set_stage_cache_enabled(false);
+  core::stage::stage_cache_clear();
+  const auto cold0 = Clock::now();
+  for (const auto arr : kArrs) {
+    for (const double pitch : kPitches) {
+      (void)core::stage::execute_flow(kTech, sweep_options(arr, pitch));
+    }
+  }
+  const double cold_s = seconds_since(cold0);
+
+  core::stage::set_stage_cache_enabled(true);
+  core::stage::stage_cache_clear();
+  // Prime with a pitch outside the sweep: upstream stages land in the cache,
+  // every sweep point then recomputes only the interposer subtree.
+  (void)core::stage::execute_flow(kTech, sweep_options(chiplet::Arrangement::Grid, 1.4));
+  const auto warm0 = Clock::now();
+  bool warm_reuse_ok = true;
+  for (const auto arr : kArrs) {
+    for (const double pitch : kPitches) {
+      core::stage::StageRunRecord rec;
+      (void)core::stage::execute_flow(kTech, sweep_options(arr, pitch), &rec);
+      using Outcome = core::stage::StageRunRecord::Outcome;
+      if (rec.outcome[core::stage::idx(core::stage::StageId::NetlistPartition)] ==
+              Outcome::Computed ||
+          rec.outcome[core::stage::idx(core::stage::StageId::ChipletPnr)] == Outcome::Computed) {
+        warm_reuse_ok = false;
+      }
+    }
+  }
+  const double warm_s = seconds_since(warm0);
+  const double speedup = warm_s > 0 ? cold_s / warm_s : 0;
+  std::printf("bench_floorplan: arrangement sweep cold %.3fs warm %.3fs -> %.1fx "
+              "(upstream reuse %s)\n",
+              cold_s, warm_s, speedup, warm_reuse_ok ? "ok" : "VIOLATED");
+  if (speedup < 5.0) {
+    rc = fail("floorplan sweep must be >= 5x faster warm than cold",
+              "speedup=" + std::to_string(speedup));
+  }
+  if (!warm_reuse_ok) {
+    rc = fail("warm sweep points must reuse netlist_partition and chiplet_pnr", "");
+  }
+
+  std::string extra = "\"grid_hpwl_um\":" + std::to_string(grid_hpwl);
+  extra += ",\"floorplan_hpwl_um\":" + std::to_string(fp_hpwl);
+  extra += ",\"anneal_s\":" + std::to_string(anneal_s);
+  extra += ",\"grid_routed_wl_um\":" + std::to_string(grid_wl);
+  extra += ",\"floorplan_routed_wl_um\":" + std::to_string(fp_wl);
+  extra += ",\"sweep_cold_s\":" + std::to_string(cold_s);
+  extra += ",\"sweep_warm_s\":" + std::to_string(warm_s);
+  extra += ",\"sweep_speedup\":" + std::to_string(speedup);
+  extra += ",\"stage_cache\":" + core::stage::stage_cache_stats_json();
+  gia::bench::print_json_line(argv[0], seconds_since(t0), extra);
+  core::instrument::emit_report();
+  return rc;
+}

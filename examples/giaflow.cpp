@@ -1,7 +1,8 @@
 /// giaflow: the unified command-line driver for the toolkit.
 ///
-///   giaflow flow <tech> [--chiplets N] [--arrangement grid|hex|placed]
+///   giaflow flow <tech> [--chiplets N] [--arrangement grid|hex|placed|floorplan]
 ///                 [--memory-every N] [--pitch-scale X] [--placed "x:y;..."]
+///                 [--die-sizes "w:h;..."]
 ///                                       run the full co-design flow; the
 ///                                       system flags generalize it from the
 ///                                       paper's 2-tile study to N chiplets
@@ -19,7 +20,7 @@
 ///   giaflow search <port> [--spec FILE | --spec-json JSON] [--deadline-ms N]
 ///                                       stream a dse Pareto search from a
 ///                                       daemon (default spec: 16-die
-///                                       grid-vs-hex across the four
+///                                       grid/hex/floorplan across the four
 ///                                       interposer technologies). A search
 ///                                       is stateful -- the stream is never
 ///                                       blindly resubmitted on error.
@@ -101,8 +102,10 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  giaflow [--threads N] [--trace] <command> ...\n"
-               "  giaflow flow <tech> [--chiplets N] [--arrangement grid|hex|placed]\n"
+               "  giaflow flow <tech> [--chiplets N] [--arrangement "
+               "grid|hex|placed|floorplan]\n"
                "               [--memory-every N] [--pitch-scale X] [--placed \"x:y;...\"]\n"
+               "               [--die-sizes \"w:h;...\"]\n"
                "  giaflow netlist <out.gnl>\n"
                "  giaflow layout <tech> <out.svg>\n"
                "  giaflow eye <tech> <len_um> <gbps>\n"
@@ -152,11 +155,11 @@ bool read_whole_file(const char* path, std::string* out) {
 }
 
 /// The built-in demo spec: the paper's question at 16 dies. Sweep the four
-/// interposer technologies against grid vs hex arrangements and two memory
-/// interleavings, minimizing power and cost.
+/// interposer technologies against grid, hex, and annealed-floorplan
+/// arrangements and two memory interleavings, minimizing power and cost.
 const char* demo_search_spec() {
   return R"({"space":{"tech":["glass25d","glass3d","si25d","si3d"],)"
-         R"("system.arrangement":["grid","hex"],"system.memory_every":[2,4]},)"
+         R"("system.arrangement":["grid","hex","floorplan"],"system.memory_every":[2,4]},)"
          R"("base":{"system":{"chiplets":16}},)"
          R"("objectives":[{"metric":"power_mW","direction":"min"},)"
          R"({"metric":"cost_usd","direction":"min"}],)"
@@ -299,6 +302,8 @@ int main(int argc, char** argv) {
         ok = parse_double_flag("--pitch-scale", args[++i], &opts.system.pitch_scale) && ok;
       } else if (a == "--placed" && i + 1 < n) {
         opts.system.placed = args[++i];
+      } else if (a == "--die-sizes" && i + 1 < n) {
+        opts.system.die_sizes = args[++i];
       } else {
         std::fprintf(stderr, "giaflow flow: unknown option %s\n", a.c_str());
         ok = false;

@@ -13,6 +13,7 @@ const char* to_string(Arrangement a) {
     case Arrangement::Grid: return "grid";
     case Arrangement::Hex: return "hex";
     case Arrangement::Placed: return "placed";
+    case Arrangement::Floorplan: return "floorplan";
   }
   return "legacy";
 }
@@ -22,6 +23,7 @@ bool parse_arrangement(const std::string& text, Arrangement* out) {
   else if (text == "grid") *out = Arrangement::Grid;
   else if (text == "hex") *out = Arrangement::Hex;
   else if (text == "placed") *out = Arrangement::Placed;
+  else if (text == "floorplan") *out = Arrangement::Floorplan;
   else return false;
   return true;
 }
@@ -30,46 +32,63 @@ bool SystemConfig::is_default() const {
   return arrangement == Arrangement::Legacy && chiplets == 2 &&
          memory_every == 0 && die_scale == 1.0 && power_scale == 1.0 &&
          memory_die_scale == 1.0 && memory_power_scale == 1.0 &&
-         pitch_scale == 1.0 && placed.empty();
+         pitch_scale == 1.0 && placed.empty() && die_sizes.empty();
 }
 
 namespace {
 
-double parse_coord(const std::string& tok) {
+double parse_coord(const char* knob, const std::string& tok) {
   std::size_t used = 0;
   double v = 0;
   try {
     v = std::stod(tok, &used);
   } catch (const std::exception&) {
-    throw std::invalid_argument("system.placed: bad coordinate '" + tok + "'");
+    throw std::invalid_argument(std::string("system.") + knob + ": bad coordinate '" + tok + "'");
   }
   if (used != tok.size() || !std::isfinite(v)) {
-    throw std::invalid_argument("system.placed: bad coordinate '" + tok + "'");
+    throw std::invalid_argument(std::string("system.") + knob + ": bad coordinate '" + tok + "'");
   }
   return v;
+}
+
+/// Split a "a:b;a:b;..." token into coordinate pairs, naming `knob` in
+/// errors. Shared by the placed-position and die-size parsers.
+std::vector<std::pair<double, double>> parse_pairs(const char* knob, const std::string& text) {
+  std::vector<std::pair<double, double>> out;
+  if (text.empty()) return out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t semi = text.find(';', start);
+    if (semi == std::string::npos) semi = text.size();
+    const std::string entry = text.substr(start, semi - start);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument(std::string("system.") + knob + ": entry '" + entry +
+                                  "' is not a colon-separated pair");
+    }
+    out.emplace_back(parse_coord(knob, entry.substr(0, colon)),
+                     parse_coord(knob, entry.substr(colon + 1)));
+    if (semi == text.size()) break;
+    start = semi + 1;
+  }
+  return out;
 }
 
 }  // namespace
 
 std::vector<PlacedPosition> SystemConfig::placed_positions() const {
   std::vector<PlacedPosition> out;
-  if (placed.empty()) return out;
-  std::size_t start = 0;
-  while (start <= placed.size()) {
-    std::size_t semi = placed.find(';', start);
-    if (semi == std::string::npos) semi = placed.size();
-    const std::string entry = placed.substr(start, semi - start);
-    const std::size_t colon = entry.find(':');
-    if (colon == std::string::npos) {
-      throw std::invalid_argument("system.placed: entry '" + entry +
-                                  "' is not x:y");
+  for (const auto& [x, y] : parse_pairs("placed", placed)) out.push_back({x, y});
+  return out;
+}
+
+std::vector<DieSize> SystemConfig::parsed_die_sizes() const {
+  std::vector<DieSize> out;
+  for (const auto& [w, h] : parse_pairs("die_sizes", die_sizes)) {
+    if (w <= 0.0 || h <= 0.0) {
+      throw std::invalid_argument("system.die_sizes: die sides must be positive");
     }
-    PlacedPosition p;
-    p.x_um = parse_coord(entry.substr(0, colon));
-    p.y_um = parse_coord(entry.substr(colon + 1));
-    out.push_back(p);
-    if (semi == placed.size()) break;
-    start = semi + 1;
+    out.push_back({w, h});
   }
   return out;
 }
@@ -126,6 +145,22 @@ void validate_system(const SystemConfig& sys) {
   } else if (!sys.placed.empty()) {
     throw std::invalid_argument(
         "system.placed is only meaningful with arrangement=placed");
+  }
+  if (!sys.die_sizes.empty() && sys.arrangement != Arrangement::Floorplan) {
+    throw std::invalid_argument(
+        "system.die_sizes is only meaningful with arrangement=floorplan");
+  }
+  if (sys.arrangement == Arrangement::Floorplan && !sys.die_sizes.empty()) {
+    const auto sizes = sys.parsed_die_sizes();
+    if (static_cast<int>(sizes.size()) != sys.chiplets) {
+      throw std::invalid_argument(
+          "system.die_sizes must list exactly system.chiplets sizes");
+    }
+    for (const auto& s : sizes) {
+      if (s.w_um > 1e6 || s.h_um > 1e6) {
+        throw std::invalid_argument("system.die_sizes: die sides must be at most 1e6 um");
+      }
+    }
   }
 }
 

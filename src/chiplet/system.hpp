@@ -18,10 +18,11 @@ namespace gia::chiplet {
 
 /// How chiplet dies are placed on the interposer.
 enum class Arrangement {
-  Legacy,  ///< the paper's hardcoded 2-tile logic/memory side-by-side study
-  Grid,    ///< row-major near-square grid, 4-neighbor adjacency
-  Hex,     ///< HexaMesh-style offset rows, 6-neighbor adjacency
-  Placed   ///< explicit positions from SystemConfig::placed (PlaceIT-style)
+  Legacy,    ///< the paper's hardcoded 2-tile logic/memory side-by-side study
+  Grid,      ///< row-major near-square grid, 4-neighbor adjacency
+  Hex,       ///< HexaMesh-style offset rows, 6-neighbor adjacency
+  Placed,    ///< explicit positions from SystemConfig::placed (PlaceIT-style)
+  Floorplan  ///< Floorplet-style performance-aware annealed floorplan
 };
 
 const char* to_string(Arrangement a);
@@ -31,6 +32,12 @@ bool parse_arrangement(const std::string& text, Arrangement* out);
 struct PlacedPosition {
   double x_um = 0;
   double y_um = 0;
+};
+
+/// One parsed die size (um), from the "w:h;w:h;..." token.
+struct DieSize {
+  double w_um = 0;
+  double h_um = 0;
 };
 
 struct SystemConfig {
@@ -57,6 +64,11 @@ struct SystemConfig {
   /// Explicit die centers for Arrangement::Placed, encoded "x:y;x:y;..."
   /// in um (one entry per chiplet). Ignored by the other arrangements.
   std::string placed;
+  /// Explicit per-die outlines for Arrangement::Floorplan, encoded
+  /// "w:h;w:h;..." in um (one entry per chiplet). Each die's outline becomes
+  /// w x h with the bump field centered inside it; both sides must fit the
+  /// planned bump field. Empty keeps the square bump-plan outlines.
+  std::string die_sizes;
 
   /// True when every field is at its default: the system block is omitted
   /// from canonical text / JSON and the request hashes to the legacy form.
@@ -80,6 +92,11 @@ struct SystemConfig {
   /// Parse `placed` into positions. Throws std::invalid_argument on a
   /// malformed token; returns an empty vector when `placed` is empty.
   std::vector<PlacedPosition> placed_positions() const;
+
+  /// Parse `die_sizes` into per-die outlines. Throws std::invalid_argument
+  /// on a malformed token; returns an empty vector when `die_sizes` is
+  /// empty.
+  std::vector<DieSize> parsed_die_sizes() const;
 };
 
 /// Encode positions into the `placed` token form ("x:y;x:y;...").

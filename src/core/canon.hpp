@@ -63,6 +63,17 @@ struct Writer {
              const std::function<void(const std::string&)>&) {
     line(name, cur);
   }
+  /// Optional knob: rendered only when `nondefault`, so documents and stage
+  /// keys predating the knob keep their hashes. The reader-side visitors
+  /// always probe for it (absent means keep-default).
+  void token_opt(const char* name, const std::string& cur, bool nondefault,
+                 const std::function<void(const std::string&)>&) {
+    if (nondefault) line(name, cur);
+  }
+  template <typename T>
+  void field_opt(const char* name, const T& x, bool nondefault) {
+    if (nondefault) field(name, x);
+  }
   void field(const char* name, const int& x) { line(name, std::to_string(x)); }
   void field(const char* name, const unsigned& x) { line(name, std::to_string(x)); }
   void field(const char* name, const bool& x) { line(name, x ? "1" : "0"); }

@@ -82,6 +82,9 @@ void write_system_knobs(StageId id, const FlowOptions& o, canon::Writer& w) {
       w.field("memory_die_scale", s.memory_die_scale);
       w.field("pitch_scale", s.pitch_scale);
       w.line("placed", s.placed);
+      // Post-schema knob: written only when set so existing grid/hex/placed
+      // interposer stage keys (and cached artifacts) stay valid.
+      w.token_opt("die_sizes", s.die_sizes, !s.die_sizes.empty(), nullptr);
       break;
     case StageId::Links:
     case StageId::Eyes:
@@ -162,6 +165,8 @@ void write_knobs(StageId id, const FlowOptions& o, canon::Writer& w) {
       w.field("wrong_way_penalty", o.router.wrong_way_penalty);
       w.field("overflow_penalty", o.router.overflow_penalty);
       w.field("reroute_passes", o.router.reroute_passes);
+      // Post-schema knob: written only when set (see system.die_sizes).
+      w.field_opt("any_angle", o.router.any_angle, o.router.any_angle);
       w.end();
       break;
     }

@@ -38,6 +38,13 @@ void set_arrangement(serve::FlowRequest& r, const std::string& s) {
   }
 }
 
+void set_die_sizes(serve::FlowRequest& r, const std::string& s) {
+  r.options.system.die_sizes = s;
+  // Eager syntax check (arity against chiplets is validated per point):
+  // malformed axis values fail at spec-parse time, not mid-search.
+  r.options.system.parsed_die_sizes();
+}
+
 const std::vector<KnobBinding>& bindings() {
   using R = serve::FlowRequest;
   static const std::vector<KnobBinding> table = {
@@ -57,6 +64,7 @@ const std::vector<KnobBinding>& bindings() {
        [](R& r, double v) { r.options.system.memory_die_scale = v; }},
       {{"system.memory_power_scale", KnobType::Double}, nullptr,
        [](R& r, double v) { r.options.system.memory_power_scale = v; }},
+      {{"system.die_sizes", KnobType::Token}, set_die_sizes, nullptr},
       {{"serdes.ratio", KnobType::Int}, nullptr,
        [](R& r, double v) { r.options.serdes.ratio = static_cast<int>(v); }},
       {{"pnr.target_freq_hz", KnobType::Double}, nullptr,
@@ -65,6 +73,8 @@ const std::vector<KnobBinding>& bindings() {
        [](R& r, double v) { r.options.router.congestion_weight = v; }},
       {{"router.reroute_passes", KnobType::Int}, nullptr,
        [](R& r, double v) { r.options.router.reroute_passes = static_cast<int>(v); }},
+      {{"router.any_angle", KnobType::Int}, nullptr,
+       [](R& r, double v) { r.options.router.any_angle = v != 0.0; }},
       {{"thermal_mesh.thermal_via_fraction", KnobType::Double}, nullptr,
        [](R& r, double v) { r.options.thermal_mesh.thermal_via_fraction = v; }},
       {{"thermal_mesh.board_k", KnobType::Double}, nullptr,

@@ -1,0 +1,313 @@
+#include "geometry/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gia::geometry {
+
+namespace {
+
+/// Intersection of segment [p,q] with the directed line a->b, given the two
+/// signed areas (caller guarantees p and q straddle the line, so the
+/// denominator is nonzero).
+Point edge_cross(Point p, Point q, Point a, Point b) {
+  const double op = orient2d(a, b, p);
+  const double oq = orient2d(a, b, q);
+  const double t = op / (op - oq);
+  return {p.x + t * (q.x - p.x), p.y + t * (q.y - p.y)};
+}
+
+Polygon ccw_ring(Polygon poly) {
+  if (signed_area(poly) < 0.0) std::reverse(poly.pts.begin(), poly.pts.end());
+  return poly;
+}
+
+}  // namespace
+
+double signed_area(const Polygon& poly) {
+  const std::size_t n = poly.size();
+  if (n < 3) return 0.0;
+  double twice = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = poly[i];
+    const Point& b = poly[(i + 1) % n];
+    twice += a.x * b.y - b.x * a.y;
+  }
+  return twice / 2.0;
+}
+
+double area(const Polygon& poly) { return std::abs(signed_area(poly)); }
+
+Point centroid(const Polygon& poly) {
+  if (poly.empty()) return {0, 0};
+  Point c{0, 0};
+  for (const Point& p : poly.pts) {
+    c.x += p.x;
+    c.y += p.y;
+  }
+  const double n = static_cast<double>(poly.size());
+  return {c.x / n, c.y / n};
+}
+
+Rect bounding_box(const Polygon& poly) {
+  if (poly.empty()) return {};
+  Rect r{poly[0].x, poly[0].y, poly[0].x, poly[0].y};
+  for (const Point& p : poly.pts) {
+    r.lx = std::min(r.lx, p.x);
+    r.ly = std::min(r.ly, p.y);
+    r.ux = std::max(r.ux, p.x);
+    r.uy = std::max(r.uy, p.y);
+  }
+  return r;
+}
+
+bool is_convex(const Polygon& poly) {
+  const std::size_t n = poly.size();
+  if (n < 3) return true;
+  int sign = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Orientation o = orientation(poly[i], poly[(i + 1) % n], poly[(i + 2) % n]);
+    if (o == Orientation::Collinear) continue;
+    const int s = o == Orientation::CounterClockwise ? 1 : -1;
+    if (sign == 0) {
+      sign = s;
+    } else if (s != sign) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Containment contains(const Polygon& poly, Point p) {
+  const std::size_t n = poly.size();
+  if (n == 0) return Containment::Outside;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (on_segment(poly[i], poly[(i + 1) % n], p)) return Containment::Boundary;
+  }
+  // Exact-sign crossing count of a rightward ray; boundary hits are already
+  // classified above, so strict comparisons are safe here.
+  bool inside = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = poly[i];
+    const Point& b = poly[(i + 1) % n];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double o = orient2d(a, b, p);
+      if (b.y > a.y ? o > 0.0 : o < 0.0) inside = !inside;
+    }
+  }
+  return inside ? Containment::Inside : Containment::Outside;
+}
+
+Polygon convex_hull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](const Point& a, const Point& b) { return a.x == b.x && a.y == b.y; }),
+               points.end());
+  const std::size_t n = points.size();
+  if (n <= 2) return Polygon{std::move(points)};
+
+  std::vector<Point> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower chain
+    while (k >= 2 && orient2d(hull[k - 2], hull[k - 1], points[i]) <= 0.0) --k;
+    hull[k++] = points[i];
+  }
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {  // upper chain
+    while (k >= lower && orient2d(hull[k - 2], hull[k - 1], points[i]) <= 0.0) --k;
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  return Polygon{std::move(hull)};
+}
+
+Polygon rect_polygon(const Rect& r) {
+  return Polygon{{{r.lx, r.ly}, {r.ux, r.ly}, {r.ux, r.uy}, {r.lx, r.uy}}};
+}
+
+Polygon clip_halfplane(const Polygon& poly, Point n, double c) {
+  const std::size_t cnt = poly.size();
+  if (cnt == 0) return {};
+  auto val = [&](const Point& p) { return n.x * p.x + n.y * p.y; };
+  Polygon out;
+  for (std::size_t i = 0; i < cnt; ++i) {
+    const Point& prev = poly[(i + cnt - 1) % cnt];
+    const Point& cur = poly[i];
+    const double vp = val(prev), vc = val(cur);
+    const bool prev_in = vp <= c, cur_in = vc <= c;
+    if (cur_in) {
+      if (!prev_in) {
+        const double t = (c - vp) / (vc - vp);
+        out.pts.push_back({prev.x + t * (cur.x - prev.x), prev.y + t * (cur.y - prev.y)});
+      }
+      out.pts.push_back(cur);
+    } else if (prev_in) {
+      const double t = (c - vp) / (vc - vp);
+      out.pts.push_back({prev.x + t * (cur.x - prev.x), prev.y + t * (cur.y - prev.y)});
+    }
+  }
+  return out;
+}
+
+Polygon clip_convex(const Polygon& subject, const Polygon& clip) {
+  if (clip.size() < 3 || !is_convex(clip)) {
+    throw std::invalid_argument("clip_convex: clip window must be a convex polygon");
+  }
+  if (area(clip) == 0.0) {
+    throw std::invalid_argument("clip_convex: clip window has zero area");
+  }
+  const Polygon window = ccw_ring(clip);
+  Polygon out = subject;
+  const std::size_t n = window.size();
+  for (std::size_t e = 0; e < n && !out.empty(); ++e) {
+    const Point a = window[e];
+    const Point b = window[(e + 1) % n];
+    Polygon in = std::move(out);
+    out = Polygon{};
+    const std::size_t m = in.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      const Point& prev = in[(i + m - 1) % m];
+      const Point& cur = in[i];
+      const bool prev_in = orient2d(a, b, prev) >= 0.0;
+      const bool cur_in = orient2d(a, b, cur) >= 0.0;
+      if (cur_in) {
+        if (!prev_in) out.pts.push_back(edge_cross(prev, cur, a, b));
+        out.pts.push_back(cur);
+      } else if (prev_in) {
+        out.pts.push_back(edge_cross(prev, cur, a, b));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Polygon> triangulate(const Polygon& poly) {
+  std::vector<Polygon> tris;
+  if (poly.size() < 3 || area(poly) == 0.0) return tris;
+  Polygon ring = ccw_ring(poly);
+  std::vector<Point>& v = ring.pts;
+  while (v.size() > 3) {
+    const std::size_t n = v.size();
+    bool clipped = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point& prev = v[(i + n - 1) % n];
+      const Point& cur = v[i];
+      const Point& next = v[(i + 1) % n];
+      const Orientation o = orientation(prev, cur, next);
+      if (o == Orientation::Collinear) {
+        // Zero-area ear: the vertex contributes nothing, drop it.
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+        clipped = true;
+        break;
+      }
+      if (o != Orientation::CounterClockwise) continue;  // reflex vertex
+      const Polygon ear{{prev, cur, next}};
+      bool blocked = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || j == (i + n - 1) % n || j == (i + 1) % n) continue;
+        // Boundary contact blocks too: a reflex vertex sitting exactly on
+        // the ear's diagonal would let the ear poke through the notch.
+        if (contains(ear, v[j]) != Containment::Outside) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+      tris.push_back(ear);
+      v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+      clipped = true;
+      break;
+    }
+    if (!clipped) {
+      throw std::invalid_argument("triangulate: polygon is not simple");
+    }
+  }
+  if (v.size() == 3 && orientation(v[0], v[1], v[2]) != Orientation::Collinear) {
+    tris.push_back(Polygon{{v[0], v[1], v[2]}});
+  }
+  return tris;
+}
+
+std::vector<Polygon> intersect(const Polygon& subject, const Polygon& clip) {
+  std::vector<Polygon> pieces;
+  if (subject.size() < 3 || clip.size() < 3) return pieces;
+  auto keep = [&pieces](Polygon&& p) {
+    if (p.size() >= 3 && area(p) > 0.0) pieces.push_back(std::move(p));
+  };
+  if (is_convex(clip) && area(clip) > 0.0) {
+    keep(clip_convex(subject, clip));
+    return pieces;
+  }
+  // General path: the clip window is decomposed into triangles and the
+  // subject clipped against each, so the pieces tile the boolean result.
+  for (const Polygon& tri : triangulate(clip)) {
+    keep(clip_convex(subject, tri));
+  }
+  return pieces;
+}
+
+double intersection_area(const Polygon& subject, const Polygon& clip) {
+  double total = 0.0;
+  for (const Polygon& piece : intersect(subject, clip)) total += area(piece);
+  return total;
+}
+
+Polygon offset_convex(const Polygon& poly, double delta) {
+  if (poly.size() < 3 || area(poly) == 0.0) {
+    throw std::invalid_argument("offset_convex: degenerate outline");
+  }
+  if (!is_convex(poly)) {
+    throw std::invalid_argument("offset_convex: non-convex outline offsets are not supported");
+  }
+  const Polygon ring = ccw_ring(poly);
+  // Start from a box guaranteed to contain the result and intersect the
+  // outward-shifted edge half-planes (miter joins fall out of the
+  // half-plane intersection).
+  const Rect bb = bounding_box(ring);
+  const double pad = std::abs(delta) + std::max(bb.width(), bb.height()) + 1.0;
+  Polygon out = rect_polygon(bb.inflated(pad));
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0; i < n && !out.empty(); ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % n];
+    const double len = std::hypot(b.x - a.x, b.y - a.y);
+    if (len == 0.0) continue;
+    // For a CCW ring the outward normal of edge a->b points right of the
+    // direction of travel.
+    const Point nrm{(b.y - a.y) / len, -(b.x - a.x) / len};
+    out = clip_halfplane(out, nrm, nrm.x * a.x + nrm.y * a.y + delta);
+  }
+  if (out.size() < 3 || area(out) == 0.0) return {};
+  return out;
+}
+
+bool convex_overlap(const Polygon& a, const Polygon& b) {
+  if (a.size() < 3 || b.size() < 3) return false;
+  // Positive-area intersection required: touching edges/corners produce
+  // only roundoff-scale slivers, rejected by the relative tolerance.
+  const double tol = 1e-9 * std::max(1.0, std::min(area(a), area(b)));
+  return intersection_area(a, b) > tol;
+}
+
+double convex_clearance(const Polygon& a, const Polygon& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  if (!a.pts.empty() && !b.pts.empty()) {
+    if (contains(a, b[0]) != Containment::Outside || contains(b, a[0]) != Containment::Outside) {
+      return 0.0;
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  const std::size_t na = a.size(), nb = b.size();
+  for (std::size_t i = 0; i < na; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      best = std::min(best, segment_segment_distance(a[i], a[(i + 1) % na], b[j], b[(j + 1) % nb]));
+    }
+  }
+  return best;
+}
+
+}  // namespace gia::geometry

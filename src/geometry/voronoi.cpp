@@ -1,0 +1,67 @@
+#include "geometry/voronoi.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace gia::geometry {
+
+std::vector<VoronoiCell> voronoi_regions(const std::vector<Point>& seeds, const Rect& bounds,
+                                         int max_neighbors) {
+  const std::size_t n = seeds.size();
+  if (n == 0) throw std::invalid_argument("voronoi_regions: no seeds");
+  std::vector<VoronoiCell> cells;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!bounds.contains(seeds[i])) {
+      throw std::invalid_argument("voronoi_regions: seed " + std::to_string(i) +
+                                  " outside the bounding window");
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (seeds[i].x == seeds[j].x && seeds[i].y == seeds[j].y) {
+        throw std::invalid_argument("voronoi_regions: duplicate seeds " + std::to_string(i) +
+                                    " and " + std::to_string(j));
+      }
+    }
+  }
+  std::vector<std::size_t> order(n);
+  cells.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Cell i = window clipped by every bisector half-plane "closer to seed i
+    // than seed j": (j - i) . p <= (|j|^2 - |i|^2) / 2. With a neighbor cap,
+    // only the nearest `max_neighbors` seeds contribute bisectors; far seeds
+    // almost never bound the cell, so the cap trades exactness at the window
+    // rim for O(n * cap) clips.
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::size_t count = n;
+    if (max_neighbors > 0 && n - 1 > static_cast<std::size_t>(max_neighbors)) {
+      auto dist2 = [&](std::size_t j) {
+        const double dx = seeds[j].x - seeds[i].x;
+        const double dy = seeds[j].y - seeds[i].y;
+        return dx * dx + dy * dy;
+      };
+      // Self sorts first (distance 0) and is skipped below, so keep cap + 1.
+      count = static_cast<std::size_t>(max_neighbors) + 1;
+      std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count),
+                        order.end(), [&](std::size_t a, std::size_t b) {
+                          const double da = dist2(a), db = dist2(b);
+                          return da != db ? da < db : a < b;
+                        });
+    }
+    Polygon cell = rect_polygon(bounds);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t j = order[k];
+      if (j == i) continue;
+      if (cell.empty()) break;
+      const Point d{seeds[j].x - seeds[i].x, seeds[j].y - seeds[i].y};
+      const double c = (seeds[j].x * seeds[j].x + seeds[j].y * seeds[j].y -
+                        seeds[i].x * seeds[i].x - seeds[i].y * seeds[i].y) /
+                       2.0;
+      cell = clip_halfplane(cell, d, c);
+    }
+    cells.push_back({static_cast<int>(i), std::move(cell)});
+  }
+  return cells;
+}
+
+}  // namespace gia::geometry

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/rect.hpp"
+
+/// \file voronoi.hpp
+/// Voronoi-seeded region decomposition of a bounding window: each seed owns
+/// the convex cell of points closer to it than to any other seed, clipped to
+/// the window. Cells tile the window exactly (up to shared edges), so they
+/// serve as per-die escape/bump regions for the floorplanner's congestion
+/// model: a die crowded by neighbors gets a small cell and a small escape
+/// perimeter. Built by half-plane clipping (O(n) clips per seed), which is
+/// exact enough at chiplet counts and keeps the kernel dependency-free.
+
+namespace gia::geometry {
+
+struct VoronoiCell {
+  int seed = 0;     ///< index into the input seed list
+  Polygon cell;     ///< convex region owned by this seed (CCW)
+};
+
+/// Decompose `bounds` into one convex cell per seed. Seeds must be nonempty,
+/// distinct, and inside `bounds`; throws std::invalid_argument otherwise
+/// (duplicate seeds make ownership ill-defined, zero seeds leave the window
+/// unowned). A single seed owns the whole window.
+/// `max_neighbors` > 0 clips each cell against only that many nearest
+/// neighbors (ties broken by seed index): an approximation that is exact
+/// whenever every true Voronoi neighbor is among the nearest
+/// `max_neighbors`, and keeps the decomposition O(n * max_neighbors) for
+/// annealer-loop use. 0 clips against every other seed (exact).
+std::vector<VoronoiCell> voronoi_regions(const std::vector<Point>& seeds, const Rect& bounds,
+                                         int max_neighbors = 0);
+
+}  // namespace gia::geometry

@@ -5,15 +5,15 @@
 #include <stdexcept>
 #include <string>
 
+#include "geometry/polygon.hpp"
+
 namespace gia::interposer {
 
 using geometry::Point;
 using geometry::Rect;
 using netlist::ChipletSide;
 
-namespace {
-
-double margin_for(const tech::Technology& tech, const FloorplanOptions& opts) {
+double edge_margin_um(const tech::Technology& tech, const FloorplanOptions& opts) {
   if (tech.kind == tech::TechnologyKind::Glass25D ||
       tech.kind == tech::TechnologyKind::Glass3D) {
     return opts.glass_margin_um;
@@ -23,6 +23,8 @@ double margin_for(const tech::Technology& tech, const FloorplanOptions& opts) {
   }
   return opts.silicon_margin_um;
 }
+
+namespace {
 
 void add_die(ArrangedSystem& arr, const chiplet::SystemConfig& sys,
              const std::vector<chiplet::BumpPlan>& plans, int i, Point center) {
@@ -59,7 +61,7 @@ ArrangedSystem arrange_chiplets(const tech::Technology& tech,
   for (const auto& p : plans) max_w = std::max(max_w, p.width_um);
   const double gap = tech.rules.die_to_die_spacing_um * sys.pitch_scale;
   const double pitch = max_w + gap;
-  const double margin = margin_for(tech, opts);
+  const double margin = edge_margin_um(tech, opts);
 
   ArrangedSystem arr;
   switch (sys.arrangement) {
@@ -136,20 +138,35 @@ ArrangedSystem arrange_chiplets(const tech::Technology& tech,
         max_x = std::max(max_x, o.ux);
         max_y = std::max(max_y, o.uy);
       }
-      // PlaceIT-style placement-derived adjacency: dies whose centers sit
-      // within 1.25 pitches are neighbors (excludes grid diagonals at
-      // sqrt(2) pitches).
-      const double reach = 1.25 * pitch;
+      // PlaceIT-style placement-derived adjacency: dies whose *outlines*
+      // come within 1.25 gaps are neighbors. Outline-to-outline clearance
+      // (geometry kernel) instead of center distance keeps the rule correct
+      // for heterogeneous die sizes: a small die far from a large one is not
+      // adjacent just because the large die's center reaches it, and two
+      // abutting small dies are adjacent even when their centers sit well
+      // inside 1.25 pitches of the biggest die. Grid-spaced uniform dies
+      // (clearance = gap) stay adjacent; diagonal pairs (corner-to-corner
+      // clearance sqrt(2) * gap) stay excluded.
+      const double reach = 1.25 * gap;
+      std::vector<geometry::Polygon> outlines;
+      outlines.reserve(static_cast<std::size_t>(k));
+      for (const auto& die : arr.floorplan.dies) {
+        outlines.push_back(geometry::rect_polygon(die.outline));
+      }
       for (int a = 0; a < k; ++a) {
         for (int b = a + 1; b < k; ++b) {
-          const Point ca = arr.floorplan.dies[static_cast<std::size_t>(a)].outline.center();
-          const Point cb = arr.floorplan.dies[static_cast<std::size_t>(b)].outline.center();
-          if (std::hypot(cb.x - ca.x, cb.y - ca.y) <= reach) add_pair(arr, a, b);
+          const double clear = geometry::convex_clearance(outlines[static_cast<std::size_t>(a)],
+                                                          outlines[static_cast<std::size_t>(b)]);
+          if (clear <= reach) add_pair(arr, a, b);
         }
       }
       arr.floorplan.outline = {0, 0, max_x + margin, max_y + margin};
       break;
     }
+    case chiplet::Arrangement::Floorplan:
+      throw std::invalid_argument(
+          "arrange_chiplets: arrangement=floorplan needs pair demands; use "
+          "floorplan_chiplets");
     case chiplet::Arrangement::Legacy:
       break;  // unreachable; rejected above
   }

@@ -40,4 +40,9 @@ ArrangedSystem arrange_chiplets(const tech::Technology& tech,
 /// Per-chiplet neighbor degree from the adjacency list.
 std::vector<int> neighbor_counts(const ArrangedSystem& arr);
 
+/// Die-to-interposer-edge clearance for this technology's substrate class
+/// (glass TGV ring / silicon TSV field / organic PTH field). Shared by the
+/// lattice arrangements and the annealed floorplanner.
+double edge_margin_um(const tech::Technology& tech, const FloorplanOptions& opts);
+
 }  // namespace gia::interposer

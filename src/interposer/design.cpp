@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "interposer/arrangement.hpp"
+#include "interposer/floorplanner.hpp"
 #include "tech/library.hpp"
 
 namespace gia::interposer {
@@ -94,7 +95,11 @@ InterposerDesign build_system_design(tech::TechnologyKind kind,
         ios, inputs.cell_area_um2[static_cast<std::size_t>(i)] * sys.die_scale_of(i),
         sys.memory_class(i), d.technology));
   }
-  auto arr = arrange_chiplets(d.technology, sys, d.chiplet_plans, fp_opts);
+  // Floorplan arrangements anneal against the partition's pair-cut demands;
+  // the lattice arrangements are demand-oblivious.
+  auto arr = sys.arrangement == chiplet::Arrangement::Floorplan
+                 ? floorplan_chiplets(d.technology, sys, d.chiplet_plans, inputs.pairs, fp_opts)
+                 : arrange_chiplets(d.technology, sys, d.chiplet_plans, fp_opts);
   d.floorplan = std::move(arr.floorplan);
   d.adjacency = std::move(arr.adjacency);
 

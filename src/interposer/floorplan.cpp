@@ -13,7 +13,7 @@ Point PlacedDie::bump_at(std::size_t site) const {
     throw std::out_of_range("bad bump site");
   }
   const Point local = plan->bump_sites[site];
-  return {outline.lx + local.x, outline.ly + local.y};
+  return {outline.lx + bump_offset.x + local.x, outline.ly + bump_offset.y + local.y};
 }
 
 const PlacedDie& InterposerFloorplan::die(ChipletSide side, int tile) const {

@@ -23,6 +23,10 @@ struct PlacedDie {
   geometry::Rect outline;              ///< in interposer coordinates [um]
   bool embedded = false;               ///< inside a glass cavity (Fig 1b)
   const chiplet::BumpPlan* plan = nullptr;
+  /// Offset of the bump field's origin from the outline's lower-left corner.
+  /// Square dies keep {0, 0}; heterogeneous floorplan outlines center the
+  /// planned (square) bump field inside the w x h die.
+  geometry::Point bump_offset{0.0, 0.0};
 
   /// A bump site in interposer coordinates.
   geometry::Point bump_at(std::size_t site) const;

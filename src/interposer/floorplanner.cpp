@@ -1,0 +1,490 @@
+#include "interposer/floorplanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+
+namespace gia::interposer {
+
+using geometry::Point;
+using geometry::Polygon;
+using geometry::Rect;
+
+namespace {
+
+/// 32 uniform bits from the engine mapped to [0, 1). The annealer draws its
+/// own uniforms instead of std::uniform_real_distribution so results are
+/// byte-identical across standard libraries.
+double frand(std::mt19937& rng) { return rng() * (1.0 / 4294967296.0); }
+
+double perimeter_of(const Polygon& poly) {
+  double p = 0;
+  const std::size_t n = poly.pts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = poly.pts[i];
+    const Point& b = poly.pts[(i + 1) % n];
+    p += std::hypot(b.x - a.x, b.y - a.y);
+  }
+  return p;
+}
+
+/// The annealer's working state: per-die outline sizes and centers, demand
+/// incidence, and the three cost terms with incremental-delta bookkeeping.
+struct Annealer {
+  int k = 0;
+  std::vector<double> w, h;       // die outline sides [um]
+  std::vector<Point> c;           // die centers [um]
+  std::vector<double> power;      // per-die power multiplier (thermal term)
+  std::vector<double> wires;      // per-die incident demand wires
+  std::vector<std::vector<std::pair<int, double>>> incident;  // die -> (other, wires)
+  double gap = 0;                 // required die-to-die clearance
+  double pitch = 0;               // init lattice pitch (larger axis)
+  Rect window;                    // fixed annealing window (seeds stay inside)
+  double radius = 0;              // local-cell interaction radius
+  double d0 = 0;                  // thermal reference distance
+  double mean_wires = 0;          // wires*um normalization for thermal
+  double scale_um = 0;            // mean die dimension (congestion detour)
+  double cap_per_um = 0;          // escape tracks per um of cell perimeter
+  const FloorplannerOptions* opts = nullptr;
+
+  std::vector<double> cong;       // per-die congestion penalty (wires*um)
+  double hpwl = 0, thermal = 0, cong_total = 0;
+  // Seed-normalization factors: the congestion and thermal sums are rescaled
+  // so each contributes exactly its weight times the seed plan's HPWL to the
+  // initial cost. Without this the 1/clearance thermal sum dwarfs the
+  // wirelength term and the annealer buys thermal relief by spreading dies,
+  // losing to the grid on the metric the alpha term is meant to optimize.
+  double t_norm = 0, c_norm = 0;
+
+  double cost() const {
+    return opts->alpha_wirelength * hpwl + opts->beta_congestion * c_norm * cong_total +
+           opts->gamma_thermal * t_norm * thermal;
+  }
+
+  Rect outline_at(int i, Point center) const {
+    const std::size_t s = static_cast<std::size_t>(i);
+    return Rect::from_center(center, w[s], h[s]);
+  }
+
+  /// Outline-to-outline clearance of axis-aligned dies (exact for rects;
+  /// the kernel's convex_clearance is the authority at assembly time).
+  double clearance(int i, int j) const {
+    const Rect a = outline_at(i, c[static_cast<std::size_t>(i)]);
+    const Rect b = outline_at(j, c[static_cast<std::size_t>(j)]);
+    const double dx = std::max({0.0, b.lx - a.ux, a.lx - b.ux});
+    const double dy = std::max({0.0, b.ly - a.uy, a.ly - b.uy});
+    return std::hypot(dx, dy);
+  }
+
+  /// Hard keep-out: die i at `cand` must keep every other die's inflated
+  /// outline disjoint from its own. Rect clearance prefilters; the geometry
+  /// kernel (polygon offset + convex overlap) is the authoritative test for
+  /// anything close. `skip` exempts a swap partner checked separately.
+  bool keepout_clash(int i, Point cand, int skip = -1) const {
+    const Rect ri = outline_at(i, cand);
+    const Polygon pi = geometry::offset_convex(geometry::rect_polygon(ri), gap / 2.0);
+    for (int j = 0; j < k; ++j) {
+      if (j == i || j == skip) continue;
+      const Rect rj = outline_at(j, c[static_cast<std::size_t>(j)]);
+      const double dx = std::max({0.0, rj.lx - ri.ux, ri.lx - rj.ux});
+      const double dy = std::max({0.0, rj.ly - ri.uy, ri.ly - rj.uy});
+      if (std::hypot(dx, dy) >= 2.0 * gap) continue;  // clearly clear of the keepout
+      const Polygon pj = geometry::offset_convex(geometry::rect_polygon(rj), gap / 2.0);
+      if (geometry::convex_overlap(pi, pj)) return true;
+    }
+    return false;
+  }
+
+  double hpwl_of(int i) const {
+    const Point& a = c[static_cast<std::size_t>(i)];
+    double s = 0;
+    for (const auto& [j, wj] : incident[static_cast<std::size_t>(i)]) {
+      const Point& b = c[static_cast<std::size_t>(j)];
+      s += wj * (std::abs(b.x - a.x) + std::abs(b.y - a.y));
+    }
+    return s;
+  }
+
+  double thermal_pair(int i, int j) const {
+    const double p = power[static_cast<std::size_t>(i)] * power[static_cast<std::size_t>(j)];
+    if (p == 0.0) return 0.0;
+    return p * mean_wires * d0 * d0 / (clearance(i, j) + 0.05 * d0);
+  }
+
+  double thermal_of(int i) const {
+    double s = 0;
+    for (int j = 0; j < k; ++j) {
+      if (j != i) s += thermal_pair(i, j);
+    }
+    return s;
+  }
+
+  /// Escape-congestion penalty of die a from its local Voronoi cell: the
+  /// window box around the die, clipped by bisectors against the nearest
+  /// in-radius neighbors. A crowded die gets a short cell perimeter, few
+  /// escape tracks, and a detour-law penalty on its incident wires.
+  double cong_of(int a) const {
+    const std::size_t sa = static_cast<std::size_t>(a);
+    if (wires[sa] <= 0.0) return 0.0;
+    const Point& seed = c[sa];
+    std::vector<std::pair<double, int>> near;
+    for (int j = 0; j < k; ++j) {
+      if (j == a) continue;
+      const Point& cj = c[static_cast<std::size_t>(j)];
+      const double dx = cj.x - seed.x, dy = cj.y - seed.y;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 <= radius * radius) near.push_back({d2, j});
+    }
+    std::sort(near.begin(), near.end());
+    if (opts->voronoi_neighbors > 0 &&
+        near.size() > static_cast<std::size_t>(opts->voronoi_neighbors)) {
+      near.resize(static_cast<std::size_t>(opts->voronoi_neighbors));
+    }
+    const Rect box{std::max(window.lx, seed.x - radius), std::max(window.ly, seed.y - radius),
+                   std::min(window.ux, seed.x + radius), std::min(window.uy, seed.y + radius)};
+    Polygon cell = geometry::rect_polygon(box);
+    for (const auto& [d2, j] : near) {
+      if (cell.empty()) break;
+      const Point& cj = c[static_cast<std::size_t>(j)];
+      const Point n{cj.x - seed.x, cj.y - seed.y};
+      const double rhs =
+          (cj.x * cj.x + cj.y * cj.y - seed.x * seed.x - seed.y * seed.y) / 2.0;
+      cell = geometry::clip_halfplane(cell, n, rhs);
+    }
+    const double perim = std::max(perimeter_of(cell), 1e-3);
+    const double u = wires[sa] / (perim * cap_per_um);
+    const double slope = opts->congestion.detour_slope;
+    return wires[sa] * scale_um * (slope * std::max(0.0, u - 1.0) + 0.06 * std::min(u, 1.0));
+  }
+
+  /// Dies whose local cell can change when a seed moves between `from` and
+  /// `to`: anything within the interaction radius of either endpoint.
+  void affected_by(Point from, Point to, std::vector<int>* out) const {
+    for (int a = 0; a < k; ++a) {
+      const Point& ca = c[static_cast<std::size_t>(a)];
+      const double df = std::hypot(ca.x - from.x, ca.y - from.y);
+      const double dt = std::hypot(ca.x - to.x, ca.y - to.y);
+      if (df <= radius || dt <= radius) out->push_back(a);
+    }
+  }
+
+  void init_costs() {
+    hpwl = 0;
+    for (int i = 0; i < k; ++i) hpwl += hpwl_of(i);
+    hpwl /= 2.0;  // each demand counted from both endpoints
+    thermal = 0;
+    for (int i = 0; i < k; ++i) {
+      for (int j = i + 1; j < k; ++j) thermal += thermal_pair(i, j);
+    }
+    cong.assign(static_cast<std::size_t>(k), 0.0);
+    cong_total = 0;
+    for (int i = 0; i < k; ++i) {
+      cong[static_cast<std::size_t>(i)] = cong_of(i);
+      cong_total += cong[static_cast<std::size_t>(i)];
+    }
+    const double base = hpwl > 0.0 ? hpwl : 1.0;
+    t_norm = thermal > 0.0 ? base / thermal : 0.0;
+    c_norm = cong_total > 0.0 ? base / cong_total : 1.0;
+  }
+
+  /// Apply candidate centers for the moved dies, returning the cost delta.
+  /// `moved` lists (die, new center); the call mutates state — callers
+  /// revert by applying the inverse move when rejecting.
+  double apply(const std::vector<std::pair<int, Point>>& moved) {
+    // Terms touching a moved die, evaluated before the move.
+    double old_hpwl = 0, old_thermal = 0;
+    for (const auto& [i, cand] : moved) {
+      old_hpwl += hpwl_of(i);
+      old_thermal += thermal_of(i);
+    }
+    if (moved.size() == 2) {
+      // The intra-pair demand and thermal terms were counted from both
+      // endpoints above; they must contribute once.
+      const int a = moved[0].first, b = moved[1].first;
+      const Point& pa = c[static_cast<std::size_t>(a)];
+      const Point& pb = c[static_cast<std::size_t>(b)];
+      for (const auto& [j, wj] : incident[static_cast<std::size_t>(a)]) {
+        if (j == b) old_hpwl -= wj * (std::abs(pb.x - pa.x) + std::abs(pb.y - pa.y));
+      }
+      old_thermal -= thermal_pair(a, b);
+    }
+    std::vector<int> affected;
+    for (const auto& [i, cand] : moved) {
+      affected_by(c[static_cast<std::size_t>(i)], cand, &affected);
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+    for (const auto& [i, cand] : moved) c[static_cast<std::size_t>(i)] = cand;
+
+    double new_hpwl = 0, new_thermal = 0;
+    for (const auto& [i, cand] : moved) {
+      new_hpwl += hpwl_of(i);
+      new_thermal += thermal_of(i);
+    }
+    if (moved.size() == 2) {
+      const int a = moved[0].first, b = moved[1].first;
+      const Point& pa = c[static_cast<std::size_t>(a)];
+      const Point& pb = c[static_cast<std::size_t>(b)];
+      for (const auto& [j, wj] : incident[static_cast<std::size_t>(a)]) {
+        if (j == b) new_hpwl -= wj * (std::abs(pb.x - pa.x) + std::abs(pb.y - pa.y));
+      }
+      new_thermal -= thermal_pair(a, b);
+    }
+
+    double dcong = 0;
+    for (int a : affected) {
+      const double nc = cong_of(a);
+      dcong += nc - cong[static_cast<std::size_t>(a)];
+      cong[static_cast<std::size_t>(a)] = nc;
+    }
+
+    hpwl += new_hpwl - old_hpwl;
+    thermal += new_thermal - old_thermal;
+    cong_total += dcong;
+    return opts->alpha_wirelength * (new_hpwl - old_hpwl) +
+           opts->gamma_thermal * t_norm * (new_thermal - old_thermal) +
+           opts->beta_congestion * c_norm * dcong;
+  }
+};
+
+}  // namespace
+
+ArrangedSystem floorplan_chiplets(const tech::Technology& tech, const chiplet::SystemConfig& sys,
+                                  const std::vector<chiplet::BumpPlan>& plans,
+                                  const std::vector<SystemPairDemand>& demands,
+                                  const FloorplanOptions& fp_opts,
+                                  const FloorplannerOptions& opts) {
+  const int k = static_cast<int>(plans.size());
+  if (k < 1) throw std::invalid_argument("floorplan_chiplets: no chiplets");
+  if (sys.arrangement != chiplet::Arrangement::Floorplan) {
+    throw std::invalid_argument("floorplan_chiplets: arrangement must be floorplan");
+  }
+
+  Annealer an;
+  an.k = k;
+  an.opts = &opts;
+  an.w.resize(static_cast<std::size_t>(k));
+  an.h.resize(static_cast<std::size_t>(k));
+  const auto sizes = sys.parsed_die_sizes();
+  if (!sizes.empty() && static_cast<int>(sizes.size()) != k) {
+    throw std::invalid_argument("floorplan_chiplets: die_sizes count != chiplets");
+  }
+  for (int i = 0; i < k; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    const double bump_w = plans[s].width_um;
+    if (sizes.empty()) {
+      an.w[s] = an.h[s] = bump_w;
+    } else {
+      if (sizes[s].w_um < bump_w || sizes[s].h_um < bump_w) {
+        throw std::invalid_argument(
+            "system.die_sizes: die " + std::to_string(i) + " (" + std::to_string(sizes[s].w_um) +
+            " x " + std::to_string(sizes[s].h_um) + " um) cannot fit its " +
+            std::to_string(bump_w) + " um bump field");
+      }
+      an.w[s] = sizes[s].w_um;
+      an.h[s] = sizes[s].h_um;
+    }
+  }
+
+  an.incident.assign(static_cast<std::size_t>(k), {});
+  an.wires.assign(static_cast<std::size_t>(k), 0.0);
+  double total_wires = 0;
+  for (const auto& d : demands) {
+    if (d.a < 0 || d.b < 0 || d.a >= k || d.b >= k || d.a == d.b) {
+      throw std::invalid_argument("floorplan_chiplets: demand pair out of range");
+    }
+    if (d.wires <= 0) continue;
+    an.incident[static_cast<std::size_t>(d.a)].push_back({d.b, static_cast<double>(d.wires)});
+    an.incident[static_cast<std::size_t>(d.b)].push_back({d.a, static_cast<double>(d.wires)});
+    an.wires[static_cast<std::size_t>(d.a)] += d.wires;
+    an.wires[static_cast<std::size_t>(d.b)] += d.wires;
+    total_wires += d.wires;
+  }
+
+  an.power.resize(static_cast<std::size_t>(k));
+  double max_w = 0, max_h = 0, dim_sum = 0;
+  for (int i = 0; i < k; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    an.power[s] = sys.power_scale_of(i);
+    max_w = std::max(max_w, an.w[s]);
+    max_h = std::max(max_h, an.h[s]);
+    dim_sum += (an.w[s] + an.h[s]) / 2.0;
+  }
+  an.gap = tech.rules.die_to_die_spacing_um * sys.pitch_scale;
+  const double px = max_w + an.gap, py = max_h + an.gap;
+  an.pitch = std::max(px, py);
+  an.radius = 2.5 * an.pitch;
+  an.d0 = an.pitch;
+  an.mean_wires = demands.empty() ? 1.0 : total_wires / static_cast<double>(demands.size());
+  an.scale_um = dim_sum / k;
+  const double tracks_per_um =
+      1.0 / (tech.rules.min_wire_width_um + tech.rules.min_wire_space_um);
+  const int layers = std::max(1, tech.rules.metal_layers - 2);
+  an.cap_per_um = tracks_per_um * layers * opts.congestion.usable_fraction;
+
+  // Start from the same row-major lattice the grid arrangement uses, so the
+  // annealer's best state can only improve on a grid-equivalent plan.
+  const int cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(k))));
+  const int rows = (k + cols - 1) / cols;
+  an.c.resize(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const int r = i / cols, col = i % cols;
+    an.c[static_cast<std::size_t>(i)] = {col * px + max_w / 2.0, r * py + max_h / 2.0};
+  }
+  const double slack = 2.0 * an.pitch;
+  an.window = {-slack, -slack, (cols - 1) * px + max_w + slack, (rows - 1) * py + max_h + slack};
+
+  an.init_costs();
+  std::vector<Point> best = an.c;
+  double best_cost = an.cost();
+
+  if (k > 1 && opts.moves_per_die > 0) {
+    std::mt19937 rng(opts.seed);
+    const double c0 = std::max(best_cost, 1.0);
+    double t = opts.t_start_frac * c0;
+    const long total_moves = static_cast<long>(opts.moves_per_die) * k;
+    for (long m = 0; m < total_moves; ++m) {
+      if (m > 0 && m % k == 0) t *= opts.cooling;
+      const int i = static_cast<int>(rng() % static_cast<unsigned>(k));
+      std::vector<std::pair<int, Point>> moved;
+      if (k > 1 && frand(rng) < 0.25) {
+        // Swap two die centers: the topology-fixing move heterogeneous
+        // demand patterns need (displacement alone rarely crosses dies).
+        const int j = (i + 1 + static_cast<int>(rng() % static_cast<unsigned>(k - 1))) % k;
+        const Point ci = an.c[static_cast<std::size_t>(i)];
+        const Point cj = an.c[static_cast<std::size_t>(j)];
+        moved = {{i, cj}, {j, ci}};
+      } else {
+        const std::size_t si = static_cast<std::size_t>(i);
+        const Point ci = an.c[si];
+        Point cand;
+        if (!an.incident[si].empty() && frand(rng) < 0.25) {
+          // Demand-centroid pull: wirelength descends toward the weighted
+          // centroid of the die's demand partners, a direction the uniform
+          // displacement box rarely samples once the schedule cools. The
+          // random fraction keeps small feasible steps likely (a full pull
+          // usually lands inside a partner's keepout and is rejected).
+          double wx = 0, wy = 0, ws = 0;
+          for (const auto& [j, wj] : an.incident[si]) {
+            wx += wj * an.c[static_cast<std::size_t>(j)].x;
+            wy += wj * an.c[static_cast<std::size_t>(j)].y;
+            ws += wj;
+          }
+          const double f = frand(rng);
+          cand = {ci.x + f * (wx / ws - ci.x), ci.y + f * (wy / ws - ci.y)};
+        } else {
+          const double range =
+              std::max(an.gap, (0.1 + 0.9 * t / (opts.t_start_frac * c0)) * an.pitch);
+          cand = {ci.x + (frand(rng) - 0.5) * 2.0 * range,
+                  ci.y + (frand(rng) - 0.5) * 2.0 * range};
+        }
+        moved = {{i, cand}};
+      }
+      // Hard feasibility: inside the window and outside every keepout.
+      bool ok = true;
+      for (const auto& [a, cand] : moved) {
+        const Rect o = an.outline_at(a, cand);
+        if (o.lx < an.window.lx || o.ly < an.window.ly || o.ux > an.window.ux ||
+            o.uy > an.window.uy) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && moved.size() == 2) {
+        // Pre-apply the partner so each die is tested against the other's
+        // candidate position, not its stale one.
+        const auto saved = an.c;
+        an.c[static_cast<std::size_t>(moved[0].first)] = moved[0].second;
+        an.c[static_cast<std::size_t>(moved[1].first)] = moved[1].second;
+        ok = !an.keepout_clash(moved[0].first, moved[0].second, moved[1].first) &&
+             !an.keepout_clash(moved[1].first, moved[1].second, moved[0].first) &&
+             an.clearance(moved[0].first, moved[1].first) >= an.gap;
+        an.c = saved;
+      } else if (ok) {
+        ok = !an.keepout_clash(moved[0].first, moved[0].second);
+      }
+      if (!ok) continue;
+
+      std::vector<std::pair<int, Point>> inverse;
+      inverse.reserve(moved.size());
+      for (const auto& [a, cand] : moved) inverse.push_back({a, an.c[static_cast<std::size_t>(a)]});
+      const double delta = an.apply(moved);
+      if (delta <= 0.0 || frand(rng) < std::exp(-delta / std::max(t, 1e-12))) {
+        const double cur = an.cost();
+        if (cur < best_cost) {
+          best_cost = cur;
+          best = an.c;
+        }
+      } else {
+        an.apply(inverse);  // reject: restore centers and cached terms
+      }
+    }
+  }
+
+  // Assemble the arranged system from the best state: normalize the lowest
+  // die corner to the substrate margin and rebuild outlines/adjacency with
+  // the geometry kernel as the authority.
+  an.c = best;
+  const double margin = edge_margin_um(tech, fp_opts);
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+  for (int i = 0; i < k; ++i) {
+    const Rect o = an.outline_at(i, an.c[static_cast<std::size_t>(i)]);
+    if (i == 0 || o.lx < min_x) min_x = o.lx;
+    if (i == 0 || o.ly < min_y) min_y = o.ly;
+  }
+  ArrangedSystem arr;
+  std::vector<Polygon> outlines;
+  outlines.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    const bool mem = sys.memory_class(i);
+    PlacedDie die;
+    die.name = "chiplet" + std::to_string(i) + (mem ? "/mem" : "/logic");
+    die.side = mem ? netlist::ChipletSide::Memory : netlist::ChipletSide::Logic;
+    die.tile = i;
+    die.outline = an.outline_at(i, {an.c[s].x - min_x + margin, an.c[s].y - min_y + margin});
+    die.embedded = false;
+    die.plan = &plans[s];
+    die.bump_offset = {(an.w[s] - plans[s].width_um) / 2.0, (an.h[s] - plans[s].width_um) / 2.0};
+    max_x = std::max(max_x, die.outline.ux);
+    max_y = std::max(max_y, die.outline.uy);
+    outlines.push_back(geometry::rect_polygon(die.outline));
+    arr.floorplan.dies.push_back(std::move(die));
+  }
+  arr.floorplan.outline = {0, 0, max_x + margin, max_y + margin};
+  // Same clearance-based neighbor rule as placed arrangements.
+  const double reach = 1.25 * an.gap;
+  for (int a = 0; a < k; ++a) {
+    for (int b = a + 1; b < k; ++b) {
+      if (geometry::convex_clearance(outlines[static_cast<std::size_t>(a)],
+                                     outlines[static_cast<std::size_t>(b)]) <= reach) {
+        arr.adjacency.push_back({a, b});
+      }
+    }
+  }
+  std::sort(arr.adjacency.begin(), arr.adjacency.end());
+  return arr;
+}
+
+double weighted_hpwl_um(const ArrangedSystem& arr, const std::vector<SystemPairDemand>& demands) {
+  double s = 0;
+  for (const auto& d : demands) {
+    const std::size_t a = static_cast<std::size_t>(d.a), b = static_cast<std::size_t>(d.b);
+    if (a >= arr.floorplan.dies.size() || b >= arr.floorplan.dies.size()) {
+      throw std::invalid_argument("weighted_hpwl_um: demand pair out of range");
+    }
+    const Point ca = arr.floorplan.dies[a].outline.center();
+    const Point cb = arr.floorplan.dies[b].outline.center();
+    s += d.wires * (std::abs(cb.x - ca.x) + std::abs(cb.y - ca.y));
+  }
+  return s;
+}
+
+}  // namespace gia::interposer

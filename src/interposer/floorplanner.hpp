@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "chiplet/congestion.hpp"
+#include "interposer/arrangement.hpp"
+#include "interposer/net_assign.hpp"
+
+/// \file floorplanner.hpp
+/// Floorplet-style performance-aware floorplanner: simulated annealing over
+/// heterogeneous rectangular die outlines on the interposer, built on the
+/// geometry kernel. The cost jointly optimizes
+///   alpha * demand-weighted HPWL   (partition pair-cut wires x center HPWL)
+/// + beta  * bump/escape congestion (each die's escape demand against the
+///                                   perimeter of its Voronoi region)
+/// + gamma * thermal proximity      (power-weighted inverse die clearance),
+/// subject to a hard keep-out constraint: die outlines inflated by half the
+/// die-to-die gap (kernel polygon offset) must stay disjoint (kernel convex
+/// overlap test). The annealer is seeded and fully serial, so results are
+/// byte-identical at any GIA_THREADS setting.
+
+namespace gia::interposer {
+
+struct FloorplannerOptions {
+  /// Cost weights. HPWL is in um * wires; the congestion and thermal sums
+  /// are normalized to the seed plan's HPWL, so each weight is the fraction
+  /// of the wirelength scale that term contributes to the initial cost.
+  /// Wirelength must stay firmly dominant at the defaults: the secondary
+  /// terms trade against it (thermal rewards spreading dies, congestion
+  /// rewards perimeter), and the grid-beating wirelength gate only holds
+  /// while such trades stay below the annealer's HPWL gains.
+  double alpha_wirelength = 1.0;
+  double beta_congestion = 0.05;
+  double gamma_thermal = 0.05;
+  /// Annealing schedule: `moves_per_die` total move attempts per die, with
+  /// the temperature cooled by `cooling` after every `chiplets` attempts,
+  /// starting at `t_start_frac` of the initial cost.
+  int moves_per_die = 600;
+  double t_start_frac = 0.10;
+  double cooling = 0.93;
+  unsigned seed = 7;
+  /// Escape-capacity constants shared with the chiplet congestion model
+  /// (usable fraction, detour law).
+  chiplet::CongestionModel congestion;
+  /// Nearest-neighbor cap handed to the kernel's Voronoi decomposition in
+  /// the annealing loop (exact for small systems, approximate above).
+  int voronoi_neighbors = 12;
+};
+
+/// Anneal positions for `plans.size()` chiplet dies against the partition's
+/// pair-cut wire demands. Die outlines come from `sys.die_sizes` ("w:h"
+/// per die, bump field centered) or default to the square bump-plan
+/// outlines. Throws std::invalid_argument when a die size cannot fit its
+/// bump field, on a die_sizes arity mismatch, or when `sys.arrangement` is
+/// not Arrangement::Floorplan. `plans` must outlive the result.
+ArrangedSystem floorplan_chiplets(const tech::Technology& tech, const chiplet::SystemConfig& sys,
+                                  const std::vector<chiplet::BumpPlan>& plans,
+                                  const std::vector<SystemPairDemand>& demands,
+                                  const FloorplanOptions& fp_opts = {},
+                                  const FloorplannerOptions& opts = {});
+
+/// Demand-weighted HPWL of an arranged system against pair-cut demands:
+/// sum over pairs of wires * (|dx| + |dy|) between die centers. The metric
+/// the annealer's alpha term optimizes; exposed for benches and gates.
+double weighted_hpwl_um(const ArrangedSystem& arr, const std::vector<SystemPairDemand>& demands);
+
+}  // namespace gia::interposer

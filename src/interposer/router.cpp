@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "geometry/polygon.hpp"
+#include "geometry/predicates.hpp"
+
 namespace gia::interposer {
 
 using geometry::Point;
@@ -158,6 +161,215 @@ void route_one(Workspace& ws, const TopNet& net, RoutedNet& rn,
   rn.vias = vias;
 }
 
+/// Any-angle routing support: die keepouts as convex polygon obstacles plus
+/// a corner visibility graph shared by every net.
+struct VisGraph {
+  struct Obstacle {
+    geometry::Polygon poly;  ///< inflated die outline (CCW rect)
+    geometry::Rect bbox;
+    int die = 0;
+  };
+  std::vector<Obstacle> obs;
+  std::vector<Point> corners;
+  std::vector<int> corner_obs;  ///< corner index -> obstacle index
+  /// Mutually visible corner pairs: adj[i] = (corner j, distance).
+  std::vector<std::vector<std::pair<int, double>>> adj;
+};
+
+/// Is the open segment p-q blocked by any obstacle (terminal obstacles
+/// `skip1`/`skip2` exempt)? Grazing an obstacle boundary (touching a corner
+/// or running along an edge) is allowed; crossing the interior is not.
+bool segment_blocked(const VisGraph& vis, Point p, Point q, int skip1, int skip2) {
+  const double sx0 = std::min(p.x, q.x), sx1 = std::max(p.x, q.x);
+  const double sy0 = std::min(p.y, q.y), sy1 = std::max(p.y, q.y);
+  for (std::size_t oi = 0; oi < vis.obs.size(); ++oi) {
+    if (static_cast<int>(oi) == skip1 || static_cast<int>(oi) == skip2) continue;
+    const auto& ob = vis.obs[oi];
+    if (sx1 < ob.bbox.lx || sx0 > ob.bbox.ux || sy1 < ob.bbox.ly || sy0 > ob.bbox.uy) continue;
+    const auto& pts = ob.poly.pts;
+    bool crossed = false;
+    for (std::size_t e = 0; e < pts.size() && !crossed; ++e) {
+      const Point& e0 = pts[e];
+      const Point& e1 = pts[(e + 1) % pts.size()];
+      crossed = geometry::segment_intersection(p, q, e0, e1) == geometry::SegmentCross::Proper;
+    }
+    if (crossed) return true;
+    // Corner-to-corner diagonals cross without a proper edge intersection;
+    // the midpoint betrays them (obstacles are convex).
+    const Point mid{(p.x + q.x) / 2.0, (p.y + q.y) / 2.0};
+    if (geometry::contains(ob.poly, mid) == geometry::Containment::Inside) return true;
+  }
+  return false;
+}
+
+VisGraph build_visibility(const InterposerFloorplan& fp, double inflate) {
+  VisGraph vis;
+  for (std::size_t i = 0; i < fp.dies.size(); ++i) {
+    const auto& die = fp.dies[i];
+    if (die.embedded) continue;
+    VisGraph::Obstacle ob;
+    ob.poly = geometry::offset_convex(geometry::rect_polygon(die.outline), inflate);
+    ob.bbox = geometry::bounding_box(ob.poly);
+    ob.die = static_cast<int>(i);
+    vis.obs.push_back(std::move(ob));
+  }
+  for (std::size_t oi = 0; oi < vis.obs.size(); ++oi) {
+    for (const Point& c : vis.obs[oi].poly.pts) {
+      vis.corners.push_back(c);
+      vis.corner_obs.push_back(static_cast<int>(oi));
+    }
+  }
+  vis.adj.resize(vis.corners.size());
+  for (std::size_t i = 0; i < vis.corners.size(); ++i) {
+    for (std::size_t j = i + 1; j < vis.corners.size(); ++j) {
+      if (!segment_blocked(vis, vis.corners[i], vis.corners[j], -1, -1)) {
+        const double d = std::hypot(vis.corners[j].x - vis.corners[i].x,
+                                    vis.corners[j].y - vis.corners[i].y);
+        vis.adj[i].push_back({static_cast<int>(j), d});
+        vis.adj[j].push_back({static_cast<int>(i), d});
+      }
+    }
+  }
+  return vis;
+}
+
+/// Book an any-angle path's track demand onto the congestion grid by
+/// sampling each segment at half-cell steps; fills `cells` for rip-up.
+void book_any_angle(Workspace& ws, const std::vector<Point>& path, int layer, double demand,
+                    std::vector<std::size_t>& cells) {
+  const auto& g = ws.g;
+  const double step = std::min(g.cell_w, g.cell_h) / 2.0;
+  cells.clear();
+  for (std::size_t s = 0; s + 1 < path.size(); ++s) {
+    const Point a = path[s], b = path[s + 1];
+    const double len = std::hypot(b.x - a.x, b.y - a.y);
+    const int n = std::max(1, static_cast<int>(std::ceil(len / step)));
+    for (int t = 0; t <= n; ++t) {
+      const double f = static_cast<double>(t) / n;
+      const Point p{a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f};
+      cells.push_back(g.idx(g.cell_of_x(p.x), g.cell_of_y(p.y), layer));
+    }
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  for (std::size_t c : cells) ws.usage[c] += demand;
+}
+
+/// Route one net any-angle on `layer`. Returns false when the visibility
+/// graph offers no path (caller falls back to the grid router).
+bool route_any_angle(Workspace& ws, const VisGraph& vis, const TopNet& net, int layer,
+                     RoutedNet& rn, std::vector<std::size_t>& cells) {
+  // Terminal dies are not obstacles for their own net: the endpoints sit on
+  // them, and escape vias handle the bump-field crossing.
+  int skip1 = -1, skip2 = -1;
+  for (std::size_t oi = 0; oi < vis.obs.size(); ++oi) {
+    const auto& ob = vis.obs[oi];
+    if (geometry::contains(ob.poly, net.a) != geometry::Containment::Outside) skip1 = static_cast<int>(oi);
+    if (geometry::contains(ob.poly, net.b) != geometry::Containment::Outside) skip2 = static_cast<int>(oi);
+  }
+
+  std::vector<Point> pts;
+  if (!segment_blocked(vis, net.a, net.b, skip1, skip2)) {
+    pts = {net.a, net.b};
+  } else {
+    // Dijkstra over {a} + corners + {b}. Corner-corner edges are
+    // precomputed against every obstacle (conservative for terminal dies);
+    // endpoint edges honor the terminal exemptions.
+    const int nc = static_cast<int>(vis.corners.size());
+    const int src = nc, dst = nc + 1;
+    std::vector<double> dist(static_cast<std::size_t>(nc) + 2,
+                             std::numeric_limits<double>::infinity());
+    std::vector<int> prev(static_cast<std::size_t>(nc) + 2, -1);
+    using QEntry = std::pair<double, int>;
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+    dist[static_cast<std::size_t>(src)] = 0;
+    pq.push({0, src});
+    auto point_of = [&](int n) {
+      if (n == src) return net.a;
+      if (n == dst) return net.b;
+      return vis.corners[static_cast<std::size_t>(n)];
+    };
+    while (!pq.empty()) {
+      const auto [d, n] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<std::size_t>(n)] + 1e-12) continue;
+      if (n == dst) break;
+      auto relax = [&](int m, double w) {
+        if (d + w < dist[static_cast<std::size_t>(m)] - 1e-12) {
+          dist[static_cast<std::size_t>(m)] = d + w;
+          prev[static_cast<std::size_t>(m)] = n;
+          pq.push({d + w, m});
+        }
+      };
+      const Point pn = point_of(n);
+      if (n == src) {
+        for (int c = 0; c < nc; ++c) {
+          if (!segment_blocked(vis, pn, vis.corners[static_cast<std::size_t>(c)], skip1, skip2)) {
+            relax(c, std::hypot(vis.corners[static_cast<std::size_t>(c)].x - pn.x,
+                                vis.corners[static_cast<std::size_t>(c)].y - pn.y));
+          }
+        }
+      } else {
+        for (const auto& [m, w] : vis.adj[static_cast<std::size_t>(n)]) relax(m, w);
+        if (!segment_blocked(vis, pn, net.b, skip1, skip2)) {
+          relax(dst, std::hypot(net.b.x - pn.x, net.b.y - pn.y));
+        }
+      }
+    }
+    if (!std::isfinite(dist[static_cast<std::size_t>(dst)])) return false;
+    for (int n = dst; n >= 0; n = prev[static_cast<std::size_t>(n)]) {
+      pts.push_back(point_of(n));
+      if (n == src) break;
+    }
+    std::reverse(pts.begin(), pts.end());
+  }
+
+  Polyline path;
+  double lateral = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) lateral += std::hypot(pts[i].x - pts[i - 1].x, pts[i].y - pts[i - 1].y);
+    path.append(pts[i], layer);
+  }
+  book_any_angle(ws, pts, layer, static_cast<double>(net.bits), cells);
+  rn.path = std::move(path);
+  rn.length_um = lateral;
+  rn.vias = 2 * (layer + 1);  // escape down and back up at both terminals
+  return true;
+}
+
+/// Move an overflowed any-angle net's booked footprint to the layer with
+/// the least projected overflow; geometry stays put. Caller has already
+/// removed the net's usage.
+void rebalance_layer(Workspace& ws, RoutedNet& rn, std::vector<std::size_t>& cells,
+                     double demand) {
+  if (cells.empty()) return;
+  const auto& g = ws.g;
+  const std::size_t plane = static_cast<std::size_t>(g.nx) * g.ny;
+  std::vector<std::size_t> foot(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) foot[i] = cells[i] % plane;
+  int best_l = 0;
+  double best_over = std::numeric_limits<double>::infinity();
+  for (int l = 0; l < g.layers; ++l) {
+    double over = 0;
+    for (std::size_t f : foot) {
+      const std::size_t n = static_cast<std::size_t>(l) * plane + f;
+      over += std::max(0.0, ws.usage[n] + demand - ws.capacity[n]);
+    }
+    if (over < best_over) {
+      best_over = over;
+      best_l = l;
+    }
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i] = static_cast<std::size_t>(best_l) * plane + foot[i];
+    ws.usage[cells[i]] += demand;
+  }
+  Polyline moved;
+  for (const auto& pp : rn.path.points()) moved.append(pp.p, best_l);
+  rn.path = std::move(moved);
+  rn.vias = 2 * (best_l + 1);
+}
+
 }  // namespace
 
 RouteResult route_interposer(const tech::Technology& tech, const InterposerFloorplan& fp,
@@ -240,7 +452,16 @@ RouteResult route_interposer(const tech::Technology& tech, const InterposerFloor
 
   std::vector<RoutedNet> routed(nets.size());
   std::vector<std::vector<std::size_t>> used_cells(nets.size());
+  std::vector<char> any_routed(nets.size(), 0);
 
+  VisGraph vis;
+  if (opts.any_angle) {
+    // Quarter-gap keepouts leave a half-gap corridor between dies placed at
+    // the minimum spacing.
+    vis = build_visibility(fp, tech.rules.die_to_die_spacing_um / 4.0);
+  }
+
+  int rr_layer = 0;  // round-robin layer assignment spreads any-angle nets
   for (int ni : order) {
     const auto& net = nets[static_cast<std::size_t>(ni)];
     auto& rn = routed[static_cast<std::size_t>(ni)];
@@ -253,6 +474,13 @@ RouteResult route_interposer(const tech::Technology& tech, const InterposerFloor
       rn.vias = 2;  // stacked-via pair (or bump/TSV) per signal
       out.stats.vertical_via_pairs += 2;
       continue;
+    }
+    if (opts.any_angle) {
+      const int layer = rr_layer++ % g.layers;
+      if (route_any_angle(ws, vis, net, layer, rn, used_cells[static_cast<std::size_t>(ni)])) {
+        any_routed[static_cast<std::size_t>(ni)] = 1;
+        continue;
+      }
     }
     route_one(ws, net, rn, used_cells[static_cast<std::size_t>(ni)]);
   }
@@ -274,8 +502,13 @@ RouteResult route_interposer(const tech::Technology& tech, const InterposerFloor
     for (const auto& [over, ni] : offenders) {
       const double demand = static_cast<double>(nets[static_cast<std::size_t>(ni)].bits);
       for (std::size_t c : used_cells[static_cast<std::size_t>(ni)]) ws.usage[c] -= demand;
-      route_one(ws, nets[static_cast<std::size_t>(ni)], routed[static_cast<std::size_t>(ni)],
-                used_cells[static_cast<std::size_t>(ni)]);
+      if (any_routed[static_cast<std::size_t>(ni)]) {
+        rebalance_layer(ws, routed[static_cast<std::size_t>(ni)],
+                        used_cells[static_cast<std::size_t>(ni)], demand);
+      } else {
+        route_one(ws, nets[static_cast<std::size_t>(ni)], routed[static_cast<std::size_t>(ni)],
+                  used_cells[static_cast<std::size_t>(ni)]);
+      }
     }
   }
 

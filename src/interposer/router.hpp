@@ -32,6 +32,15 @@ struct RouterOptions {
   double overflow_penalty = 25.0;
   /// Rip-up & reroute passes over nets crossing overflowed cells.
   int reroute_passes = 1;
+  /// Any-angle routing: lateral nets take straight-line paths over a
+  /// visibility graph whose obstacles are the non-terminal dies' outlines
+  /// inflated by a quarter gap (geometry-kernel offset + exact segment
+  /// intersection). Each net runs on one round-robin-assigned layer and
+  /// books usage onto the same congestion grid; rip-up rebalances overflowed
+  /// nets across layers without changing their geometry. Nets with no
+  /// visibility path fall back to the grid router. Off by default: the
+  /// Manhattan/diagonal grid results are byte-identical with this false.
+  bool any_angle = false;
 };
 
 struct RoutedNet {

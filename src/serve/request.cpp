@@ -99,6 +99,9 @@ void walk(FlowRequest& r, V& v) {
   v.field("wrong_way_penalty", o.router.wrong_way_penalty);
   v.field("overflow_penalty", o.router.overflow_penalty);
   v.field("reroute_passes", o.router.reroute_passes);
+  // Post-schema knob: emitted only when set so every pre-existing request
+  // (not just all-default ones) keeps its key.
+  v.field_opt("any_angle", o.router.any_angle, o.router.any_angle);
   v.end();
 
   v.begin("thermal_mesh");
@@ -141,6 +144,10 @@ void walk(FlowRequest& r, V& v) {
       v.field("memory_power_scale", s.memory_power_scale);
       v.field("pitch_scale", s.pitch_scale);
       v.token("placed", s.placed, [&s](const std::string& t) { s.placed = t; });
+      // Post-schema knob (same rule as router.any_angle): only non-empty
+      // die_sizes render, so pre-floorplan system requests keep their keys.
+      v.token_opt("die_sizes", s.die_sizes, !s.die_sizes.empty(),
+                  [&s](const std::string& t) { s.die_sizes = t; });
       v.end();
     }
   }
@@ -174,6 +181,14 @@ struct JsonWriter {
   void token(const char* name, std::string& cur, const std::function<void(const std::string&)>&) {
     k(name);
     json::escape(cur, out);
+  }
+  void token_opt(const char* name, std::string& cur, bool nondefault,
+                 const std::function<void(const std::string&)>& set) {
+    if (nondefault) token(name, cur, set);
+  }
+  template <typename T>
+  void field_opt(const char* name, T& x, bool nondefault) {
+    if (nondefault) field(name, x);
   }
   void field(const char* name, int& x) {
     k(name);
@@ -251,6 +266,15 @@ struct JsonReader {
   }
   void token(const char* name, std::string&, const std::function<void(const std::string&)>& set) {
     if (const json::Value* v = get(name)) set(v->str);
+  }
+  /// Optional knobs always probe the document; absent keeps the default.
+  void token_opt(const char* name, std::string& cur, bool,
+                 const std::function<void(const std::string&)>& set) {
+    token(name, cur, set);
+  }
+  template <typename T>
+  void field_opt(const char* name, T& x, bool) {
+    field(name, x);
   }
   void field(const char* name, int& x) {
     if (const json::Value* v = get(name)) x = static_cast<int>(v->as_i64());

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "chiplet/bump_plan.hpp"
+#include "chiplet/system.hpp"
+#include "core/stagegraph.hpp"
+#include "interposer/arrangement.hpp"
+#include "interposer/floorplanner.hpp"
+#include "interposer/net_assign.hpp"
+#include "interposer/router.hpp"
+#include "serve/request.hpp"
+#include "tech/library.hpp"
+
+/// \file floorplan_test.cpp
+/// Performance-aware floorplanner coverage: determinism, the
+/// floorplan-beats-grid wirelength gate at 16 heterogeneous dies, the
+/// clearance-based placed adjacency (heterogeneous-die regression),
+/// die_sizes validation/serialization, and any-angle routing.
+
+namespace ip = gia::interposer;
+namespace ch = gia::chiplet;
+namespace sv = gia::serve;
+namespace st = gia::core::stage;
+namespace tech = gia::tech;
+
+namespace {
+
+/// Heterogeneous plans matching the paper-style study scaled to N dies:
+/// logic dies from the full tile area, memory-class dies (every 2nd) from
+/// roughly half the cell area -- visibly smaller outlines.
+std::vector<ch::BumpPlan> hetero_plans(int k, const tech::Technology& t) {
+  std::vector<ch::BumpPlan> plans;
+  plans.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const bool mem = (i + 1) % 2 == 0;
+    plans.push_back(mem ? ch::plan_bumps(200, 1.5e5, true, t)
+                        : ch::plan_bumps(200, 3.0e5, false, t));
+  }
+  return plans;
+}
+
+ch::SystemConfig make_system(int chiplets, ch::Arrangement arr, int memory_every = 2) {
+  ch::SystemConfig s;
+  s.chiplets = chiplets;
+  s.arrangement = arr;
+  s.memory_every = memory_every;
+  return s;
+}
+
+/// Pair demands a row-major uniform-pitch grid serves poorly: each logic die
+/// talks hard to its memory partner and the logic dies form a ring, so
+/// pulling small memory dies close and shortening the ring both pay.
+std::vector<ip::SystemPairDemand> demo_demands(int k) {
+  std::vector<ip::SystemPairDemand> d;
+  for (int i = 0; i + 1 < k; i += 2) d.push_back({i, i + 1, 200});
+  for (int i = 0; i + 2 < k; i += 2) d.push_back({i, i + 2, 64});
+  if (k > 3) d.push_back({1, k - 1, 64});
+  return d;
+}
+
+}  // namespace
+
+// --- FloorplannerTest: the annealer itself.
+
+TEST(FloorplannerTest, DeterministicAcrossRuns) {
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto plans = hetero_plans(8, t);
+  const auto sys = make_system(8, ch::Arrangement::Floorplan);
+  const auto demands = demo_demands(8);
+  const auto a = ip::floorplan_chiplets(t, sys, plans, demands);
+  const auto b = ip::floorplan_chiplets(t, sys, plans, demands);
+  ASSERT_EQ(a.floorplan.dies.size(), b.floorplan.dies.size());
+  for (std::size_t i = 0; i < a.floorplan.dies.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.floorplan.dies[i].outline.lx, b.floorplan.dies[i].outline.lx);
+    EXPECT_DOUBLE_EQ(a.floorplan.dies[i].outline.ly, b.floorplan.dies[i].outline.ly);
+    EXPECT_DOUBLE_EQ(a.floorplan.dies[i].outline.ux, b.floorplan.dies[i].outline.ux);
+    EXPECT_DOUBLE_EQ(a.floorplan.dies[i].outline.uy, b.floorplan.dies[i].outline.uy);
+  }
+  EXPECT_EQ(a.adjacency, b.adjacency);
+}
+
+TEST(FloorplannerTest, KeepoutsHoldAndDiesStayInOutline) {
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto plans = hetero_plans(16, t);
+  const auto sys = make_system(16, ch::Arrangement::Floorplan);
+  const auto arr = ip::floorplan_chiplets(t, sys, plans, demo_demands(16));
+  ASSERT_EQ(arr.floorplan.dies.size(), 16u);
+  const double gap = t.rules.die_to_die_spacing_um;
+  for (std::size_t a = 0; a < arr.floorplan.dies.size(); ++a) {
+    const auto& ra = arr.floorplan.dies[a].outline;
+    EXPECT_GE(ra.lx, arr.floorplan.outline.lx - 1e-9);
+    EXPECT_GE(ra.ly, arr.floorplan.outline.ly - 1e-9);
+    EXPECT_LE(ra.ux, arr.floorplan.outline.ux + 1e-9);
+    EXPECT_LE(ra.uy, arr.floorplan.outline.uy + 1e-9);
+    for (std::size_t b = a + 1; b < arr.floorplan.dies.size(); ++b) {
+      const auto& rb = arr.floorplan.dies[b].outline;
+      const double dx = std::max({rb.lx - ra.ux, ra.lx - rb.ux, 0.0});
+      const double dy = std::max({rb.ly - ra.uy, ra.ly - rb.uy, 0.0});
+      // Die-to-die clearance never dips below the technology gap.
+      EXPECT_GE(std::max(dx, dy), gap - 1e-6) << "dies " << a << " and " << b;
+    }
+  }
+}
+
+TEST(FloorplannerTest, BeatsGridWirelengthAt16HeteroDies) {
+  // The ISSUE acceptance gate: at 16 heterogeneous dies (memory dies about
+  // half the logic footprint) the annealed floorplan must strictly beat the
+  // uniform-pitch grid on demand-weighted wirelength.
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto plans = hetero_plans(16, t);
+  const auto demands = demo_demands(16);
+  const auto grid = ip::arrange_chiplets(t, make_system(16, ch::Arrangement::Grid), plans);
+  const auto fp =
+      ip::floorplan_chiplets(t, make_system(16, ch::Arrangement::Floorplan), plans, demands);
+  const double grid_hpwl = ip::weighted_hpwl_um(grid, demands);
+  const double fp_hpwl = ip::weighted_hpwl_um(fp, demands);
+  EXPECT_LT(fp_hpwl, grid_hpwl);
+}
+
+TEST(FloorplannerTest, DieSizesShapeOutlines) {
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto plans = hetero_plans(4, t);
+  auto sys = make_system(4, ch::Arrangement::Floorplan);
+  // Generous rectangular outlines (every plan fits): w:h per die.
+  std::string sizes;
+  std::vector<double> w, h;
+  for (int i = 0; i < 4; ++i) {
+    w.push_back(plans[static_cast<std::size_t>(i)].width_um + 100.0 * (i + 1));
+    h.push_back(plans[static_cast<std::size_t>(i)].width_um + 50.0);
+    if (i > 0) sizes += ";";
+    sizes += std::to_string(w.back()) + ":" + std::to_string(h.back());
+  }
+  sys.die_sizes = sizes;
+  const auto arr = ip::floorplan_chiplets(t, sys, plans, demo_demands(4));
+  ASSERT_EQ(arr.floorplan.dies.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto& o = arr.floorplan.dies[static_cast<std::size_t>(i)].outline;
+    EXPECT_NEAR(o.width(), w[static_cast<std::size_t>(i)], 1e-9);
+    EXPECT_NEAR(o.height(), h[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(FloorplannerTest, RejectsBadInput) {
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto plans = hetero_plans(4, t);
+  const auto demands = demo_demands(4);
+  // Wrong arrangement.
+  EXPECT_THROW(
+      ip::floorplan_chiplets(t, make_system(4, ch::Arrangement::Grid), plans, demands),
+      std::invalid_argument);
+  // die_sizes arity mismatch.
+  auto sys = make_system(4, ch::Arrangement::Floorplan);
+  sys.die_sizes = "4000:4000;4000:4000";
+  EXPECT_THROW(ip::floorplan_chiplets(t, sys, plans, demands), std::invalid_argument);
+  // Die too small for its bump field.
+  sys.die_sizes = "10:10;4000:4000;4000:4000;4000:4000";
+  EXPECT_THROW(ip::floorplan_chiplets(t, sys, plans, demands), std::invalid_argument);
+  // Demand index out of range.
+  const std::vector<ip::SystemPairDemand> bad = {{0, 9, 10}};
+  EXPECT_THROW(ip::floorplan_chiplets(t, make_system(4, ch::Arrangement::Floorplan), plans, bad),
+               std::invalid_argument);
+}
+
+// --- PlacedAdjacencyTest: satellite regression for heterogeneous dies.
+
+TEST(PlacedAdjacencyTest, ClearanceRuleHandlesHeterogeneousDies) {
+  // One large logic die and two small memory dies. Under the old
+  // center-distance rule (1.25 x max pitch) the two small dies would read as
+  // adjacent merely because the big die inflates the pitch; under the
+  // outline-clearance rule only genuinely close outlines pair up.
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  std::vector<ch::BumpPlan> plans = {ch::plan_bumps(600, 2.0e6, false, t),
+                                     ch::plan_bumps(60, 5.0e4, true, t),
+                                     ch::plan_bumps(60, 5.0e4, true, t)};
+  const double wb = plans[0].width_um, ws = plans[1].width_um;
+  ASSERT_GT(wb, ws * 1.5);  // genuinely heterogeneous
+  const double gap = t.rules.die_to_die_spacing_um;
+  ch::SystemConfig sys = make_system(3, ch::Arrangement::Placed, 0);
+  // Die 1 abuts die 0 at exactly one gap of clearance; die 2 sits five gaps
+  // beyond die 1 -- inside 1.25 pitches of the big die but far from contact.
+  const double x1 = wb / 2 + gap + ws / 2;
+  const double x2 = x1 + ws + 5 * gap;
+  ASSERT_LT(x2 - x1, 1.25 * (wb + gap));  // the old rule would pair (1, 2)
+  sys.placed = ch::encode_placed({{0, 0}, {x1, 0}, {x2, 0}});
+  const auto arr = ip::arrange_chiplets(t, sys, plans);
+  const std::vector<std::pair<int, int>> expect = {{0, 1}};
+  EXPECT_EQ(arr.adjacency, expect);
+}
+
+TEST(PlacedAdjacencyTest, UniformGridSpacingStaysAdjacent) {
+  // Regression guard: the clearance rule must not drop the classic case --
+  // uniform dies at grid pitch (clearance == gap) are neighbors, diagonal
+  // pairs are not.
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  std::vector<ch::BumpPlan> plans;
+  for (int i = 0; i < 4; ++i) plans.push_back(ch::plan_bumps(200, 3.0e5, false, t));
+  const double pitch = plans[0].width_um + t.rules.die_to_die_spacing_um;
+  ch::SystemConfig sys = make_system(4, ch::Arrangement::Placed, 0);
+  sys.placed = ch::encode_placed({{0, 0}, {pitch, 0}, {0, pitch}, {pitch, pitch}});
+  const auto arr = ip::arrange_chiplets(t, sys, plans);
+  const std::vector<std::pair<int, int>> expect = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(arr.adjacency, expect);
+}
+
+// --- DieSizesTest: parsing, validation, serialization.
+
+TEST(DieSizesTest, ParseRoundTripAndErrors) {
+  ch::SystemConfig sys;
+  sys.die_sizes = "4000:3000;2500.5:2500.5";
+  const auto sizes = sys.parsed_die_sizes();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_DOUBLE_EQ(sizes[0].w_um, 4000.0);
+  EXPECT_DOUBLE_EQ(sizes[0].h_um, 3000.0);
+  EXPECT_DOUBLE_EQ(sizes[1].w_um, 2500.5);
+  sys.die_sizes = "4000";  // missing :h
+  EXPECT_THROW(sys.parsed_die_sizes(), std::invalid_argument);
+  sys.die_sizes = "4000:abc";
+  EXPECT_THROW(sys.parsed_die_sizes(), std::invalid_argument);
+  sys.die_sizes.clear();
+  EXPECT_TRUE(sys.parsed_die_sizes().empty());
+}
+
+TEST(DieSizesTest, ValidateRejectsMisuse) {
+  ch::SystemConfig sys = make_system(4, ch::Arrangement::Grid);
+  sys.die_sizes = "4000:4000;4000:4000;4000:4000;4000:4000";
+  // die_sizes only makes sense for the floorplan arrangement.
+  EXPECT_THROW(ch::validate_system(sys), std::invalid_argument);
+  sys.arrangement = ch::Arrangement::Floorplan;
+  EXPECT_NO_THROW(ch::validate_system(sys));
+  sys.die_sizes = "4000:4000";  // arity mismatch
+  EXPECT_THROW(ch::validate_system(sys), std::invalid_argument);
+  sys.die_sizes = "4000:-5;4000:4000;4000:4000;4000:4000";  // negative side
+  EXPECT_THROW(ch::validate_system(sys), std::invalid_argument);
+}
+
+TEST(DieSizesTest, RequestSerializationIsOptIn) {
+  // A system request without die_sizes must not mention the knob at all --
+  // its canonical text and key are byte-identical to the pre-floorplan
+  // schema -- while a set knob round-trips through JSON.
+  sv::FlowRequest req;
+  req.options.system = make_system(8, ch::Arrangement::Grid, 4);
+  const auto base_text = sv::canonical_text(req);
+  const auto base_json = sv::request_to_json(req);
+  EXPECT_EQ(base_text.find("die_sizes"), std::string::npos);
+  EXPECT_EQ(base_json.find("die_sizes"), std::string::npos);
+  EXPECT_EQ(sv::request_key(sv::request_from_json(base_json)), sv::request_key(req));
+
+  sv::FlowRequest fp;
+  fp.options.system = make_system(2, ch::Arrangement::Floorplan, 2);
+  fp.options.system.die_sizes = "4000:3000;2500:2500";
+  const auto json = sv::request_to_json(fp);
+  EXPECT_NE(json.find("die_sizes"), std::string::npos);
+  const auto back = sv::request_from_json(json);
+  EXPECT_EQ(back.options.system.die_sizes, fp.options.system.die_sizes);
+  EXPECT_EQ(sv::request_key(back), sv::request_key(fp));
+  EXPECT_NE(sv::request_key(back), sv::request_key(req));
+}
+
+TEST(DieSizesTest, RouterAnyAngleKnobIsOptIn) {
+  sv::FlowRequest req;
+  EXPECT_EQ(sv::request_to_json(req).find("any_angle"), std::string::npos);
+  sv::FlowRequest on;
+  on.options.router.any_angle = true;
+  const auto json = sv::request_to_json(on);
+  EXPECT_NE(json.find("any_angle"), std::string::npos);
+  const auto back = sv::request_from_json(json);
+  EXPECT_TRUE(back.options.router.any_angle);
+  EXPECT_NE(sv::request_key(on), sv::request_key(req));
+}
+
+// --- AnyAngleRouterTest.
+
+TEST(AnyAngleRouterTest, StraightPathsNeverBeatenByManhattan) {
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto plans = hetero_plans(9, t);
+  const auto arr = ip::arrange_chiplets(t, make_system(9, ch::Arrangement::Grid), plans);
+  std::vector<ip::SystemPairDemand> demands;
+  for (const auto& [a, b] : arr.adjacency) demands.push_back({a, b, 32});
+  const auto nets = ip::assign_system_nets(arr.floorplan, demands);
+  ip::RouterOptions manh;
+  ip::RouterOptions any;
+  any.any_angle = true;
+  const auto rm = ip::route_interposer(t, arr.floorplan, nets, manh);
+  const auto ra = ip::route_interposer(t, arr.floorplan, nets, any);
+  EXPECT_EQ(ra.stats.routed_nets, rm.stats.routed_nets);
+  EXPECT_GT(ra.stats.total_wl_um, 0.0);
+  // Euclidean segments between facing bump windows can only shorten the
+  // Manhattan grid tour.
+  EXPECT_LE(ra.stats.total_wl_um, rm.stats.total_wl_um * 1.001);
+  for (const auto& rn : ra.nets) {
+    EXPECT_TRUE(std::isfinite(rn.length_um));
+    if (!rn.vertical) {
+      EXPECT_GT(rn.vias, 0);
+    }
+  }
+}
+
+TEST(AnyAngleRouterTest, DeterministicAndDefaultOff) {
+  const auto t = tech::make_technology(tech::TechnologyKind::Glass25D);
+  const auto plans = hetero_plans(4, t);
+  const auto arr = ip::arrange_chiplets(t, make_system(4, ch::Arrangement::Grid), plans);
+  std::vector<ip::SystemPairDemand> demands;
+  for (const auto& [a, b] : arr.adjacency) demands.push_back({a, b, 16});
+  const auto nets = ip::assign_system_nets(arr.floorplan, demands);
+  ip::RouterOptions any;
+  any.any_angle = true;
+  const auto r1 = ip::route_interposer(t, arr.floorplan, nets, any);
+  const auto r2 = ip::route_interposer(t, arr.floorplan, nets, any);
+  EXPECT_DOUBLE_EQ(r1.stats.total_wl_um, r2.stats.total_wl_um);
+  EXPECT_EQ(r1.stats.total_vias, r2.stats.total_vias);
+  EXPECT_FALSE(ip::RouterOptions{}.any_angle);
+}
+
+// --- FloorplanFlowTest: the full stage DAG with arrangement=floorplan.
+
+TEST(FloorplanFlowTest, EndToEndFloorplanFlow) {
+  gia::core::FlowOptions o;
+  o.openpiton.cluster_cells = 4000;
+  o.with_eyes = false;
+  o.with_thermal = false;
+  o.system = make_system(6, ch::Arrangement::Floorplan, 2);
+  const auto r = st::execute_flow(tech::TechnologyKind::Glass25D, o);
+  EXPECT_EQ(r.interposer.floorplan.dies.size(), 6u);
+  EXPECT_GT(r.interposer.adjacency.size(), 0u);
+  EXPECT_GT(r.total_power_w, 0.0);
+  EXPECT_TRUE(std::isfinite(r.system_fmax_hz));
+}

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/predicates.hpp"
+#include "geometry/voronoi.hpp"
+
+namespace g = gia::geometry;
+
+namespace {
+
+g::Polygon poly(std::initializer_list<g::Point> pts) {
+  return g::Polygon(std::vector<g::Point>(pts));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Exact predicates: the degenerate configurations must classify
+// deterministically, not by rounding luck.
+// ---------------------------------------------------------------------------
+
+TEST(Predicates, OrientationSigns) {
+  EXPECT_EQ(g::orientation({0, 0}, {1, 0}, {0, 1}), g::Orientation::CounterClockwise);
+  EXPECT_EQ(g::orientation({0, 0}, {0, 1}, {1, 0}), g::Orientation::Clockwise);
+  EXPECT_EQ(g::orientation({0, 0}, {1, 1}, {2, 2}), g::Orientation::Collinear);
+}
+
+TEST(Predicates, NearlyCollinearIsExact) {
+  // Points on the line y = x with coordinates that round badly in naive
+  // double evaluation; the adaptive path must still report collinear for
+  // exactly collinear triples and a consistent sign for perturbed ones.
+  const g::Point a{1e-12, 1e-12}, b{1e12, 1e12};
+  EXPECT_EQ(g::orientation(a, b, {0.5, 0.5}), g::Orientation::Collinear);
+  EXPECT_EQ(g::orientation(a, b, {0.5, std::nextafter(0.5, 1.0)}),
+            g::Orientation::CounterClockwise);
+  EXPECT_EQ(g::orientation(a, b, {0.5, std::nextafter(0.5, 0.0)}), g::Orientation::Clockwise);
+}
+
+TEST(Predicates, TouchingEndpointIsTouchNotProper) {
+  // Shared endpoint.
+  EXPECT_EQ(g::segment_intersection({0, 0}, {1, 0}, {1, 0}, {2, 5}), g::SegmentCross::Touch);
+  // Endpoint in the other segment's interior (T junction).
+  EXPECT_EQ(g::segment_intersection({0, 0}, {2, 0}, {1, 0}, {1, 3}), g::SegmentCross::Touch);
+  // Interiors crossing.
+  EXPECT_EQ(g::segment_intersection({0, 0}, {2, 2}, {0, 2}, {2, 0}), g::SegmentCross::Proper);
+  // Collinear with positive-length shared sub-segment.
+  EXPECT_EQ(g::segment_intersection({0, 0}, {2, 0}, {1, 0}, {3, 0}), g::SegmentCross::Overlap);
+  // Collinear but disjoint.
+  EXPECT_EQ(g::segment_intersection({0, 0}, {1, 0}, {2, 0}, {3, 0}), g::SegmentCross::None);
+  // Collinear touching only at one endpoint: a single shared point, not an
+  // overlap of positive length.
+  EXPECT_EQ(g::segment_intersection({0, 0}, {1, 0}, {1, 0}, {2, 0}), g::SegmentCross::Touch);
+}
+
+TEST(Predicates, SegmentDistances) {
+  EXPECT_DOUBLE_EQ(g::point_segment_distance({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(g::point_segment_distance({3, 4}, {-1, 0}, {1, 0}), std::hypot(2.0, 4.0));
+  EXPECT_DOUBLE_EQ(g::segment_segment_distance({0, 0}, {2, 2}, {0, 2}, {2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(g::segment_segment_distance({0, 0}, {1, 0}, {0, 2}, {1, 2}), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Hulls and containment degeneracies.
+// ---------------------------------------------------------------------------
+
+TEST(ConvexHull, CollinearInputCollapsesToExtremeSegment) {
+  auto h = g::convex_hull({{0, 0}, {1, 1}, {2, 2}, {3, 3}, {1.5, 1.5}});
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], (g::Point{0, 0}));
+  EXPECT_EQ(h[1], (g::Point{3, 3}));
+}
+
+TEST(ConvexHull, AllEqualAndEmpty) {
+  auto one = g::convex_hull({{2, 2}, {2, 2}, {2, 2}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (g::Point{2, 2}));
+  EXPECT_TRUE(g::convex_hull({}).empty());
+}
+
+TEST(ConvexHull, DropsCollinearEdgePoints) {
+  // Midpoints of the square's edges must not survive on the hull.
+  auto h = g::convex_hull({{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 0}, {2, 1}, {1, 2}, {0, 1}});
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_GT(g::signed_area(h), 0.0);  // CCW
+  EXPECT_DOUBLE_EQ(g::area(h), 4.0);
+}
+
+TEST(Containment, ZeroAreaPolygonContainsOnlyBoundary) {
+  auto degenerate = poly({{0, 0}, {2, 0}, {1, 0}});
+  EXPECT_DOUBLE_EQ(g::area(degenerate), 0.0);
+  EXPECT_EQ(g::contains(degenerate, {1, 0}), g::Containment::Boundary);
+  EXPECT_EQ(g::contains(degenerate, {1, 0.001}), g::Containment::Outside);
+  EXPECT_EQ(g::contains(degenerate, {3, 0}), g::Containment::Outside);
+}
+
+TEST(Containment, BoundaryIsItsOwnClass) {
+  auto sq = poly({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_EQ(g::contains(sq, {2, 2}), g::Containment::Inside);
+  EXPECT_EQ(g::contains(sq, {4, 2}), g::Containment::Boundary);
+  EXPECT_EQ(g::contains(sq, {4, 4}), g::Containment::Boundary);  // corner
+  EXPECT_EQ(g::contains(sq, {5, 2}), g::Containment::Outside);
+  // Ray through a vertex must not double-count the crossing.
+  auto diamond = poly({{0, -2}, {2, 0}, {0, 2}, {-2, 0}});
+  EXPECT_EQ(g::contains(diamond, {-1, 0}), g::Containment::Inside);
+  EXPECT_EQ(g::contains(diamond, {-3, 0}), g::Containment::Outside);
+}
+
+// ---------------------------------------------------------------------------
+// Clipping degeneracies.
+// ---------------------------------------------------------------------------
+
+TEST(Clip, DisjointWindowsClipToEmpty) {
+  auto subject = poly({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  auto window = poly({{5, 5}, {6, 5}, {6, 6}, {5, 6}});
+  EXPECT_TRUE(g::clip_convex(subject, window).empty());
+  EXPECT_TRUE(g::intersect(subject, window).empty());
+  EXPECT_DOUBLE_EQ(g::intersection_area(subject, window), 0.0);
+}
+
+TEST(Clip, TouchingEdgeClipsToZeroArea) {
+  // Subject shares the x=1 edge with the window: the intersection is a
+  // degenerate sliver of zero area, never a crash or a fat polygon.
+  auto subject = poly({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  auto window = poly({{1, 0}, {2, 0}, {2, 1}, {1, 1}});
+  auto clipped = g::clip_convex(subject, window);
+  EXPECT_DOUBLE_EQ(g::area(clipped), 0.0);
+  EXPECT_DOUBLE_EQ(g::intersection_area(subject, window), 0.0);
+}
+
+TEST(Clip, HalfplaneAndNonConvexWindow) {
+  auto sq = poly({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  // Keep x <= 2.
+  auto half = g::clip_halfplane(sq, {1, 0}, 2.0);
+  EXPECT_DOUBLE_EQ(g::area(half), 8.0);
+  // Clip-to-nothing: keep x <= -1.
+  EXPECT_TRUE(g::clip_halfplane(sq, {1, 0}, -1.0).empty());
+  // Non-convex window must be rejected by the convex-only pass...
+  auto ell = poly({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  EXPECT_THROW(g::clip_convex(sq, ell), std::invalid_argument);
+  // ...and handled by the general boolean path (L covers 12 of 16).
+  EXPECT_NEAR(g::intersection_area(sq, ell), 12.0, 1e-9);
+}
+
+TEST(Clip, ZeroAreaSubjectStaysWellDefined) {
+  auto sliver = poly({{0, 0}, {4, 0}, {2, 0}});
+  auto window = poly({{1, -1}, {3, -1}, {3, 1}, {1, 1}});
+  EXPECT_DOUBLE_EQ(g::intersection_area(sliver, window), 0.0);
+  EXPECT_TRUE(g::triangulate(sliver).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Offsetting: keep-out inflation must reject ill-defined inputs loudly.
+// ---------------------------------------------------------------------------
+
+TEST(Offset, InflatesConvexRing) {
+  auto sq = poly({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  auto out = g::offset_convex(sq, 1.0);
+  EXPECT_DOUBLE_EQ(g::area(out), 16.0);  // miter corners: 4x4 square
+  EXPECT_EQ(g::contains(out, {-1, -1}), g::Containment::Boundary);
+  auto in = g::offset_convex(sq, -0.5);
+  EXPECT_DOUBLE_EQ(g::area(in), 1.0);
+}
+
+TEST(Offset, CollapsingShrinkReturnsEmpty) {
+  auto sq = poly({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_TRUE(g::offset_convex(sq, -1.5).empty());
+}
+
+TEST(Offset, RejectsNonConvexAndDegenerate) {
+  auto ell = poly({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  EXPECT_THROW(g::offset_convex(ell, 1.0), std::invalid_argument);
+  auto segment = poly({{0, 0}, {1, 0}});
+  EXPECT_THROW(g::offset_convex(segment, 1.0), std::invalid_argument);
+  auto zero_area = poly({{0, 0}, {1, 0}, {2, 0}});
+  EXPECT_THROW(g::offset_convex(zero_area, 1.0), std::invalid_argument);
+}
+
+TEST(Overlap, TouchingIsNotOverlap) {
+  auto a = poly({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  auto b = poly({{2, 0}, {4, 0}, {4, 2}, {2, 2}});  // shares the x=2 edge
+  auto c = poly({{1, 1}, {3, 1}, {3, 3}, {1, 3}});
+  EXPECT_FALSE(g::convex_overlap(a, b));
+  EXPECT_TRUE(g::convex_overlap(a, c));
+  EXPECT_DOUBLE_EQ(g::convex_clearance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(g::convex_clearance(a, c), 0.0);
+  auto far = poly({{5, 0}, {6, 0}, {6, 2}, {5, 2}});
+  EXPECT_DOUBLE_EQ(g::convex_clearance(a, far), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Voronoi decomposition.
+// ---------------------------------------------------------------------------
+
+TEST(Voronoi, CellsTileTheWindow) {
+  const g::Rect bounds{0, 0, 100, 60};
+  const std::vector<g::Point> seeds{{10, 10}, {80, 15}, {45, 45}, {20, 50}, {90, 50}};
+  auto cells = g::voronoi_regions(seeds, bounds);
+  ASSERT_EQ(cells.size(), seeds.size());
+  double total = 0;
+  for (const auto& c : cells) {
+    EXPECT_TRUE(g::is_convex(c.cell));
+    // Every cell contains its own seed and no other.
+    EXPECT_NE(g::contains(c.cell, seeds[c.seed]), g::Containment::Outside);
+    total += g::area(c.cell);
+  }
+  EXPECT_NEAR(total, bounds.area(), 1e-6);
+}
+
+TEST(Voronoi, SingleSeedOwnsWindow) {
+  const g::Rect bounds{0, 0, 10, 10};
+  auto cells = g::voronoi_regions({{3, 3}}, bounds);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(g::area(cells[0].cell), 100.0);
+}
+
+TEST(Voronoi, RejectsDuplicateAndOutOfBoundsSeeds) {
+  const g::Rect bounds{0, 0, 10, 10};
+  EXPECT_THROW(g::voronoi_regions({{2, 2}, {2, 2}}, bounds), std::invalid_argument);
+  EXPECT_THROW(g::voronoi_regions({{2, 2}, {11, 5}}, bounds), std::invalid_argument);
+  EXPECT_THROW(g::voronoi_regions({}, bounds), std::invalid_argument);
+}
+
+TEST(Voronoi, NeighborCapMatchesExactOnModestCounts) {
+  // With the cap at least the true neighbor count the approximation is
+  // exact; a 4x4 grid of seeds has at most 8 geometric neighbors per cell.
+  const g::Rect bounds{0, 0, 40, 40};
+  std::vector<g::Point> seeds;
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 4; ++i) seeds.push_back({5.0 + 10.0 * i, 5.0 + 10.0 * j});
+  }
+  auto exact = g::voronoi_regions(seeds, bounds, 0);
+  auto capped = g::voronoi_regions(seeds, bounds, 8);
+  ASSERT_EQ(exact.size(), capped.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(g::area(exact[i].cell), g::area(capped[i].cell), 1e-9);
+  }
+}
